@@ -1,0 +1,87 @@
+// Command wfrc-bench runs the reproduction experiment suite (DESIGN.md
+// §4) and prints the result tables that EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	wfrc-bench [-exp e1,e2,...] [-threads N] [-ops N] [-schemes a,b] [-quick] [-list]
+//
+// With no flags it runs every experiment at default size, which takes a
+// few minutes on a laptop-class machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"wfrc/internal/experiments"
+	"wfrc/internal/schemes"
+)
+
+func main() {
+	var (
+		expList    = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		threads    = flag.Int("threads", 0, "max threads in sweeps (default: GOMAXPROCS)")
+		ops        = flag.Int("ops", 0, "operations per thread per data point (default: per-experiment)")
+		schemeList = flag.String("schemes", "", "comma-separated scheme subset (default: all)")
+		quick      = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+		list       = flag.Bool("list", false, "list experiments and schemes, then exit")
+		csvOut     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:")
+		for _, e := range experiments.Registry() {
+			fmt.Printf("  %-4s %s\n", e.ID, e.Brief)
+		}
+		fmt.Printf("schemes: %s\n", strings.Join(schemes.Names(), ", "))
+		return
+	}
+
+	p := experiments.Params{
+		MaxThreads:   *threads,
+		OpsPerThread: *ops,
+		Quick:        *quick,
+	}
+	if *schemeList != "" {
+		p.Schemes = strings.Split(*schemeList, ",")
+	}
+
+	var run []experiments.Experiment
+	if *expList == "" {
+		run = experiments.Registry()
+	} else {
+		for _, id := range strings.Split(*expList, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			run = append(run, e)
+		}
+	}
+
+	fmt.Printf("wfrc-bench: %d experiment(s), GOMAXPROCS=%d, %s\n\n",
+		len(run), runtime.GOMAXPROCS(0), time.Now().Format(time.RFC3339))
+	for _, e := range run {
+		fmt.Printf("-- %s: %s\n", e.ID, e.Brief)
+		t0 := time.Now()
+		tables, err := e.Run(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, tbl := range tables {
+			if *csvOut {
+				fmt.Println(tbl.CSV())
+			} else {
+				fmt.Println(tbl.Render())
+			}
+		}
+		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,236 @@
+// Command wfrc-stress runs a configurable concurrent churn on one data
+// structure over one memory-management scheme, then audits the quiescent
+// arena.  It exits non-zero on any invariant violation, making it
+// suitable for soak testing and CI:
+//
+//	wfrc-stress -scheme waitfree -structure pqueue -threads 8 -ops 1000000
+//	wfrc-stress -structure all -schemes all -ops 50000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/ds/hashmap"
+	"wfrc/internal/ds/list"
+	"wfrc/internal/ds/pqueue"
+	"wfrc/internal/ds/queue"
+	"wfrc/internal/ds/stack"
+	"wfrc/internal/mm"
+	"wfrc/internal/schemes"
+)
+
+var structures = []string{"stack", "queue", "list", "pqueue", "hashmap"}
+
+func main() {
+	var (
+		schemeFlag = flag.String("scheme", "all", "scheme name or 'all'")
+		structFlag = flag.String("structure", "all", "structure name or 'all'")
+		threads    = flag.Int("threads", 8, "worker goroutines")
+		ops        = flag.Int("ops", 100000, "operations per worker")
+		nodes      = flag.Int("nodes", 1<<15, "arena size in nodes")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		keys       = flag.Int("keys", 512, "key space for keyed structures")
+	)
+	flag.Parse()
+
+	schemeNames := schemes.Names()
+	if *schemeFlag != "all" {
+		schemeNames = strings.Split(*schemeFlag, ",")
+	}
+	structNames := structures
+	if *structFlag != "all" {
+		structNames = strings.Split(*structFlag, ",")
+	}
+
+	failed := false
+	for _, sn := range structNames {
+		for _, mn := range schemeNames {
+			if err := run(sn, mn, *threads, *ops, *nodes, *keys, *seed); err != nil {
+				fmt.Fprintf(os.Stderr, "FAIL %-8s %-9s %v\n", sn, mn, err)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func run(structure, scheme string, threads, ops, nodes, keys int, seed int64) error {
+	f, err := schemes.ByName(scheme)
+	if err != nil {
+		return err
+	}
+	const maxLevel = 8
+	acfg := arena.Config{
+		Nodes:        nodes,
+		LinksPerNode: 1,
+		ValsPerNode:  2,
+		RootLinks:    80,
+	}
+	hazardSlots := 0
+	if structure == "pqueue" {
+		acfg.LinksPerNode = maxLevel
+		acfg.ValsPerNode = 3
+		hazardSlots = 2*maxLevel + 8
+	}
+	s, err := f.New(acfg, schemes.Options{
+		Threads: threads + 1, HazardSlots: hazardSlots, RetireThreshold: 64,
+	})
+	if err != nil {
+		return err
+	}
+
+	setup, err := s.Register()
+	if err != nil {
+		return err
+	}
+	var worker func(t mm.Thread, rng *rand.Rand) error
+	var teardown func(t mm.Thread)
+	switch structure {
+	case "stack":
+		st, err := stack.New(s)
+		if err != nil {
+			return err
+		}
+		worker = func(t mm.Thread, rng *rand.Rand) error {
+			if err := st.Push(t, rng.Uint64()); err != nil {
+				return err
+			}
+			st.Pop(t)
+			return nil
+		}
+		teardown = func(t mm.Thread) { st.Drain(t) }
+	case "queue":
+		q, err := queue.New(s, setup)
+		if err != nil {
+			return err
+		}
+		worker = func(t mm.Thread, rng *rand.Rand) error {
+			if err := q.Enqueue(t, rng.Uint64()); err != nil {
+				return err
+			}
+			q.Dequeue(t)
+			return nil
+		}
+		teardown = func(t mm.Thread) { q.Drain(t) }
+	case "list":
+		l, err := list.New(s)
+		if err != nil {
+			return err
+		}
+		worker = func(t mm.Thread, rng *rand.Rand) error {
+			k := uint64(rng.Intn(keys))
+			switch rng.Intn(3) {
+			case 0:
+				_, err := l.Insert(t, k, k)
+				return err
+			case 1:
+				l.Delete(t, k)
+			default:
+				l.Contains(t, k)
+			}
+			return nil
+		}
+		teardown = func(t mm.Thread) {
+			for _, k := range l.Keys() {
+				l.Delete(t, k)
+			}
+		}
+	case "pqueue":
+		pq, err := pqueue.New(s, pqueue.Config{MaxLevel: maxLevel})
+		if err != nil {
+			return err
+		}
+		worker = func(t mm.Thread, rng *rand.Rand) error {
+			if rng.Intn(2) == 0 {
+				return pq.Insert(t, uint64(rng.Intn(keys)), rng.Uint64())
+			}
+			pq.DeleteMin(t)
+			return nil
+		}
+		teardown = func(t mm.Thread) {
+			for {
+				if _, _, ok := pq.DeleteMin(t); !ok {
+					return
+				}
+			}
+		}
+	case "hashmap":
+		m, err := hashmap.New(s, hashmap.Config{Buckets: 64})
+		if err != nil {
+			return err
+		}
+		worker = func(t mm.Thread, rng *rand.Rand) error {
+			k := uint64(rng.Intn(keys))
+			switch rng.Intn(3) {
+			case 0:
+				_, err := m.Insert(t, k, k)
+				return err
+			case 1:
+				m.Delete(t, k)
+			default:
+				m.Get(t, k)
+			}
+			return nil
+		}
+		teardown = func(t mm.Thread) {
+			for _, k := range m.Keys() {
+				m.Delete(t, k)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown structure %q", structure)
+	}
+	setup.Unregister()
+
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, threads)
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			t, err := s.Register()
+			if err != nil {
+				errs[id] = err
+				return
+			}
+			defer t.Unregister()
+			rng := rand.New(rand.NewSource(seed + int64(id)))
+			for k := 0; k < ops; k++ {
+				if err := worker(t, rng); err != nil {
+					errs[id] = fmt.Errorf("op %d: %w", k, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	t, err := s.Register()
+	if err != nil {
+		return err
+	}
+	teardown(t)
+	t.Unregister()
+
+	if auditErrs := schemes.AuditRC(s, nil); len(auditErrs) > 0 {
+		return fmt.Errorf("audit failed: %v (and %d more)", auditErrs[0], len(auditErrs)-1)
+	}
+	fmt.Printf("ok   %-8s %-9s %d threads x %d ops in %v\n",
+		structure, scheme, threads, ops, time.Since(t0).Round(time.Millisecond))
+	return nil
+}

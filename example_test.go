@@ -1,0 +1,122 @@
+package wfrc_test
+
+import (
+	"fmt"
+
+	"wfrc"
+)
+
+// Example shows the raw memory-management API: allocate, publish through
+// a link, dereference with a guard, and reclaim by unlinking.
+func Example() {
+	ar := wfrc.MustNewArena(wfrc.ArenaConfig{
+		Nodes: 64, LinksPerNode: 1, ValsPerNode: 1, RootLinks: 4,
+	})
+	s := wfrc.MustNewWaitFree(ar, wfrc.SchemeConfig{Threads: 2})
+	t, _ := s.Register()
+	defer t.Unregister()
+
+	h, _ := t.Alloc()
+	ar.SetVal(h, 0, 7)
+	root := ar.NewRoot()
+	t.StoreLink(root, wfrc.MakePtr(h, false))
+	t.Release(h)
+
+	p := t.DeRef(root)
+	fmt.Println("value:", ar.Val(p.Handle(), 0))
+	t.Release(p.Handle())
+	t.CASLink(root, p, wfrc.NilPtr)
+	// Output: value: 7
+}
+
+// ExampleNewStack shows a Treiber stack over the wait-free scheme.
+func ExampleNewStack() {
+	ar := wfrc.MustNewArena(wfrc.ArenaConfig{
+		Nodes: 64, LinksPerNode: 1, ValsPerNode: 1, RootLinks: 4,
+	})
+	s := wfrc.MustNewWaitFree(ar, wfrc.SchemeConfig{Threads: 1})
+	t, _ := s.Register()
+	defer t.Unregister()
+
+	st, _ := wfrc.NewStack(s)
+	st.Push(t, 1)
+	st.Push(t, 2)
+	v, _ := st.Pop(t)
+	fmt.Println("popped:", v)
+	// Output: popped: 2
+}
+
+// ExampleNewQueue shows a Michael–Scott queue; the same code runs over
+// any scheme constructor.
+func ExampleNewQueue() {
+	ar := wfrc.MustNewArena(wfrc.ArenaConfig{
+		Nodes: 64, LinksPerNode: 1, ValsPerNode: 1, RootLinks: 4,
+	})
+	s := wfrc.MustNewWaitFree(ar, wfrc.SchemeConfig{Threads: 1})
+	t, _ := s.Register()
+	defer t.Unregister()
+
+	q, _ := wfrc.NewQueue(s, t)
+	q.Enqueue(t, 10)
+	q.Enqueue(t, 20)
+	a, _ := q.Dequeue(t)
+	b, _ := q.Dequeue(t)
+	fmt.Println(a, b)
+	// Output: 10 20
+}
+
+// ExampleNewList shows the sorted map.
+func ExampleNewList() {
+	ar := wfrc.MustNewArena(wfrc.ArenaConfig{
+		Nodes: 64, LinksPerNode: 1, ValsPerNode: 2, RootLinks: 4,
+	})
+	s := wfrc.MustNewWaitFree(ar, wfrc.SchemeConfig{Threads: 1})
+	t, _ := s.Register()
+	defer t.Unregister()
+
+	l, _ := wfrc.NewList(s)
+	l.Insert(t, 3, 30)
+	l.Insert(t, 1, 10)
+	l.Insert(t, 2, 20)
+	l.Delete(t, 2)
+	fmt.Println(l.Keys())
+	// Output: [1 3]
+}
+
+// ExampleNewPQueue shows the skiplist priority queue the paper's
+// evaluation used.
+func ExampleNewPQueue() {
+	ar := wfrc.MustNewArena(wfrc.ArenaConfig{
+		Nodes: 64, LinksPerNode: 8, ValsPerNode: 3, RootLinks: 10,
+	})
+	s := wfrc.MustNewWaitFree(ar, wfrc.SchemeConfig{Threads: 1})
+	t, _ := s.Register()
+	defer t.Unregister()
+
+	pq, _ := wfrc.NewPQueue(s, wfrc.PQueueConfig{MaxLevel: 8})
+	pq.Insert(t, 5, 500)
+	pq.Insert(t, 1, 100)
+	pq.Insert(t, 3, 300)
+	k, v, _ := pq.DeleteMin(t)
+	fmt.Println(k, v)
+	// Output: 1 100
+}
+
+// ExampleNewUniversal shows a wait-free shared object: a fetch-and-add
+// counter built with the universal construction.
+func ExampleNewUniversal() {
+	ar := wfrc.MustNewArena(wfrc.ArenaConfig{
+		Nodes: 64, LinksPerNode: 1, ValsPerNode: 2, RootLinks: 8,
+	})
+	s := wfrc.MustNewWaitFree(ar, wfrc.SchemeConfig{Threads: 2})
+	t, _ := s.Register()
+	defer t.Unregister()
+
+	counter, _ := wfrc.NewUniversal(s, t,
+		func(state, op uint64) (uint64, uint64) { return state + op, state }, 0)
+	a, _ := counter.Invoke(t, 5)
+	b, _ := counter.Invoke(t, 3)
+	st, _ := counter.State(t)
+	fmt.Println(a, b, st)
+	// Output: 0 5 8
+}

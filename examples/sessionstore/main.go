@@ -1,0 +1,85 @@
+// Session-store example: a concurrent key-value session table on the
+// lock-free hash map.  Front-end goroutines create, touch and expire
+// sessions; the same code runs over any memory-management scheme (flip
+// the constructor to compare).
+//
+//	go run ./examples/sessionstore
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"wfrc"
+)
+
+const (
+	frontends = 4
+	requests  = 25000
+	buckets   = 64
+	keySpace  = 2048
+)
+
+func main() {
+	ar := wfrc.MustNewArena(wfrc.ArenaConfig{
+		Nodes:        1 << 14,
+		LinksPerNode: 1,
+		ValsPerNode:  2, // key, last-seen stamp
+		RootLinks:    buckets + 2,
+	})
+	s := wfrc.MustNewWaitFree(ar, wfrc.SchemeConfig{Threads: frontends})
+	store, err := wfrc.NewHashMap(s, wfrc.HashMapConfig{Buckets: buckets})
+	if err != nil {
+		panic(err)
+	}
+
+	var created, expired, hits, misses atomic.Int64
+	var wg sync.WaitGroup
+	for fe := 0; fe < frontends; fe++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			t, err := s.Register()
+			if err != nil {
+				panic(err)
+			}
+			defer t.Unregister()
+			rng := rand.New(rand.NewSource(int64(id) * 7919))
+			for r := 0; r < requests; r++ {
+				session := uint64(rng.Intn(keySpace))
+				switch rng.Intn(4) {
+				case 0: // login: create the session
+					ok, err := store.Insert(t, session, uint64(r))
+					if err != nil {
+						panic(err)
+					}
+					if ok {
+						created.Add(1)
+					}
+				case 1: // logout: expire it
+					if store.Delete(t, session) {
+						expired.Add(1)
+					}
+				default: // request: look it up
+					if _, ok := store.Get(t, session); ok {
+						hits.Add(1)
+					} else {
+						misses.Add(1)
+					}
+				}
+			}
+		}(fe)
+	}
+	wg.Wait()
+
+	live := store.Len()
+	fmt.Printf("created=%d expired=%d live=%d (created-expired=%d)\n",
+		created.Load(), expired.Load(), live, created.Load()-expired.Load())
+	fmt.Printf("lookups: %d hits, %d misses\n", hits.Load(), misses.Load())
+	if int64(live) != created.Load()-expired.Load() {
+		panic("session accounting does not balance")
+	}
+	fmt.Println("ok")
+}

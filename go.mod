@@ -1,0 +1,3 @@
+module wfrc
+
+go 1.22

@@ -1,0 +1,257 @@
+// Package arena provides the fixed, type-stable node arena that all
+// memory-management schemes in this repository operate on.
+//
+// The wait-free reference-counting algorithm (Sundell, TR 2004-10 /
+// IPPS 2005) assumes that the mm_ref field of every memory block "will be
+// present at each memory block indefinitely, and will thus also be
+// possible to access on nodes that have been reclaimed by the memory
+// management scheme".  A preallocated arena of fixed-size node slots is
+// the canonical way to satisfy that assumption: node identity is a small
+// integer handle, and the per-node metadata (mm_ref, mm_next), link cells
+// and value words live in flat slices that are never freed while the
+// arena is alive.
+//
+// The arena itself performs no synchronization policy; it only exposes
+// atomically accessible cells.  Reclamation protocols are layered on top
+// by the scheme packages (internal/core, internal/baseline/...).
+package arena
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Handle identifies a node in an Arena.  Handle 0 is the nil node.
+type Handle uint32
+
+// Nil is the zero Handle, representing the absence of a node.
+const Nil Handle = 0
+
+// Ptr is the value stored in a link cell: a Handle in the low 32 bits and
+// a deletion mark at bit 32.  Data structures such as the Harris ordered
+// list use the mark to flag logically deleted nodes; memory-management
+// schemes treat the mark opaquely and apply reference counting to the
+// Handle part only.
+type Ptr uint64
+
+const markBit Ptr = 1 << 32
+
+// NilPtr is the Ptr holding the nil handle with no mark.
+const NilPtr Ptr = 0
+
+// PoisonPtr is a marked nil pointer.  Data structures CAS it into the
+// next link of a node they have physically unlinked, releasing the
+// link's reference to the successor.  Without this, reference counting
+// transitively retains the entire history of removed nodes for as long
+// as any thread holds a reference to the oldest one (chain retention).
+// Poison is distinguishable both from nil (the mark) and from every live
+// pointer (the nil handle), so optimistic readers detect it and retry.
+const PoisonPtr Ptr = markBit
+
+// MakePtr builds a Ptr from a handle and a mark flag.
+func MakePtr(h Handle, marked bool) Ptr {
+	p := Ptr(h)
+	if marked {
+		p |= markBit
+	}
+	return p
+}
+
+// Handle extracts the node handle of p.
+func (p Ptr) Handle() Handle { return Handle(p & 0xffffffff) }
+
+// Marked reports whether the deletion mark of p is set.
+func (p Ptr) Marked() bool { return p&markBit != 0 }
+
+// WithMark returns p with the deletion mark set to marked.
+func (p Ptr) WithMark(marked bool) Ptr {
+	if marked {
+		return p | markBit
+	}
+	return p &^ markBit
+}
+
+// IsNil reports whether p holds the nil handle (regardless of mark).
+func (p Ptr) IsNil() bool { return p.Handle() == Nil }
+
+// String renders p for debugging.
+func (p Ptr) String() string {
+	if p.Marked() {
+		return fmt.Sprintf("ptr(%d,marked)", p.Handle())
+	}
+	return fmt.Sprintf("ptr(%d)", p.Handle())
+}
+
+// LinkID identifies a link cell (a mutable pointer-to-node location) in
+// an Arena.  Link cells are the only locations the dereference protocols
+// operate on: the paper's "pointer to pointer to Node" maps to a LinkID
+// and its "pointer to Node" maps to a Ptr.  NoLink (0) is reserved so a
+// LinkID can always be distinguished from "no announcement"; valid ids
+// start at 1.
+type LinkID uint32
+
+// NoLink is the reserved, never-valid LinkID.
+const NoLink LinkID = 0
+
+// Config sizes an Arena.
+type Config struct {
+	// Nodes is the number of allocatable node slots.
+	Nodes int
+	// LinksPerNode is the number of link cells embedded in each node.
+	LinksPerNode int
+	// ValsPerNode is the number of 64-bit value words in each node.
+	ValsPerNode int
+	// RootLinks is the number of standalone link cells reserved for data
+	// structure roots (list heads, queue head/tail, ...).
+	RootLinks int
+}
+
+func (c Config) validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("arena: Nodes must be positive, got %d", c.Nodes)
+	}
+	if c.Nodes >= 1<<31 {
+		return fmt.Errorf("arena: Nodes must fit in 31 bits, got %d", c.Nodes)
+	}
+	if c.LinksPerNode < 0 || c.ValsPerNode < 0 || c.RootLinks < 0 {
+		return fmt.Errorf("arena: negative size in config %+v", c)
+	}
+	return nil
+}
+
+// nodeMeta is the per-node bookkeeping the paper's Node structure begins
+// with.  A node always starts with mm_ref (the paper's Lemma 1 relies on
+// that); here the analogous property — announcement encodings and Ptr
+// values are disjoint — is guaranteed by tagging instead.
+type nodeMeta struct {
+	ref  atomic.Int64  // mm_ref: real count = ref/2, odd = free/claimed
+	next atomic.Uint64 // mm_next: free-list successor (a raw Handle)
+}
+
+// Arena is a fixed pool of nodes with embedded link cells and value
+// words.  All cells are accessed atomically.  An Arena is safe for
+// concurrent use by any number of goroutines.
+type Arena struct {
+	cfg      Config
+	meta     []nodeMeta      // index 1..Nodes; slot 0 unused
+	links    []atomic.Uint64 // [1..RootLinks] roots, then node link slots
+	vals     []atomic.Uint64 // (h-1)*ValsPerNode + i
+	rootsCut int             // first node link slot index in links
+	nextRoot atomic.Int64    // allocation cursor for NewRoot
+}
+
+// New creates an arena for the given configuration.
+func New(cfg Config) (*Arena, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	a := &Arena{cfg: cfg}
+	a.meta = make([]nodeMeta, cfg.Nodes+1)
+	// links[0] is unused so that LinkID 0 stays invalid.
+	a.rootsCut = 1 + cfg.RootLinks
+	a.links = make([]atomic.Uint64, a.rootsCut+cfg.Nodes*cfg.LinksPerNode)
+	a.vals = make([]atomic.Uint64, cfg.Nodes*cfg.ValsPerNode)
+	// All nodes begin free: mm_ref = 1 (odd) per the paper's convention.
+	for h := 1; h <= cfg.Nodes; h++ {
+		a.meta[h].ref.Store(1)
+	}
+	return a, nil
+}
+
+// MustNew is New but panics on configuration errors; for tests and
+// examples.
+func MustNew(cfg Config) *Arena {
+	a, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Config returns the configuration the arena was created with.
+func (a *Arena) Config() Config { return a.cfg }
+
+// Nodes returns the number of allocatable node slots.
+func (a *Arena) Nodes() int { return a.cfg.Nodes }
+
+// --- node metadata -------------------------------------------------------
+
+// Ref returns the mm_ref cell of node h.  h must be a valid non-nil
+// handle.
+func (a *Arena) Ref(h Handle) *atomic.Int64 { return &a.meta[h].ref }
+
+// Next returns the mm_next cell of node h (free-list successor handle).
+func (a *Arena) Next(h Handle) *atomic.Uint64 { return &a.meta[h].next }
+
+// Valid reports whether h is a handle this arena could have issued.
+func (a *Arena) Valid(h Handle) bool { return h >= 1 && int(h) <= a.cfg.Nodes }
+
+// --- link cells -----------------------------------------------------------
+
+// NewRoot reserves a fresh root link cell and returns its id.  It panics
+// if the configured RootLinks budget is exhausted; roots are allocated at
+// structure-construction time, so exhaustion is a programming error.
+func (a *Arena) NewRoot() LinkID {
+	n := a.nextRoot.Add(1)
+	if int(n) > a.cfg.RootLinks {
+		panic(fmt.Sprintf("arena: out of root links (budget %d)", a.cfg.RootLinks))
+	}
+	return LinkID(n)
+}
+
+// LinkOf returns the id of link slot i of node h.
+func (a *Arena) LinkOf(h Handle, slot int) LinkID {
+	if slot < 0 || slot >= a.cfg.LinksPerNode {
+		panic(fmt.Sprintf("arena: link slot %d out of range [0,%d)", slot, a.cfg.LinksPerNode))
+	}
+	return LinkID(a.rootsCut + (int(h)-1)*a.cfg.LinksPerNode + slot)
+}
+
+// Link returns the cell behind id.
+func (a *Arena) Link(id LinkID) *atomic.Uint64 { return &a.links[id] }
+
+// LoadLink atomically reads the Ptr stored in link id.
+func (a *Arena) LoadLink(id LinkID) Ptr { return Ptr(a.links[id].Load()) }
+
+// StoreLink atomically writes p into link id.  Callers must follow the
+// scheme's rules for direct stores (previous value nil, no concurrent
+// updates).
+func (a *Arena) StoreLink(id LinkID, p Ptr) { a.links[id].Store(uint64(p)) }
+
+// CASLinkRaw performs the raw CAS on the link cell, with no reference
+// management.  Scheme packages build their CompareAndSwapLink on this.
+func (a *Arena) CASLinkRaw(id LinkID, old, new Ptr) bool {
+	return a.links[id].CompareAndSwap(uint64(old), uint64(new))
+}
+
+// LinkRange calls fn for every link slot of node h.
+func (a *Arena) LinkRange(h Handle, fn func(id LinkID)) {
+	for i := 0; i < a.cfg.LinksPerNode; i++ {
+		fn(a.LinkOf(h, i))
+	}
+}
+
+// NumLinks returns the total number of link cells (roots + node slots),
+// for audit walks.
+func (a *Arena) NumLinks() int { return len(a.links) - 1 }
+
+// LinkByIndex returns the i-th link id (1-based), for audit walks.
+func (a *Arena) LinkByIndex(i int) LinkID { return LinkID(i) }
+
+// --- value words ----------------------------------------------------------
+
+// Val atomically reads value word i of node h.
+func (a *Arena) Val(h Handle, i int) uint64 {
+	return a.vals[(int(h)-1)*a.cfg.ValsPerNode+i].Load()
+}
+
+// SetVal atomically writes value word i of node h.
+func (a *Arena) SetVal(h Handle, i int, v uint64) {
+	a.vals[(int(h)-1)*a.cfg.ValsPerNode+i].Store(v)
+}
+
+// ValCell returns the atomic cell of value word i of node h, for callers
+// that need CAS on values.
+func (a *Arena) ValCell(h Handle, i int) *atomic.Uint64 {
+	return &a.vals[(int(h)-1)*a.cfg.ValsPerNode+i]
+}

@@ -1,0 +1,359 @@
+// Package epoch implements three-epoch quiescence-based reclamation
+// (Fraser-style EBR), a modern baseline for the benchmark suite.
+// Dereference is a plain load inside a pinned epoch, so per-read cost is
+// minimal; the price is that one stalled thread blocks all reclamation —
+// the progress property the paper's wait-free scheme is designed to avoid.
+package epoch
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/mm"
+)
+
+// ErrOutOfMemory is returned by Alloc when no node can be obtained even
+// after attempted epoch advances.
+var ErrOutOfMemory = errors.New("epoch: arena out of nodes")
+
+// Config parameterizes the scheme.
+type Config struct {
+	// Threads is the maximum number of concurrently registered threads.
+	Threads int
+	// RetireThreshold is the per-bucket retire count that triggers an
+	// epoch-advance attempt.  Zero selects a default.
+	RetireThreshold int
+	// AllocRetryLimit bounds the allocation loop.  Zero selects a default.
+	AllocRetryLimit int
+}
+
+type padCell struct {
+	v atomic.Uint64
+	_ [7]uint64
+}
+
+// Scheme is the epoch-based memory manager.  It implements mm.Scheme.
+type Scheme struct {
+	ar        *arena.Arena
+	n         int
+	threshold int
+	lim       int
+
+	epoch atomic.Uint64
+	// pins[i] holds (observedEpoch<<1 | active) for thread i.
+	pins []padCell
+
+	head atomic.Uint64 // tagged free-list head (same layout as hazard)
+
+	limboMu sync.Mutex
+	limbo   []limboEntry
+
+	regMu   sync.Mutex
+	regUsed []bool
+}
+
+type limboEntry struct {
+	epoch uint64
+	h     arena.Handle
+}
+
+// New creates an epoch scheme over ar with all nodes free.
+func New(ar *arena.Arena, cfg Config) (*Scheme, error) {
+	if cfg.Threads <= 0 {
+		return nil, fmt.Errorf("epoch: Threads must be positive, got %d", cfg.Threads)
+	}
+	threshold := cfg.RetireThreshold
+	if threshold == 0 {
+		threshold = 64
+	}
+	lim := cfg.AllocRetryLimit
+	if lim == 0 {
+		// Epoch reclamation retains every node retired in the last two
+		// epochs, so transient exhaustion is common under load; the bound
+		// is generous and each empty retry yields the processor.
+		lim = 256*cfg.Threads + 1024
+	}
+	s := &Scheme{
+		ar: ar, n: cfg.Threads, threshold: threshold, lim: lim,
+		pins:    make([]padCell, cfg.Threads),
+		regUsed: make([]bool, cfg.Threads),
+	}
+	// Start at epoch 2 so "retireEpoch+2 <= now" arithmetic never wraps
+	// below zero in the limbo drain.
+	s.epoch.Store(2)
+	nodes := ar.Nodes()
+	for h := 1; h < nodes; h++ {
+		ar.Next(arena.Handle(h)).Store(uint64(h + 1))
+	}
+	if nodes > 0 {
+		ar.Next(arena.Handle(nodes)).Store(0)
+		s.head.Store(1)
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(ar *arena.Arena, cfg Config) *Scheme {
+	s, err := New(ar, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name implements mm.Scheme.
+func (s *Scheme) Name() string { return "epoch" }
+
+// Arena implements mm.Scheme.
+func (s *Scheme) Arena() *arena.Arena { return s.ar }
+
+// Threads implements mm.Scheme.
+func (s *Scheme) Threads() int { return s.n }
+
+// Register implements mm.Scheme.
+func (s *Scheme) Register() (mm.Thread, error) {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	for i := 0; i < s.n; i++ {
+		if !s.regUsed[i] {
+			s.regUsed[i] = true
+			return &Thread{s: s, id: i, lastSeen: s.epoch.Load()}, nil
+		}
+	}
+	return nil, fmt.Errorf("epoch: all %d thread slots in use", s.n)
+}
+
+func (s *Scheme) unregister(id int) {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	s.regUsed[id] = false
+}
+
+func (s *Scheme) popFree() arena.Handle {
+	for {
+		v := s.head.Load()
+		h := arena.Handle(v & 0xffffffff)
+		if h == arena.Nil {
+			return arena.Nil
+		}
+		next := s.ar.Next(h).Load() & 0xffffffff
+		tag := (v >> 32) + 1
+		if s.head.CompareAndSwap(v, next|tag<<32) {
+			return h
+		}
+	}
+}
+
+func (s *Scheme) pushFree(h arena.Handle) {
+	for {
+		v := s.head.Load()
+		s.ar.Next(h).Store(v & 0xffffffff)
+		tag := (v >> 32) + 1
+		if s.head.CompareAndSwap(v, uint64(h)|tag<<32) {
+			return
+		}
+	}
+}
+
+// tryAdvance increments the global epoch if every active thread has
+// observed the current one.  Returns the (possibly advanced) epoch.
+func (s *Scheme) tryAdvance() uint64 {
+	e := s.epoch.Load()
+	for i := 0; i < s.n; i++ {
+		pin := s.pins[i].v.Load()
+		if pin&1 == 1 && pin>>1 != e {
+			return e // a straggler pins an older epoch
+		}
+	}
+	s.epoch.CompareAndSwap(e, e+1)
+	return s.epoch.Load()
+}
+
+// drainLimbo frees orphaned retirements that are two or more epochs old.
+func (s *Scheme) drainLimbo(now uint64) {
+	s.limboMu.Lock()
+	kept := s.limbo[:0]
+	var free []arena.Handle
+	for _, le := range s.limbo {
+		if le.epoch+2 <= now {
+			free = append(free, le.h)
+		} else {
+			kept = append(kept, le)
+		}
+	}
+	s.limbo = kept
+	s.limboMu.Unlock()
+	for _, h := range free {
+		s.scrubAndFree(h)
+	}
+}
+
+func (s *Scheme) scrubAndFree(h arena.Handle) {
+	s.ar.LinkRange(h, func(id mm.LinkID) { s.ar.StoreLink(id, arena.NilPtr) })
+	s.pushFree(h)
+}
+
+// FreeNodes walks the free-list for tests; quiescence only.
+func (s *Scheme) FreeNodes() map[arena.Handle]int {
+	free := make(map[arena.Handle]int)
+	for h := arena.Handle(s.head.Load() & 0xffffffff); h != arena.Nil; {
+		free[h]++
+		if free[h] > s.ar.Nodes() {
+			break
+		}
+		h = arena.Handle(s.ar.Next(h).Load())
+	}
+	return free
+}
+
+// Thread is a per-goroutine context.  It implements mm.Thread.
+type Thread struct {
+	s        *Scheme
+	id       int
+	lastSeen uint64 // epoch whose bucket assignments are current
+	retired  [3][]arena.Handle
+	stats    mm.OpStats
+}
+
+// ID implements mm.Thread.
+func (t *Thread) ID() int { return t.id }
+
+// Stats implements mm.Thread.
+func (t *Thread) Stats() *mm.OpStats { return &t.stats }
+
+// BeginOp implements mm.Thread: pin the current epoch.
+func (t *Thread) BeginOp() {
+	for {
+		e := t.s.epoch.Load()
+		t.s.pins[t.id].v.Store(e<<1 | 1)
+		// Re-check so the pinned epoch is the one concurrent advancers
+		// see; a stale pin is safe but can stall reclamation.
+		if t.s.epoch.Load() == e {
+			t.observe(e)
+			return
+		}
+	}
+}
+
+// EndOp implements mm.Thread: unpin.
+func (t *Thread) EndOp() {
+	t.s.pins[t.id].v.Store(0)
+}
+
+// observe frees buckets made safe by epoch progress since lastSeen.
+func (t *Thread) observe(e uint64) {
+	switch {
+	case e == t.lastSeen:
+		return
+	case e >= t.lastSeen+3:
+		// Everything this thread retired is at least two epochs old.
+		for i := range t.retired {
+			t.flushBucket(i)
+		}
+	default:
+		for ep := t.lastSeen + 1; ep <= e; ep++ {
+			t.flushBucket(int((ep + 1) % 3))
+		}
+	}
+	t.lastSeen = e
+}
+
+func (t *Thread) flushBucket(i int) {
+	if len(t.retired[i]) == 0 {
+		return
+	}
+	t.stats.Scans++
+	for _, h := range t.retired[i] {
+		t.s.scrubAndFree(h)
+	}
+	t.retired[i] = t.retired[i][:0]
+}
+
+// DeRef implements mm.Thread: a plain load, valid only within a pinned
+// epoch.
+func (t *Thread) DeRef(l mm.LinkID) mm.Ptr {
+	t.stats.NoteDeRef(1)
+	return t.s.ar.LoadLink(l)
+}
+
+// Release implements mm.Thread (no-op: the epoch pin guards everything).
+func (t *Thread) Release(arena.Handle) {}
+
+// Copy implements mm.Thread (no-op).
+func (t *Thread) Copy(arena.Handle) {}
+
+// Alloc implements mm.Thread.
+func (t *Thread) Alloc() (arena.Handle, error) {
+	var steps uint64
+	for {
+		steps++
+		if steps > uint64(t.s.lim) {
+			t.stats.NoteAlloc(steps)
+			return arena.Nil, ErrOutOfMemory
+		}
+		if h := t.s.popFree(); h != arena.Nil {
+			t.stats.NoteAlloc(steps)
+			return h, nil
+		}
+		// Free-list empty: push reclamation forward.  An advance can
+		// require up to three epoch steps before our oldest bucket frees,
+		// and other threads must get CPU time to unpin stale epochs.
+		now := t.s.tryAdvance()
+		t.observe(now)
+		t.s.drainLimbo(now)
+		runtime.Gosched()
+	}
+}
+
+// Retire implements mm.Thread.
+func (t *Thread) Retire(h arena.Handle) {
+	if h == arena.Nil {
+		return
+	}
+	now := t.s.epoch.Load()
+	t.observe(now)
+	b := int(now % 3)
+	t.retired[b] = append(t.retired[b], h)
+	t.stats.Retired++
+	if len(t.retired[b]) >= t.s.threshold {
+		adv := t.s.tryAdvance()
+		t.observe(adv)
+		t.s.drainLimbo(adv)
+	}
+}
+
+// Load implements mm.Thread.
+func (t *Thread) Load(l mm.LinkID) mm.Ptr { return t.s.ar.LoadLink(l) }
+
+// CASLink implements mm.Thread: a plain CAS.
+func (t *Thread) CASLink(l mm.LinkID, old, new mm.Ptr) bool {
+	if t.s.ar.CASLinkRaw(l, old, new) {
+		return true
+	}
+	t.stats.CASFailures++
+	return false
+}
+
+// StoreLink implements mm.Thread.
+func (t *Thread) StoreLink(l mm.LinkID, p mm.Ptr) { t.s.ar.StoreLink(l, p) }
+
+// Unregister implements mm.Thread: park unfreed retirements in the limbo
+// list tagged with their retire epochs.
+func (t *Thread) Unregister() {
+	t.s.pins[t.id].v.Store(0)
+	now := t.s.epoch.Load()
+	t.s.limboMu.Lock()
+	for i := range t.retired {
+		for _, h := range t.retired[i] {
+			// Conservative: treat every parked node as retired "now".
+			t.s.limbo = append(t.s.limbo, limboEntry{epoch: now, h: h})
+		}
+		t.retired[i] = nil
+	}
+	t.s.limboMu.Unlock()
+	t.s.unregister(t.id)
+}

@@ -1,0 +1,226 @@
+package epoch
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"wfrc/internal/arena"
+)
+
+func newScheme(t testing.TB, nodes, threads int, cfg Config) (*Scheme, *arena.Arena) {
+	t.Helper()
+	ar := arena.MustNew(arena.Config{Nodes: nodes, LinksPerNode: 1, ValsPerNode: 1, RootLinks: 2})
+	cfg.Threads = threads
+	return MustNew(ar, cfg), ar
+}
+
+func TestAllocRetireReuse(t *testing.T) {
+	s, _ := newScheme(t, 4, 1, Config{RetireThreshold: 1})
+	th, _ := s.Register()
+	seen := map[arena.Handle]int{}
+	for i := 0; i < 32; i++ {
+		th.BeginOp()
+		h, err := th.Alloc()
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		seen[h]++
+		th.Retire(h)
+		th.EndOp()
+	}
+	if len(seen) == 32 {
+		t.Error("no node was ever reused; reclamation seems dead")
+	}
+	th.Unregister()
+}
+
+func TestPinnedEpochBlocksAdvance(t *testing.T) {
+	s, _ := newScheme(t, 8, 2, Config{})
+	tA, _ := s.Register()
+	tB, _ := s.Register()
+
+	tA.BeginOp() // A pins the current epoch
+	e0 := s.epoch.Load()
+	// One advance can pass (A pinned the epoch being advanced from), a
+	// second cannot.
+	s.tryAdvance()
+	s.tryAdvance()
+	s.tryAdvance()
+	if e := s.epoch.Load(); e > e0+1 {
+		t.Fatalf("epoch advanced to %d despite pin at %d", e, e0)
+	}
+	tA.EndOp()
+	s.tryAdvance()
+	s.tryAdvance()
+	if e := s.epoch.Load(); e < e0+2 {
+		t.Fatalf("epoch stuck at %d after unpin", e)
+	}
+	tA.Unregister()
+	tB.Unregister()
+	_ = tB
+}
+
+func TestRetiredNodeNotFreedWhilePinned(t *testing.T) {
+	s, ar := newScheme(t, 8, 2, Config{RetireThreshold: 1})
+	tA, _ := s.Register()
+	tB, _ := s.Register()
+	root := ar.NewRoot()
+
+	tA.BeginOp()
+	h, _ := tA.Alloc()
+	tA.StoreLink(root, arena.MakePtr(h, false))
+	tA.EndOp()
+
+	tB.BeginOp() // B pins before the unlink
+	p := tB.DeRef(root)
+	if p.Handle() != h {
+		t.Fatal("deref mismatch")
+	}
+
+	tA.BeginOp()
+	if !tA.CASLink(root, p, arena.NilPtr) {
+		t.Fatal("unlink failed")
+	}
+	tA.Retire(h)
+	tA.EndOp()
+	// Aggressive advance attempts; B's pin must hold reclamation back.
+	for i := 0; i < 10; i++ {
+		now := s.tryAdvance()
+		tA.(*Thread).observe(now)
+	}
+	if _, free := s.FreeNodes()[h]; free {
+		t.Fatal("node freed while a pinned reader could hold it")
+	}
+	tB.EndOp()
+	for i := 0; i < 10; i++ {
+		now := s.tryAdvance()
+		tA.(*Thread).observe(now)
+	}
+	if _, free := s.FreeNodes()[h]; !free {
+		t.Fatal("node never freed after reader unpinned")
+	}
+	tA.Unregister()
+	tB.Unregister()
+}
+
+func TestUnregisterParksInLimbo(t *testing.T) {
+	s, _ := newScheme(t, 8, 2, Config{RetireThreshold: 1000})
+	tA, _ := s.Register()
+	tB, _ := s.Register()
+
+	tA.BeginOp()
+	h, _ := tA.Alloc()
+	tA.Retire(h)
+	tA.EndOp()
+	tA.Unregister()
+
+	s.limboMu.Lock()
+	n := len(s.limbo)
+	s.limboMu.Unlock()
+	if n != 1 {
+		t.Fatalf("limbo entries = %d, want 1", n)
+	}
+
+	// B advances the epoch far enough for the limbo entry to drain.
+	for i := 0; i < 5; i++ {
+		now := s.tryAdvance()
+		s.drainLimbo(now)
+	}
+	if _, free := s.FreeNodes()[h]; !free {
+		t.Error("limbo entry never freed")
+	}
+	tB.Unregister()
+}
+
+func TestAllocOutOfMemory(t *testing.T) {
+	s, _ := newScheme(t, 1, 1, Config{AllocRetryLimit: 8})
+	th, _ := s.Register()
+	th.BeginOp()
+	h, _ := th.Alloc()
+	if _, err := th.Alloc(); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	th.Retire(h)
+	th.EndOp()
+	th.Unregister()
+}
+
+func TestScrubOnFree(t *testing.T) {
+	s, ar := newScheme(t, 4, 1, Config{RetireThreshold: 1000})
+	th, _ := s.Register()
+	th.BeginOp()
+	a, _ := th.Alloc()
+	b, _ := th.Alloc()
+	th.StoreLink(ar.LinkOf(a, 0), arena.MakePtr(b, false))
+	th.Retire(a)
+	th.Retire(b)
+	th.EndOp()
+	for i := 0; i < 5; i++ {
+		now := s.tryAdvance()
+		th.(*Thread).observe(now)
+	}
+	if got := ar.LoadLink(ar.LinkOf(a, 0)); !got.IsNil() {
+		t.Errorf("freed node link = %v, want nil", got)
+	}
+	th.Unregister()
+}
+
+func TestConcurrentChurn(t *testing.T) {
+	const threads = 6
+	iters := 10000
+	if testing.Short() {
+		iters = 1000
+	}
+	ar := arena.MustNew(arena.Config{Nodes: 512, ValsPerNode: 1, RootLinks: 1})
+	s := MustNew(ar, Config{Threads: threads, RetireThreshold: 16})
+	root := ar.NewRoot()
+
+	var wg sync.WaitGroup
+	var casOK atomic.Int64
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th, err := s.Register()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer th.Unregister()
+			for k := 0; k < iters; k++ {
+				if id%2 == 0 {
+					th.BeginOp()
+					p := th.DeRef(root)
+					if !p.IsNil() {
+						_ = ar.Val(p.Handle(), 0)
+					}
+				} else {
+					// Allocate before pinning: an allocator that waits
+					// for memory while pinned would block reclamation.
+					n, err := th.Alloc()
+					if err != nil {
+						t.Errorf("thread %d: %v", id, err)
+						return
+					}
+					th.BeginOp()
+					old := th.DeRef(root)
+					if th.CASLink(root, old, arena.MakePtr(n, false)) {
+						if !old.IsNil() {
+							th.Retire(old.Handle())
+						}
+						casOK.Add(1)
+					} else {
+						th.Retire(n) // lost the race; recycle the node
+					}
+				}
+				th.EndOp()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if casOK.Load() == 0 {
+		t.Error("no writer ever succeeded")
+	}
+}

@@ -1,0 +1,371 @@
+// Package hazard implements Michael's hazard-pointer safe memory
+// reclamation (PODC 2002 / TPDS 2004), one of the related-work schemes
+// the paper positions itself against: it guarantees only a fixed number
+// of protected references per thread, whereas reference counting admits
+// an arbitrary number of references including from within the structure.
+//
+// It is included as a benchmark baseline and to demonstrate that the
+// internal/ds data structures are written against the scheme-neutral
+// mm interface.
+package hazard
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/mm"
+)
+
+// ErrOutOfMemory is returned by Alloc when no node can be obtained even
+// after reclamation scans.
+var ErrOutOfMemory = errors.New("hazard: arena out of nodes")
+
+// Config parameterizes the scheme.
+type Config struct {
+	// Threads is the maximum number of concurrently registered threads.
+	Threads int
+	// SlotsPerThread is K, the number of hazard pointers per thread.
+	// The data structures in this repository need at most 6 simultaneous
+	// protections; the default is 8.
+	SlotsPerThread int
+	// RetireThreshold is the retire-list length that triggers a scan.
+	// Zero selects 2*K*Threads, Michael's recommendation.
+	RetireThreshold int
+	// AllocRetryLimit bounds the allocation loop. Zero selects a default.
+	AllocRetryLimit int
+}
+
+type padCell struct {
+	v atomic.Uint64
+	_ [7]uint64
+}
+
+// Scheme is the hazard-pointer memory manager.  It implements mm.Scheme.
+type Scheme struct {
+	ar        *arena.Arena
+	n, k      int
+	threshold int
+	lim       int
+
+	hp []padCell // n*k hazard cells holding raw Handles
+
+	// head is the tagged free-list head: handle in the low 32 bits, an
+	// ABA tag in the high 32.  The tag is required because hazard
+	// pointers do not protect the allocator's own pop/push races.
+	head atomic.Uint64
+
+	limboMu sync.Mutex
+	limbo   []arena.Handle // retirements orphaned by Unregister
+
+	regMu   sync.Mutex
+	regUsed []bool
+}
+
+// New creates a hazard-pointer scheme over ar with all nodes free.
+func New(ar *arena.Arena, cfg Config) (*Scheme, error) {
+	if cfg.Threads <= 0 {
+		return nil, fmt.Errorf("hazard: Threads must be positive, got %d", cfg.Threads)
+	}
+	k := cfg.SlotsPerThread
+	if k == 0 {
+		k = 8
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("hazard: negative SlotsPerThread %d", k)
+	}
+	threshold := cfg.RetireThreshold
+	if threshold == 0 {
+		threshold = 2 * k * cfg.Threads
+	}
+	lim := cfg.AllocRetryLimit
+	if lim == 0 {
+		lim = 64*cfg.Threads + 256
+	}
+	s := &Scheme{
+		ar: ar, n: cfg.Threads, k: k, threshold: threshold, lim: lim,
+		hp:      make([]padCell, cfg.Threads*k),
+		regUsed: make([]bool, cfg.Threads),
+	}
+	nodes := ar.Nodes()
+	for h := 1; h < nodes; h++ {
+		ar.Next(arena.Handle(h)).Store(uint64(h + 1))
+	}
+	if nodes > 0 {
+		ar.Next(arena.Handle(nodes)).Store(0)
+		s.head.Store(1)
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(ar *arena.Arena, cfg Config) *Scheme {
+	s, err := New(ar, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name implements mm.Scheme.
+func (s *Scheme) Name() string { return "hazard" }
+
+// Arena implements mm.Scheme.
+func (s *Scheme) Arena() *arena.Arena { return s.ar }
+
+// Threads implements mm.Scheme.
+func (s *Scheme) Threads() int { return s.n }
+
+// Register implements mm.Scheme.
+func (s *Scheme) Register() (mm.Thread, error) {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	for i := 0; i < s.n; i++ {
+		if !s.regUsed[i] {
+			s.regUsed[i] = true
+			return &Thread{
+				s: s, id: i,
+				held:    make([]arena.Handle, s.k),
+				retired: make([]arena.Handle, 0, s.threshold+s.k),
+			}, nil
+		}
+	}
+	return nil, fmt.Errorf("hazard: all %d thread slots in use", s.n)
+}
+
+func (s *Scheme) unregister(id int) {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	s.regUsed[id] = false
+}
+
+// --- tagged free-list ------------------------------------------------------
+
+func (s *Scheme) popFree() arena.Handle {
+	for {
+		v := s.head.Load()
+		h := arena.Handle(v & 0xffffffff)
+		if h == arena.Nil {
+			return arena.Nil
+		}
+		next := s.ar.Next(h).Load() & 0xffffffff
+		tag := (v >> 32) + 1
+		if s.head.CompareAndSwap(v, next|tag<<32) {
+			return h
+		}
+	}
+}
+
+func (s *Scheme) pushFree(h arena.Handle) {
+	for {
+		v := s.head.Load()
+		s.ar.Next(h).Store(v & 0xffffffff)
+		tag := (v >> 32) + 1
+		if s.head.CompareAndSwap(v, uint64(h)|tag<<32) {
+			return
+		}
+	}
+}
+
+// FreeNodes walks the free-list for tests; quiescence only.
+func (s *Scheme) FreeNodes() map[arena.Handle]int {
+	free := make(map[arena.Handle]int)
+	for h := arena.Handle(s.head.Load() & 0xffffffff); h != arena.Nil; {
+		free[h]++
+		if free[h] > s.ar.Nodes() {
+			break
+		}
+		h = arena.Handle(s.ar.Next(h).Load())
+	}
+	return free
+}
+
+// Thread is a per-goroutine context.  It implements mm.Thread.
+type Thread struct {
+	s       *Scheme
+	id      int
+	held    []arena.Handle // held[i] is the handle slot i protects (0 free)
+	retired []arena.Handle
+	stats   mm.OpStats
+}
+
+// ID implements mm.Thread.
+func (t *Thread) ID() int { return t.id }
+
+// Stats implements mm.Thread.
+func (t *Thread) Stats() *mm.OpStats { return &t.stats }
+
+// BeginOp implements mm.Thread (no-op).
+func (t *Thread) BeginOp() {}
+
+// EndOp implements mm.Thread (no-op).
+func (t *Thread) EndOp() {}
+
+func (t *Thread) slot(i int) *atomic.Uint64 { return &t.s.hp[t.id*t.s.k+i].v }
+
+func (t *Thread) claim(h arena.Handle) int {
+	for i, held := range t.held {
+		if held == arena.Nil {
+			t.slot(i).Store(uint64(h))
+			t.held[i] = h
+			return i
+		}
+	}
+	panic(fmt.Sprintf("hazard: thread %d exceeded %d hazard slots", t.id, t.s.k))
+}
+
+// DeRef implements mm.Thread: publish a hazard pointer and re-validate
+// the link (Michael's protocol).  Lock-free, not wait-free.
+func (t *Thread) DeRef(l mm.LinkID) mm.Ptr {
+	var steps uint64
+	i := -1
+	for {
+		steps++
+		p := t.s.ar.LoadLink(l)
+		h := p.Handle()
+		if h == arena.Nil {
+			if i >= 0 {
+				t.slot(i).Store(0)
+				t.held[i] = arena.Nil
+			}
+			t.stats.NoteDeRef(steps)
+			return p
+		}
+		if i < 0 {
+			i = t.claim(h)
+		} else {
+			t.slot(i).Store(uint64(h))
+			t.held[i] = h
+		}
+		if t.s.ar.LoadLink(l) == p {
+			t.stats.NoteDeRef(steps)
+			return p
+		}
+	}
+}
+
+// Release implements mm.Thread: clear the hazard slot protecting h.
+func (t *Thread) Release(h arena.Handle) {
+	if h == arena.Nil {
+		return
+	}
+	for i, held := range t.held {
+		if held == h {
+			t.slot(i).Store(0)
+			t.held[i] = arena.Nil
+			return
+		}
+	}
+	panic(fmt.Sprintf("hazard: thread %d released unprotected node %d", t.id, h))
+}
+
+// Copy implements mm.Thread: protect h with an additional slot.  The
+// existing protection makes re-validation unnecessary.
+func (t *Thread) Copy(h arena.Handle) { t.claim(h) }
+
+// Alloc implements mm.Thread.  The fresh node is protected by a hazard
+// slot so the uniform Alloc/publish/Release pattern of the refcounting
+// user model works unchanged.
+func (t *Thread) Alloc() (arena.Handle, error) {
+	var steps uint64
+	for {
+		steps++
+		if steps > uint64(t.s.lim) {
+			t.stats.NoteAlloc(steps)
+			return arena.Nil, ErrOutOfMemory
+		}
+		if h := t.s.popFree(); h != arena.Nil {
+			t.claim(h)
+			t.stats.NoteAlloc(steps)
+			return h, nil
+		}
+		// Free-list empty: reclaim our own retirements and any orphans,
+		// and let other threads run so their hazards clear.
+		t.adoptLimbo()
+		t.scan()
+		runtime.Gosched()
+	}
+}
+
+// Retire implements mm.Thread: the node is queued until no hazard
+// pointer protects it.
+func (t *Thread) Retire(h arena.Handle) {
+	if h == arena.Nil {
+		return
+	}
+	t.retired = append(t.retired, h)
+	t.stats.Retired++
+	if len(t.retired) >= t.s.threshold {
+		t.scan()
+	}
+}
+
+// scan frees every retired node no hazard pointer protects (Michael's
+// Scan).  Cost is O(#hp + #retired); amortized constant per retire.
+func (t *Thread) scan() {
+	t.stats.Scans++
+	protected := make(map[arena.Handle]struct{}, len(t.s.hp))
+	for i := range t.s.hp {
+		if h := arena.Handle(t.s.hp[i].v.Load()); h != arena.Nil {
+			protected[h] = struct{}{}
+		}
+	}
+	kept := t.retired[:0]
+	for _, h := range t.retired {
+		if _, ok := protected[h]; ok {
+			kept = append(kept, h)
+			continue
+		}
+		// Scrub the node before reuse so stale links cannot leak into the
+		// next owner.
+		t.s.ar.LinkRange(h, func(id mm.LinkID) { t.s.ar.StoreLink(id, arena.NilPtr) })
+		t.s.pushFree(h)
+	}
+	t.retired = kept
+}
+
+// adoptLimbo takes over retirements orphaned by unregistered threads.
+func (t *Thread) adoptLimbo() {
+	t.s.limboMu.Lock()
+	orphans := t.s.limbo
+	t.s.limbo = nil
+	t.s.limboMu.Unlock()
+	t.retired = append(t.retired, orphans...)
+}
+
+// Load implements mm.Thread.
+func (t *Thread) Load(l mm.LinkID) mm.Ptr { return t.s.ar.LoadLink(l) }
+
+// CASLink implements mm.Thread: a plain CAS; hazard pointers have no
+// per-link obligations.
+func (t *Thread) CASLink(l mm.LinkID, old, new mm.Ptr) bool {
+	if t.s.ar.CASLinkRaw(l, old, new) {
+		return true
+	}
+	t.stats.CASFailures++
+	return false
+}
+
+// StoreLink implements mm.Thread.
+func (t *Thread) StoreLink(l mm.LinkID, p mm.Ptr) { t.s.ar.StoreLink(l, p) }
+
+// Unregister implements mm.Thread: clear this thread's hazard slots,
+// reclaim what it can, and park the rest in the scheme-wide limbo list
+// for other threads to adopt.
+func (t *Thread) Unregister() {
+	for i := range t.held {
+		t.slot(i).Store(0)
+		t.held[i] = arena.Nil
+	}
+	t.scan()
+	if len(t.retired) > 0 {
+		t.s.limboMu.Lock()
+		t.s.limbo = append(t.s.limbo, t.retired...)
+		t.s.limboMu.Unlock()
+		t.retired = nil
+	}
+	t.s.unregister(t.id)
+}

@@ -1,0 +1,148 @@
+package lockrc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"wfrc/internal/arena"
+)
+
+func newScheme(t testing.TB, nodes, threads int) (*Scheme, *arena.Arena) {
+	t.Helper()
+	ar := arena.MustNew(arena.Config{Nodes: nodes, LinksPerNode: 1, ValsPerNode: 1, RootLinks: 1})
+	return MustNew(ar, Config{Threads: threads}), ar
+}
+
+func audit(t *testing.T, s *Scheme, extra map[arena.Handle]int) {
+	t.Helper()
+	for _, err := range s.Audit(extra) {
+		t.Error(err)
+	}
+}
+
+func TestAllocReleaseAudit(t *testing.T) {
+	s, ar := newScheme(t, 4, 1)
+	th, _ := s.Register()
+	h, err := th.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ar.Ref(h).Load(); got != 2 {
+		t.Fatalf("mm_ref = %d, want 2", got)
+	}
+	audit(t, s, map[arena.Handle]int{h: 1})
+	th.Release(h)
+	audit(t, s, nil)
+	th.Unregister()
+}
+
+func TestOutOfMemory(t *testing.T) {
+	s, _ := newScheme(t, 1, 1)
+	th, _ := s.Register()
+	h, _ := th.Alloc()
+	if _, err := th.Alloc(); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	th.Release(h)
+	if _, err := th.Alloc(); err != nil {
+		t.Fatalf("alloc after free: %v", err)
+	}
+	th.Unregister()
+}
+
+func TestDeRefCASLinkSemantics(t *testing.T) {
+	s, ar := newScheme(t, 4, 1)
+	th, _ := s.Register()
+	root := ar.NewRoot()
+	a, _ := th.Alloc()
+	b, _ := th.Alloc()
+	th.StoreLink(root, arena.MakePtr(a, false))
+	p := th.DeRef(root)
+	if p.Handle() != a {
+		t.Fatalf("DeRef = %v, want %d", p, a)
+	}
+	th.Release(a)
+	if !th.CASLink(root, p, arena.MakePtr(b, false)) {
+		t.Fatal("CASLink failed")
+	}
+	if th.CASLink(root, p, arena.MakePtr(b, false)) {
+		t.Fatal("stale CASLink succeeded")
+	}
+	th.Release(a)
+	th.Release(b)
+	th.CASLink(root, arena.MakePtr(b, false), arena.NilPtr)
+	audit(t, s, nil)
+	th.Unregister()
+}
+
+func TestReleaseCascade(t *testing.T) {
+	s, ar := newScheme(t, 8, 1)
+	th, _ := s.Register()
+	root := ar.NewRoot()
+	var prev arena.Handle
+	for i := 0; i < 4; i++ {
+		h, _ := th.Alloc()
+		if prev != arena.Nil {
+			th.StoreLink(ar.LinkOf(h, 0), arena.MakePtr(prev, false))
+			th.Release(prev)
+		}
+		prev = h
+	}
+	th.StoreLink(root, arena.MakePtr(prev, false))
+	th.Release(prev)
+	th.CASLink(root, arena.MakePtr(prev, false), arena.NilPtr)
+	audit(t, s, nil)
+	if free := s.FreeNodes(); len(free) != 8 {
+		t.Errorf("free nodes = %d, want 8", len(free))
+	}
+	th.Unregister()
+}
+
+func TestConcurrentChurnAudit(t *testing.T) {
+	const threads = 4
+	iters := 5000
+	if testing.Short() {
+		iters = 500
+	}
+	s, ar := newScheme(t, 64, threads)
+	root := ar.NewRoot()
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th, err := s.Register()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer th.Unregister()
+			for k := 0; k < iters; k++ {
+				n, err := th.Alloc()
+				if err != nil {
+					t.Errorf("thread %d: %v", id, err)
+					return
+				}
+				for {
+					old := th.DeRef(root)
+					if th.CASLink(root, old, arena.MakePtr(n, false)) {
+						th.Release(old.Handle())
+						break
+					}
+					th.Release(old.Handle())
+				}
+				th.Release(n)
+			}
+		}(i)
+	}
+	wg.Wait()
+	th, _ := s.Register()
+	p := th.DeRef(root)
+	if !p.IsNil() {
+		th.CASLink(root, p, arena.NilPtr)
+		th.Release(p.Handle())
+	}
+	th.Unregister()
+	audit(t, s, nil)
+}

@@ -1,0 +1,307 @@
+package valois
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/mm"
+)
+
+func newScheme(t testing.TB, nodes, threads, links, vals, roots int) (*Scheme, *arena.Arena) {
+	t.Helper()
+	ar := arena.MustNew(arena.Config{
+		Nodes: nodes, LinksPerNode: links, ValsPerNode: vals, RootLinks: roots,
+	})
+	return MustNew(ar, Config{Threads: threads}), ar
+}
+
+func register(t testing.TB, s *Scheme) mm.Thread {
+	t.Helper()
+	th, err := s.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return th
+}
+
+func audit(t *testing.T, s *Scheme, extra map[arena.Handle]int) {
+	t.Helper()
+	for _, err := range s.Audit(extra) {
+		t.Error(err)
+	}
+}
+
+func TestAllocRelease(t *testing.T) {
+	s, ar := newScheme(t, 8, 1, 0, 0, 0)
+	th := register(t, s)
+	h, err := th.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ar.Ref(h).Load(); got != 2 {
+		t.Fatalf("allocated mm_ref = %d, want 2", got)
+	}
+	th.Release(h)
+	if got := ar.Ref(h).Load(); got != 1 {
+		t.Fatalf("released mm_ref = %d, want 1", got)
+	}
+	audit(t, s, nil)
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	s, _ := newScheme(t, 3, 1, 0, 0, 0)
+	th := register(t, s)
+	var hs []arena.Handle
+	for i := 0; i < 3; i++ {
+		h, err := th.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs = append(hs, h)
+	}
+	if _, err := th.Alloc(); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	for _, h := range hs {
+		th.Release(h)
+	}
+	if _, err := th.Alloc(); err != nil {
+		t.Fatalf("alloc after frees: %v", err)
+	}
+}
+
+func TestDeRefValidatesAndRetries(t *testing.T) {
+	s, ar := newScheme(t, 4, 1, 0, 0, 1)
+	th := register(t, s)
+	root := ar.NewRoot()
+	h, _ := th.Alloc()
+	th.StoreLink(root, arena.MakePtr(h, false))
+	p := th.DeRef(root)
+	if p.Handle() != h {
+		t.Fatalf("DeRef = %v, want %d", p, h)
+	}
+	if got := ar.Ref(h).Load(); got != 6 {
+		t.Fatalf("mm_ref = %d, want 6 (alloc+link+deref)", got)
+	}
+	th.Release(h)
+	th.Release(h)
+	audit(t, s, nil)
+	if !th.CASLink(root, p, arena.NilPtr) {
+		t.Fatal("unlink failed")
+	}
+	if got := ar.Ref(h).Load(); got != 1 {
+		t.Fatalf("mm_ref after unlink = %d, want 1", got)
+	}
+	audit(t, s, nil)
+}
+
+func TestCASLinkAccounting(t *testing.T) {
+	s, ar := newScheme(t, 4, 1, 0, 0, 1)
+	th := register(t, s)
+	root := ar.NewRoot()
+	a, _ := th.Alloc()
+	b, _ := th.Alloc()
+	th.StoreLink(root, arena.MakePtr(a, false))
+	if th.CASLink(root, arena.NilPtr, arena.MakePtr(b, false)) {
+		t.Fatal("CAS with wrong expected value succeeded")
+	}
+	if got := ar.Ref(b).Load(); got != 2 {
+		t.Fatalf("failed CAS leaked ref: %d, want 2", got)
+	}
+	if !th.CASLink(root, arena.MakePtr(a, false), arena.MakePtr(b, false)) {
+		t.Fatal("CAS failed")
+	}
+	if got := ar.Ref(a).Load(); got != 2 {
+		t.Fatalf("old mm_ref = %d, want 2", got)
+	}
+	if got := ar.Ref(b).Load(); got != 4 {
+		t.Fatalf("new mm_ref = %d, want 4", got)
+	}
+	th.Release(a)
+	th.Release(b)
+	th.CASLink(root, arena.MakePtr(b, false), arena.NilPtr)
+	audit(t, s, nil)
+}
+
+func TestReleaseCascade(t *testing.T) {
+	s, ar := newScheme(t, 8, 1, 1, 0, 1)
+	th := register(t, s)
+	root := ar.NewRoot()
+	var prev arena.Handle
+	for i := 0; i < 4; i++ {
+		h, err := th.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != arena.Nil {
+			th.StoreLink(ar.LinkOf(h, 0), arena.MakePtr(prev, false))
+			th.Release(prev)
+		}
+		prev = h
+	}
+	th.StoreLink(root, arena.MakePtr(prev, false))
+	th.Release(prev)
+	audit(t, s, nil)
+	th.CASLink(root, arena.MakePtr(prev, false), arena.NilPtr)
+	audit(t, s, nil)
+	if free := s.FreeNodes(); len(free) != 8 {
+		t.Errorf("free nodes = %d, want 8 (full cascade)", len(free))
+	}
+}
+
+func TestConcurrentChurnAudit(t *testing.T) {
+	const threads = 6
+	iters := 8000
+	if testing.Short() {
+		iters = 800
+	}
+	ar := arena.MustNew(arena.Config{Nodes: 128, ValsPerNode: 1, RootLinks: 1})
+	s := MustNew(ar, Config{Threads: threads})
+	root := ar.NewRoot()
+
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th, err := s.Register()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer th.Unregister()
+			for k := 0; k < iters; k++ {
+				if id%2 == 0 {
+					p := th.DeRef(root)
+					th.Release(p.Handle())
+					continue
+				}
+				n, err := th.Alloc()
+				if err != nil {
+					t.Errorf("thread %d: %v", id, err)
+					return
+				}
+				for {
+					old := th.DeRef(root)
+					if th.CASLink(root, old, arena.MakePtr(n, false)) {
+						th.Release(old.Handle())
+						break
+					}
+					th.Release(old.Handle())
+				}
+				th.Release(n)
+			}
+		}(i)
+	}
+	wg.Wait()
+	th := register(t, s)
+	p := th.DeRef(root)
+	if !p.IsNil() {
+		th.CASLink(root, p, arena.NilPtr)
+		th.Release(p.Handle())
+	}
+	th.Unregister()
+	audit(t, s, nil)
+}
+
+// TestDeRefForcedRetry drives the retry deterministically with the
+// window hook: the reader is paused after its optimistic increment, the
+// link is swung, and on resume the validation must fail and the
+// dereference must retry — the unbounded loop the wait-free scheme
+// eliminates.
+func TestDeRefForcedRetry(t *testing.T) {
+	s, ar := newScheme(t, 8, 2, 0, 0, 1)
+	root := ar.NewRoot()
+	reader := register(t, s).(*Thread)
+	writer := register(t, s)
+	a, _ := writer.Alloc()
+	b, _ := writer.Alloc()
+	writer.StoreLink(root, arena.MakePtr(a, false))
+	writer.Release(a)
+
+	swung := false
+	reader.SetHook(func() {
+		if !swung {
+			swung = true
+			if !writer.CASLink(root, arena.MakePtr(a, false), arena.MakePtr(b, false)) {
+				t.Error("swing failed")
+			}
+		}
+	})
+	p := reader.DeRef(root)
+	reader.SetHook(nil)
+	if p.Handle() != b {
+		t.Fatalf("DeRef = %v, want %d after swing", p, b)
+	}
+	st := reader.Stats()
+	if st.DeRefMaxSteps != 2 {
+		t.Errorf("DeRefMaxSteps = %d, want 2 (one forced retry)", st.DeRefMaxSteps)
+	}
+	// a was unlinked; the reader's rollback released the stale increment.
+	if ref := ar.Ref(a).Load(); ref != 1 {
+		t.Errorf("a mm_ref = %d, want 1 (reclaimed)", ref)
+	}
+	reader.Release(p.Handle())
+	writer.Release(b)
+	audit(t, s, nil)
+	reader.Unregister()
+	writer.Unregister()
+}
+
+// TestDeRefRetriesGrowUnderContention documents the lock-free (not
+// wait-free) behaviour: a reader's DeRef can take multiple attempts while
+// writers swing the link.  We only assert the mechanism reports retries
+// (steps > calls is possible) and that progress is always made.
+func TestDeRefRetriesGrowUnderContention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("contention test")
+	}
+	const iters = 30000
+	ar := arena.MustNew(arena.Config{Nodes: 64, RootLinks: 1})
+	s := MustNew(ar, Config{Threads: 3})
+	root := ar.NewRoot()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th, _ := s.Register()
+			defer th.Unregister()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n, err := th.Alloc()
+				if err != nil {
+					continue
+				}
+				old := th.DeRef(root)
+				if th.CASLink(root, old, arena.MakePtr(n, false)) {
+					th.Release(old.Handle())
+				} else {
+					th.Release(old.Handle())
+				}
+				th.Release(n)
+			}
+		}()
+	}
+	reader, _ := s.Register()
+	for k := 0; k < iters; k++ {
+		p := reader.DeRef(root)
+		reader.Release(p.Handle())
+	}
+	st := reader.Stats()
+	t.Logf("deref calls=%d steps=%d max=%d", st.DeRefs, st.DeRefSteps, st.DeRefMaxSteps)
+	if st.DeRefs != iters {
+		t.Errorf("DeRefs = %d, want %d", st.DeRefs, iters)
+	}
+	reader.Unregister()
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"wfrc/internal/arena"
+	"wfrc/internal/mm"
+)
+
+// DeRefLink dereferences link l and returns its value with a guarded
+// reference on the target node (paper Figure 4, lines D1–D10).  The
+// returned Ptr may carry a data-structure deletion mark; the reference
+// applies to its Handle.  A nil-handle result carries no reference.
+//
+// The operation is wait-free: the slot scan in D1 terminates because at
+// most NR_THREADS-1 helpers can hold busy claims on this thread's row at
+// any instant, and the remainder is straight-line code.
+func (t *Thread) DeRefLink(l mm.LinkID) mm.Ptr {
+	s := t.s
+	row := &s.ann[t.id]
+
+	// D1: choose an announcement slot with no pending helper CAS.  The
+	// scan may lap if helpers transiently pin slots, but the pin count is
+	// bounded by NR_THREADS-1, so a free slot is always found within a
+	// bounded number of probes.
+	index := -1
+	for probes := 0; ; probes++ {
+		i := probes % s.n
+		if row.slots[i].busy.Load() == 0 {
+			index = i
+			break
+		}
+	}
+	slot := &row.slots[index]
+
+	row.index.Store(int64(index))          // D2
+	slot.readAddr.Store(encodeLink(l))     // D3
+	t.at(PD3)
+	node := s.ar.LoadLink(l)               // D4
+	t.at(PD4)
+	if node.Handle() != arena.Nil {        // D5
+		s.ar.Ref(node.Handle()).Add(2)
+	}
+	t.at(PD6)
+	n1 := slot.readAddr.Swap(0)            // D6
+	if n1 != encodeLink(l) {               // D7: a helper answered
+		if node.Handle() != arena.Nil {
+			t.ReleaseRef(node.Handle())    // D8
+		}
+		node = mm.Ptr(n1)                  // D9
+		t.stats.HelpsReceived++
+	}
+	t.stats.NoteDeRef(1)
+	return node                            // D10
+}
+
+// ReleaseRef drops one guarded reference to node h (paper Figure 4,
+// lines R1–R4).  When the last reference disappears, the winner of the
+// CAS(mm_ref,0,1) election releases the references held by the node's own
+// link cells and returns the node to the free-list.  The paper's
+// recursive call in line R3 is implemented with an explicit worklist so
+// long release cascades cannot overflow the stack.
+func (t *Thread) ReleaseRef(h arena.Handle) {
+	if h == arena.Nil {
+		return
+	}
+	s := t.s
+	stack := t.relStack[:0]
+	stack = append(stack, h)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		ref := s.ar.Ref(n)
+		ref.Add(-2) // R1
+		t.at(PR2)
+		if ref.Load() == 0 && ref.CompareAndSwap(0, 1) { // R2
+			// R3: this thread now exclusively owns n.  Clear its link
+			// cells with plain stores (including poison markers — see
+			// the data structures' chain-breaking rule) and queue the
+			// targets for release.
+			s.ar.LinkRange(n, func(id mm.LinkID) {
+				p := s.ar.LoadLink(id)
+				if p != arena.NilPtr {
+					s.ar.StoreLink(id, arena.NilPtr)
+					if p.Handle() != arena.Nil {
+						stack = append(stack, p.Handle())
+					}
+				}
+			})
+			t.freeNode(n) // R4
+		}
+	}
+	t.relStack = stack[:0]
+}
+
+// HelpDeRef fulfils the link updater's obligation (paper Figure 4, lines
+// H1–H8): after changing link l, scan every thread's announcement and
+// answer any pending dereference of l with a fresh guarded value.
+func (t *Thread) HelpDeRef(l mm.LinkID) {
+	s := t.s
+	t.stats.HelpScans++
+	for id := 0; id < s.n; id++ { // H1
+		row := &s.ann[id]
+		index := row.index.Load() // H2
+		if index < 0 || index >= int64(s.n) {
+			continue
+		}
+		slot := &row.slots[index]
+		if slot.readAddr.Load() != encodeLink(l) { // H3
+			continue
+		}
+		slot.busy.Add(1) // H4
+		t.at(PH4)
+		node := t.DeRefLink(l) // H5
+		t.at(PH6)
+		if !slot.readAddr.CompareAndSwap(encodeLink(l), uint64(node)) { // H6
+			if node.Handle() != arena.Nil {
+				t.ReleaseRef(node.Handle()) // H7
+			}
+		} else {
+			t.stats.HelpsGiven++
+		}
+		slot.busy.Add(-1) // H8
+	}
+}
+
+// FixRef adjusts the reference count of h by fix half-references
+// (mm_ref units) and returns h, mirroring the paper's FixRef helper.
+// User code duplicating a guarded reference calls FixRef(h, 2), i.e.
+// Copy.
+func (t *Thread) FixRef(h arena.Handle, fix int64) arena.Handle {
+	t.s.ar.Ref(h).Add(fix)
+	return h
+}

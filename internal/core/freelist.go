@@ -1,0 +1,120 @@
+package core
+
+import (
+	"errors"
+
+	"wfrc/internal/arena"
+)
+
+// ErrOutOfMemory is returned by AllocNode when the bounded-retry
+// detection rule (paper footnote 4) concludes the arena is exhausted.
+var ErrOutOfMemory = errors.New("core: arena out of nodes")
+
+// AllocNode removes a node from the free-list and returns it with one
+// guarded reference (paper Figure 5, lines A1–A18).
+//
+// Wait-freedom comes from the helping protocol: every FreeNode and every
+// allocator's first successful free-list CAS offers a node to the thread
+// selected by helpCurrent, which is advanced round-robin with every
+// attempt, so a continuously CAS-losing allocator is eventually handed a
+// node through its annAlloc cell (paper Lemma 9).
+func (t *Thread) AllocNode() (arena.Handle, error) {
+	s := t.s
+	helped := false               // A1
+	helpID := s.helpCurrent.Load() // A2
+	var steps uint64
+	for { // A3
+		steps++
+		if steps > uint64(s.lim) {
+			t.stats.NoteAlloc(steps)
+			return arena.Nil, ErrOutOfMemory
+		}
+		// A4: adopt a node another thread granted us.
+		if s.annAlloc[t.id].v.Load() != 0 {
+			granted := arena.Handle(s.annAlloc[t.id].v.Swap(0))
+			if granted != arena.Nil {
+				t.stats.AllocHelped++
+				t.stats.NoteAlloc(steps)
+				return t.FixRef(granted, -1), nil
+			}
+			continue
+		}
+		current := s.currentFreeList.Load()         // A5
+		node := arena.Handle(s.freeList[current].v.Load()) // A6
+		if node == arena.Nil { // A7
+			s.currentFreeList.CompareAndSwap(current, (current+1)%int64(2*s.n))
+			continue
+		}
+		s.ar.Ref(node).Add(2) // A9: guard node so mm_next stays frozen
+		t.at(PA9)
+		next := s.ar.Next(node).Load()
+		if s.freeList[current].v.CompareAndSwap(uint64(node), next) { // A10
+			if !helped && s.annAlloc[helpID].v.Load() == 0 { // A11
+				t.at(PA12)
+				if s.annAlloc[helpID].v.CompareAndSwap(0, uint64(node)) { // A12
+					helped = true // A13
+					s.helpCurrent.CompareAndSwap(helpID, (helpID+1)%int64(s.n)) // A14
+					continue // A15
+				}
+			}
+			s.helpCurrent.CompareAndSwap(helpID, (helpID+1)%int64(s.n)) // A16
+			t.stats.NoteAlloc(steps)
+			return t.FixRef(node, -1), nil // A17
+		}
+		t.stats.CASFailures++
+		t.ReleaseRef(node) // A18
+	}
+}
+
+// freeNode returns node to the free structures (paper Figure 5, lines
+// F1–F10).  It is called exclusively by the reclamation winner inside
+// ReleaseRef; user code must never call it directly (paper §3.2).
+//
+// Erratum note (see package comment): the node arrives with mm_ref==1;
+// before offering it through annAlloc we raise the count to 3 so the
+// helped allocator's FixRef(-1) lands on the specified post-allocation
+// value of 2, matching the A9/A12 insertion path.
+func (t *Thread) freeNode(node arena.Handle) {
+	s := t.s
+	helpID := s.helpCurrent.Load()                               // F1
+	s.helpCurrent.CompareAndSwap(helpID, (helpID+1)%int64(s.n)) // F2
+	t.at(PF3)
+	s.ar.Ref(node).Add(2) // erratum: hand over at mm_ref==3, as line A12 does
+	if s.annAlloc[helpID].v.CompareAndSwap(0, uint64(node)) { // F3
+		t.stats.NoteFree(1)
+		return
+	}
+	s.ar.Ref(node).Add(-2) // offer declined; back to the free-list value 1
+	// F4–F6: pick whichever of this thread's two list heads the
+	// allocators are not working on.
+	current := s.currentFreeList.Load()
+	var index int64
+	if current <= int64(t.id) || current > int64(s.n+t.id) {
+		index = int64(s.n + t.id)
+	} else {
+		index = int64(t.id)
+	}
+	var steps uint64
+	for { // F7
+		steps++
+		head := s.freeList[index].v.Load()
+		s.ar.Next(node).Store(head) // F8
+		t.at(PF9)
+		if s.freeList[index].v.CompareAndSwap(head, uint64(node)) { // F9
+			break
+		}
+		t.stats.CASFailures++
+		index = (index + int64(s.n)) % int64(2*s.n) // F10
+	}
+	t.stats.NoteFree(steps)
+}
+
+// Alloc implements mm.Thread.
+func (t *Thread) Alloc() (arena.Handle, error) { return t.AllocNode() }
+
+// Release implements mm.Thread.
+func (t *Thread) Release(h arena.Handle) { t.ReleaseRef(h) }
+
+// Copy implements mm.Thread: it duplicates a guarded reference the
+// thread already holds (the paper's FixRef(node, 2)).
+func (t *Thread) Copy(h arena.Handle) { t.FixRef(h, 2) }

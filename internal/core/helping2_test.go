@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+
+	"wfrc/internal/arena"
+)
+
+// TestOneCASHelpsAllAnnouncers pauses two readers mid-dereference on the
+// same link; a single CASLink must answer both announcements (HelpDeRef
+// scans every thread, lines H1–H8).
+func TestOneCASHelpsAllAnnouncers(t *testing.T) {
+	s := newScheme(t, 8, 3, 0, 0, 1)
+	r1 := mustRegister(t, s)
+	r2 := mustRegister(t, s)
+	w := mustRegister(t, s)
+	root := s.ar.NewRoot()
+
+	x, _ := w.Alloc()
+	y, _ := w.Alloc()
+	w.StoreLink(root, arena.MakePtr(x, false))
+	w.Release(x)
+
+	pause := func(th *Thread) (<-chan struct{}, chan<- struct{}) {
+		at := make(chan struct{})
+		goOn := make(chan struct{})
+		fired := false
+		th.SetHook(func(p Point) {
+			if p == PD4 && !fired {
+				fired = true
+				close(at)
+				<-goOn
+			}
+		})
+		return at, goOn
+	}
+	at1, go1 := pause(r1)
+	at2, go2 := pause(r2)
+
+	got1 := make(chan arena.Ptr)
+	got2 := make(chan arena.Ptr)
+	go func() { got1 <- r1.DeRefLink(root) }()
+	go func() { got2 <- r2.DeRefLink(root) }()
+	<-at1
+	<-at2
+
+	if !w.CASLink(root, arena.MakePtr(x, false), arena.MakePtr(y, false)) {
+		t.Fatal("CASLink failed")
+	}
+	if got := w.Stats().HelpsGiven; got != 2 {
+		t.Errorf("HelpsGiven = %d, want 2 (both announcers)", got)
+	}
+	close(go1)
+	close(go2)
+	p1, p2 := <-got1, <-got2
+	if p1.Handle() != y || p2.Handle() != y {
+		t.Fatalf("helped results = %v, %v; want both %d", p1, p2, y)
+	}
+	r1.Release(p1.Handle())
+	r2.Release(p2.Handle())
+	w.Release(y)
+	audit(t, s, nil)
+	if !w.CASLink(root, arena.MakePtr(y, false), arena.NilPtr) {
+		t.Fatal("cleanup failed")
+	}
+	audit(t, s, nil)
+}
+
+// TestCASOnOtherLinkDoesNotAnswer checks that HelpDeRef only matches
+// announcements for the link that changed (line H3).
+func TestCASOnOtherLinkDoesNotAnswer(t *testing.T) {
+	s := newScheme(t, 8, 2, 0, 0, 2)
+	r := mustRegister(t, s)
+	w := mustRegister(t, s)
+	l1 := s.ar.NewRoot()
+	l2 := s.ar.NewRoot()
+
+	x, _ := w.Alloc()
+	z, _ := w.Alloc()
+	w.StoreLink(l1, arena.MakePtr(x, false))
+	w.Release(x)
+
+	at := make(chan struct{})
+	goOn := make(chan struct{})
+	fired := false
+	r.SetHook(func(p Point) {
+		if p == PD4 && !fired {
+			fired = true
+			close(at)
+			<-goOn
+		}
+	})
+	got := make(chan arena.Ptr)
+	go func() { got <- r.DeRefLink(l1) }()
+	<-at
+
+	// The writer updates a different link: no announcement match.
+	if !w.CASLink(l2, arena.NilPtr, arena.MakePtr(z, false)) {
+		t.Fatal("CASLink on l2 failed")
+	}
+	if w.Stats().HelpsGiven != 0 {
+		t.Errorf("HelpsGiven = %d, want 0", w.Stats().HelpsGiven)
+	}
+	close(goOn)
+	p := <-got
+	if p.Handle() != x {
+		t.Fatalf("DeRef = %v, want unhelped %d", p, x)
+	}
+	if r.Stats().HelpsReceived != 0 {
+		t.Errorf("HelpsReceived = %d, want 0", r.Stats().HelpsReceived)
+	}
+	r.Release(p.Handle())
+	w.Release(z)
+	audit(t, s, nil)
+}
+
+// TestFixRefPairsBalance checks the user-facing FixRef contract: +2n
+// balanced by n releases.
+func TestFixRefPairsBalance(t *testing.T) {
+	s := newScheme(t, 4, 1, 0, 0, 0)
+	th := mustRegister(t, s)
+	h, _ := th.Alloc()
+	for i := 0; i < 5; i++ {
+		th.FixRef(h, 2)
+	}
+	if got := s.ar.Ref(h).Load(); got != 12 {
+		t.Fatalf("mm_ref = %d, want 12", got)
+	}
+	for i := 0; i < 6; i++ {
+		th.Release(h)
+	}
+	audit(t, s, nil)
+}
+
+// TestUnregisterLeavesSchemeReusable churns, unregisters everything,
+// re-registers and churns again on the same scheme instance.
+func TestUnregisterLeavesSchemeReusable(t *testing.T) {
+	s := newScheme(t, 16, 2, 0, 0, 1)
+	root := s.ar.NewRoot()
+	for round := 0; round < 5; round++ {
+		a := mustRegister(t, s)
+		b := mustRegister(t, s)
+		n, err := a.Alloc()
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if !a.CASLink(root, a.DeRef(root), arena.MakePtr(n, false)) {
+			t.Fatalf("round %d: CAS failed", round)
+		}
+		// Clear for the next round.
+		p := b.DeRef(root)
+		if !b.CASLink(root, p, arena.NilPtr) {
+			t.Fatalf("round %d: clear failed", round)
+		}
+		b.Release(p.Handle())
+		a.Release(n)
+		a.Unregister()
+		b.Unregister()
+		audit(t, s, nil)
+	}
+}

@@ -1,0 +1,342 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"wfrc/internal/arena"
+)
+
+// TestHelpDeRefProvidesAnswer forces the paper's helping race: thread A
+// announces a dereference and pauses after reading the link but before
+// raising the reference count (between lines D4 and D5); thread B then
+// swings the link to a new node with CASLink, whose HelpDeRef must answer
+// A's announcement.  A must adopt B's answer (lines D7–D9) and release
+// its stale optimistic reference (line D8).
+func TestHelpDeRefProvidesAnswer(t *testing.T) {
+	s := newScheme(t, 8, 2, 0, 0, 1)
+	tA := mustRegister(t, s)
+	tB := mustRegister(t, s)
+	root := s.ar.NewRoot()
+
+	x, _ := tB.Alloc()
+	y, _ := tB.Alloc()
+	tB.StoreLink(root, arena.MakePtr(x, false))
+	tB.Release(x)
+
+	atD4 := make(chan struct{})
+	goOn := make(chan struct{})
+	fired := false
+	tA.SetHook(func(p Point) {
+		if p == PD4 && !fired {
+			fired = true
+			close(atD4)
+			<-goOn
+		}
+	})
+
+	got := make(chan arena.Ptr)
+	go func() { got <- tA.DeRefLink(root) }()
+
+	<-atD4
+	// B replaces x with y while A's announcement is pending.
+	if !tB.CASLink(root, arena.MakePtr(x, false), arena.MakePtr(y, false)) {
+		t.Fatal("B's CASLink failed")
+	}
+	close(goOn)
+
+	p := <-got
+	if p.Handle() != y {
+		t.Fatalf("A's DeRef returned %v, want helped answer %d", p, y)
+	}
+	if tA.Stats().HelpsReceived != 1 {
+		t.Errorf("A HelpsReceived = %d, want 1", tA.Stats().HelpsReceived)
+	}
+	if tB.Stats().HelpsGiven != 1 {
+		t.Errorf("B HelpsGiven = %d, want 1", tB.Stats().HelpsGiven)
+	}
+	// x must already be reclaimed: the link reference was released by B's
+	// CASLink and A's stale optimistic reference was rolled back.
+	if ref := s.ar.Ref(x).Load(); ref != 1 && ref != 3 {
+		t.Errorf("x mm_ref = %d, want reclaimed (1 or 3)", ref)
+	}
+	tA.Release(p.Handle())
+	tB.Release(y)
+	audit(t, s, nil) // only the root link references y now
+	tB.CASLink(root, arena.MakePtr(y, false), arena.NilPtr)
+	audit(t, s, nil)
+	tA.Unregister()
+	tB.Unregister()
+}
+
+// TestHelperAnswerArrivesTooLate drives the H7 path: the helper completes
+// its dereference but the announcer swaps its announcement away before
+// the helper's answer CAS, so the helper must release the now-unwanted
+// reference (line H7).
+func TestHelperAnswerArrivesTooLate(t *testing.T) {
+	s := newScheme(t, 8, 2, 0, 0, 1)
+	tA := mustRegister(t, s)
+	tB := mustRegister(t, s)
+	root := s.ar.NewRoot()
+
+	x, _ := tB.Alloc()
+	y, _ := tB.Alloc()
+	tB.StoreLink(root, arena.MakePtr(x, false))
+	tB.Release(x)
+
+	aAtD6 := make(chan struct{})
+	aGo := make(chan struct{})
+	aFired := false
+	tA.SetHook(func(p Point) {
+		if p == PD6 && !aFired {
+			aFired = true
+			close(aAtD6)
+			<-aGo
+		}
+	})
+	bAtH6 := make(chan struct{})
+	bGo := make(chan struct{})
+	bFired := false
+	tB.SetHook(func(p Point) {
+		if p == PH6 && !bFired {
+			bFired = true
+			close(bAtH6)
+			<-bGo
+		}
+	})
+
+	aGot := make(chan arena.Ptr)
+	go func() { aGot <- tA.DeRefLink(root) }()
+	<-aAtD6 // A has its reference on x, announcement still posted
+
+	bDone := make(chan bool)
+	go func() { bDone <- tB.CASLink(root, arena.MakePtr(x, false), arena.MakePtr(y, false)) }()
+	<-bAtH6 // B matched A's announcement, dereferenced y, pauses pre-CAS
+
+	close(aGo) // A swaps its announcement away and returns x
+	p := <-aGot
+	if p.Handle() != x {
+		t.Fatalf("A got %v, want its own read %d", p, x)
+	}
+	if tA.Stats().HelpsReceived != 0 {
+		t.Errorf("A HelpsReceived = %d, want 0", tA.Stats().HelpsReceived)
+	}
+
+	close(bGo) // B's answer CAS fails; it must roll back via ReleaseRef
+	if !<-bDone {
+		t.Fatal("B's CASLink failed")
+	}
+	if tB.Stats().HelpsGiven != 0 {
+		t.Errorf("B HelpsGiven = %d, want 0 (answer was late)", tB.Stats().HelpsGiven)
+	}
+
+	tA.Release(x) // drops A's dereference; x was unlinked by B, so x reclaims
+	tB.Release(y)
+	audit(t, s, nil) // only the root link references y now
+	tB.CASLink(root, arena.MakePtr(y, false), arena.NilPtr)
+	audit(t, s, nil)
+	tA.Unregister()
+	tB.Unregister()
+}
+
+// TestBusySlotNotReused pins an announcement slot with a helper stalled
+// between lines H4 and H6 and checks that the announcer's next
+// DeRefLink picks a different slot (line D1's busy filter) — the
+// mechanism that prevents stale helper answers from landing in fresh
+// announcements of the same link.
+func TestBusySlotNotReused(t *testing.T) {
+	s := newScheme(t, 8, 2, 0, 0, 1)
+	tA := mustRegister(t, s)
+	tB := mustRegister(t, s)
+	root := s.ar.NewRoot()
+
+	x, _ := tB.Alloc()
+	tB.StoreLink(root, arena.MakePtr(x, false))
+	tB.Release(x)
+
+	// Stall A mid-announcement so B's helper can pin the slot.
+	aAtD6 := make(chan struct{})
+	aGo := make(chan struct{})
+	aFired := false
+	tA.SetHook(func(p Point) {
+		if p == PD6 && !aFired {
+			aFired = true
+			close(aAtD6)
+			<-aGo
+		}
+	})
+	bAtH4 := make(chan struct{})
+	bGo := make(chan struct{})
+	bFired := false
+	tB.SetHook(func(p Point) {
+		if p == PH4 && !bFired {
+			bFired = true
+			close(bAtH4)
+			<-bGo
+		}
+	})
+
+	aGot := make(chan arena.Ptr)
+	go func() { aGot <- tA.DeRefLink(root) }()
+	<-aAtD6
+
+	bDone := make(chan bool)
+	go func() { bDone <- tB.CASLink(root, arena.MakePtr(x, false), arena.NilPtr) }()
+	<-bAtH4 // B pinned A's announcement slot (busy=1), stalled pre-deref
+
+	firstSlot := s.ann[tA.ID()].index.Load()
+	if got := s.ann[tA.ID()].slots[firstSlot].busy.Load(); got != 1 {
+		t.Fatalf("pinned slot busy = %d, want 1", got)
+	}
+
+	close(aGo)
+	p := <-aGot // A finishes its first dereference
+	tA.Release(p.Handle())
+
+	// A's next announcement must avoid the still-pinned slot.
+	tA.SetHook(nil)
+	p2 := tA.DeRefLink(root)
+	secondSlot := s.ann[tA.ID()].index.Load()
+	if secondSlot == firstSlot {
+		t.Errorf("announcer reused busy slot %d", firstSlot)
+	}
+	if !p2.IsNil() && p2.Handle() != x {
+		t.Errorf("second DeRef = %v", p2)
+	}
+	if !p2.IsNil() {
+		tA.Release(p2.Handle())
+	}
+
+	close(bGo)
+	<-bDone
+	audit(t, s, nil)
+	tA.Unregister()
+	tB.Unregister()
+}
+
+// TestHelpDeRefNoMatchScansQuietly checks that HelpDeRef over a link with
+// no pending announcements does nothing observable.
+func TestHelpDeRefNoMatchScansQuietly(t *testing.T) {
+	s := newScheme(t, 4, 3, 0, 0, 2)
+	th := mustRegister(t, s)
+	l1 := s.ar.NewRoot()
+	l2 := s.ar.NewRoot()
+	h, _ := th.Alloc()
+	th.StoreLink(l1, arena.MakePtr(h, false))
+	th.HelpDeRef(l2)
+	if th.Stats().HelpsGiven != 0 {
+		t.Errorf("HelpsGiven = %d, want 0", th.Stats().HelpsGiven)
+	}
+	th.Release(h)
+	audit(t, s, map[arena.Handle]int{})
+	if got := s.ar.Ref(h).Load(); got != 2 {
+		t.Errorf("node mm_ref = %d, want 2 (link only)", got)
+	}
+	th.Unregister()
+}
+
+// TestHelpedDeRefUnderFreedNode exercises the full reclaim-while-
+// dereferencing sequence the scheme exists to make safe: A reads link →
+// stalls; B unlinks the node AND the node is fully reclaimed and even
+// reallocated; A resumes, its FAA hits the reclaimed node's still-present
+// mm_ref field harmlessly, and A adopts B's answer.
+func TestHelpedDeRefUnderFreedNode(t *testing.T) {
+	s := newScheme(t, 4, 2, 0, 0, 1)
+	tA := mustRegister(t, s)
+	tB := mustRegister(t, s)
+	root := s.ar.NewRoot()
+
+	x, _ := tB.Alloc()
+	tB.StoreLink(root, arena.MakePtr(x, false))
+	tB.Release(x) // link holds the only reference to x
+
+	atD4 := make(chan struct{})
+	goOn := make(chan struct{})
+	fired := false
+	tA.SetHook(func(p Point) {
+		if p == PD4 && !fired {
+			fired = true
+			close(atD4)
+			<-goOn
+		}
+	})
+	got := make(chan arena.Ptr)
+	go func() { got <- tA.DeRefLink(root) }()
+	<-atD4 // A read x from the link, no reference yet
+
+	// B unlinks x; HelpDeRef answers A with nil; x is reclaimed.
+	if !tB.CASLink(root, arena.MakePtr(x, false), arena.NilPtr) {
+		t.Fatal("unlink failed")
+	}
+	// Drain any grant so x really sits on a free-list, then reallocate it.
+	var realloc []arena.Handle
+	for {
+		h, err := tB.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		realloc = append(realloc, h)
+		if h == x {
+			break
+		}
+		if len(realloc) > s.ar.Nodes() {
+			t.Fatal("x never came back from the free-list")
+		}
+	}
+	refBefore := s.ar.Ref(x).Load()
+
+	close(goOn) // A resumes: FAA on x (now live for B!), then adopts answer
+	p := <-got
+	if !p.IsNil() {
+		t.Fatalf("A's DeRef = %v, want nil answer", p)
+	}
+	// A's stale FAA must have been rolled back by its D8 ReleaseRef.
+	if ref := s.ar.Ref(x).Load(); ref != refBefore {
+		t.Errorf("x mm_ref = %d, want %d (stale FAA rolled back)", ref, refBefore)
+	}
+	extra := map[arena.Handle]int{}
+	for _, h := range realloc {
+		extra[h]++
+	}
+	audit(t, s, extra)
+	for _, h := range realloc {
+		tB.Release(h)
+	}
+	audit(t, s, nil)
+	tA.Unregister()
+	tB.Unregister()
+}
+
+// TestHookTimeoutGuard is a meta-test: the hook-based tests above rely on
+// the hooks firing; if an algorithm change removes a hook point, the
+// tests would hang.  Verify each expected hook point fires within a
+// normal operation mix.
+func TestHookTimeoutGuard(t *testing.T) {
+	s := newScheme(t, 8, 2, 1, 0, 1)
+	tA := mustRegister(t, s)
+	tB := mustRegister(t, s)
+	root := s.ar.NewRoot()
+
+	seen := make(map[Point]bool)
+	tA.SetHook(func(p Point) { seen[p] = true })
+
+	h, _ := tA.Alloc()
+	tA.StoreLink(root, arena.MakePtr(h, false))
+	p := tA.DeRefLink(root)
+	tA.Release(p.Handle())
+	tA.CASLink(root, p, arena.NilPtr)
+	tA.Release(h)
+
+	deadline := time.Now().Add(time.Second)
+	for _, want := range []Point{PD3, PD4, PD6, PA9, PF3, PR2} {
+		if !seen[want] {
+			t.Errorf("hook point %d never fired", want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("timeout")
+		}
+	}
+	_ = tB
+	tA.Unregister()
+	tB.Unregister()
+}

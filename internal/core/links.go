@@ -1,0 +1,49 @@
+package core
+
+import (
+	"wfrc/internal/arena"
+	"wfrc/internal/mm"
+)
+
+// DeRef implements mm.Thread via DeRefLink.
+func (t *Thread) DeRef(l mm.LinkID) mm.Ptr { return t.DeRefLink(l) }
+
+// Load implements mm.Thread: an unguarded validation read.
+func (t *Thread) Load(l mm.LinkID) mm.Ptr { return t.s.ar.LoadLink(l) }
+
+// CASLink implements mm.Thread.  It is the paper's CompareAndSwapLink
+// (Figure 6) plus the reference accounting of §3.2: the link's reference
+// to the new target is registered before the CAS (and rolled back on
+// failure), and on success any pending dereference announcements on the
+// link are helped before the link's reference to the old target is
+// released — the ordering the paper's Lemma 3 depends on.
+func (t *Thread) CASLink(l mm.LinkID, old, new mm.Ptr) bool {
+	if h := new.Handle(); h != arena.Nil {
+		// Register the link's prospective reference while the caller's
+		// own guarded reference still protects the node.
+		t.FixRef(h, 2)
+	}
+	if t.s.ar.CASLinkRaw(l, old, new) {
+		t.HelpDeRef(l)
+		if h := old.Handle(); h != arena.Nil {
+			t.ReleaseRef(h)
+		}
+		return true
+	}
+	t.stats.CASFailures++
+	if h := new.Handle(); h != arena.Nil {
+		t.ReleaseRef(h)
+	}
+	return false
+}
+
+// StoreLink implements mm.Thread.  Permitted only when the link's
+// previous value has a nil handle and no concurrent update is possible
+// (paper §3.2); typically used to wire up the links of a freshly
+// allocated, still-private node.
+func (t *Thread) StoreLink(l mm.LinkID, p mm.Ptr) {
+	if h := p.Handle(); h != arena.Nil {
+		t.FixRef(h, 2)
+	}
+	t.s.ar.StoreLink(l, p)
+}

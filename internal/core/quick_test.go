@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wfrc/internal/arena"
+)
+
+// TestQuickRandomOpSequences drives the scheme with arbitrary operation
+// sequences (alloc, release, deref, link CAS, copy) and checks that the
+// reference-counting invariants hold at quiescence regardless of order.
+// This is the sequential-semantics property (Definition 1) explored by
+// random walks rather than hand-picked scenarios.
+func TestQuickRandomOpSequences(t *testing.T) {
+	const roots = 3
+	f := func(ops []uint8) bool {
+		ar := arena.MustNew(arena.Config{Nodes: 32, LinksPerNode: 1, RootLinks: roots})
+		s := MustNew(ar, Config{Threads: 2})
+		links := make([]arena.LinkID, roots)
+		for i := range links {
+			links[i] = ar.NewRoot()
+		}
+		th, err := s.RegisterCore()
+		if err != nil {
+			return false
+		}
+		var held []arena.Handle
+
+		for i := 0; i+1 < len(ops); i += 2 {
+			op, arg := ops[i], int(ops[i+1])
+			switch op % 5 {
+			case 0: // alloc
+				h, err := th.Alloc()
+				if err != nil {
+					continue // arena full: legal, just skip
+				}
+				held = append(held, h)
+			case 1: // release one held reference
+				if len(held) == 0 {
+					continue
+				}
+				k := arg % len(held)
+				th.Release(held[k])
+				held = append(held[:k], held[k+1:]...)
+			case 2: // copy a held reference
+				if len(held) == 0 {
+					continue
+				}
+				h := held[arg%len(held)]
+				th.Copy(h)
+				held = append(held, h)
+			case 3: // CAS a root link to a held node (or nil)
+				l := links[arg%roots]
+				old := th.DeRef(l)
+				var np arena.Ptr
+				if len(held) > 0 && arg%2 == 0 {
+					np = arena.MakePtr(held[arg%len(held)], false)
+				}
+				th.CASLink(l, old, np)
+				th.Release(old.Handle())
+			case 4: // deref a root link
+				p := th.DeRef(links[arg%roots])
+				if !p.IsNil() {
+					held = append(held, p.Handle())
+				}
+			}
+		}
+
+		// Quiesce: drop every held reference and clear the roots.
+		for _, h := range held {
+			th.Release(h)
+		}
+		for _, l := range links {
+			for {
+				p := th.DeRef(l)
+				if p.IsNil() {
+					break
+				}
+				if th.CASLink(l, p, arena.NilPtr) {
+					th.Release(p.Handle())
+					break
+				}
+				th.Release(p.Handle())
+			}
+		}
+		th.Unregister()
+		if errs := s.Audit(nil); len(errs) != 0 {
+			t.Logf("audit violations for ops %v: %v", ops, errs)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if testing.Short() {
+		cfg.MaxCount = 40
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

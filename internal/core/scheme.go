@@ -1,0 +1,261 @@
+// Package core implements the paper's contribution: a wait-free
+// reference-counting garbage-collection scheme (DeRefLink, ReleaseRef,
+// HelpDeRef — Figure 4), the wait-free fixed-size free-list (AllocNode,
+// FreeNode — Figure 5) and the user-facing link operations (Figure 6),
+// all built from single-word FAA/CAS/SWAP on an arena of type-stable
+// nodes.
+//
+// # Announcement pool
+//
+// Every thread owns a row of NR_THREADS announcement slots.  DeRefLink
+// announces the link it is about to dereference in a slot whose busy
+// counter is zero, performs the optimistic read + FAA, then SWAPs the
+// announcement away; a concurrent link updater that runs HelpDeRef may
+// have answered through the same cell with a guarded recent value of the
+// link, which the announcer then adopts.  The busy counters keep a slot
+// from being reused for a new announcement while a helper still has a
+// pending answer CAS for an old announcement of the same link — the ABA
+// case the paper identifies.
+//
+// Announcement cells are 64-bit words holding either an encoded LinkID
+// (bit 63 set) or a Ptr answer (bit 63 clear); the encodings are disjoint
+// by construction, which is this implementation's analogue of the paper's
+// Lemma 1.
+//
+// # Free-list
+//
+// Nodes are kept on 2·NR_THREADS separate free-lists.  All allocators
+// work on the list selected by currentFreeList, rotating it when found
+// empty; a freeing thread uses one of its two private heads (threadId or
+// threadId+NR_THREADS), picking whichever the allocators are not
+// currently working on.  Starving allocators are helped: each FreeNode
+// and each first successful list-head CAS of an AllocNode offers a node
+// to the thread selected by the round-robin helpCurrent cursor through
+// the annAlloc announcement cells.
+//
+// # Erratum
+//
+// The paper's line F3 inserts a freed node (mm_ref==1) directly into
+// annAlloc, but the helped path A4 applies FixRef(-1), which only yields
+// the specified post-allocation count for nodes inserted by line A12
+// (mm_ref==3, after line A9's FAA(+2)).  We therefore raise the count by
+// 2 before the F3 CAS and lower it back when the CAS fails, making both
+// insertion paths hand over nodes at mm_ref==3.  This preserves every
+// invariant used by the paper's proof and is, as far as we can tell, the
+// intended reading.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/mm"
+)
+
+// annEncodeBit tags a 64-bit announcement cell value as an encoded
+// LinkID rather than a Ptr answer (Lemma 1 analogue).
+const annEncodeBit uint64 = 1 << 63
+
+func encodeLink(l mm.LinkID) uint64 { return annEncodeBit | uint64(l) }
+
+// padU64 is a cache-line padded atomic word, used for contended global
+// cells (free-list heads, annAlloc) so neighbours do not false-share.
+type padU64 struct {
+	v atomic.Uint64
+	_ [7]uint64
+}
+
+// padI64 is a cache-line padded atomic integer.
+type padI64 struct {
+	v atomic.Int64
+	_ [7]uint64
+}
+
+// annSlot is one announcement variable with its busy counter
+// (annReadAddr[i][j] and annBusy[i][j] in the paper).
+type annSlot struct {
+	readAddr atomic.Uint64
+	busy     atomic.Int64
+	_        [6]uint64
+}
+
+// annRow is the announcement state of one thread.
+type annRow struct {
+	index atomic.Int64 // annIndex[threadId]
+	slots []annSlot
+	_     [6]uint64
+}
+
+// Config parameterizes a Scheme.
+type Config struct {
+	// Threads is NR_THREADS: the maximum number of concurrently
+	// registered threads.
+	Threads int
+	// AllocRetryLimit bounds the allocation loop before AllocNode reports
+	// out-of-memory (the paper's footnote-4 detection rule).  Zero
+	// selects a default that is safely above the wait-freedom bound for
+	// Threads participants.
+	AllocRetryLimit int
+}
+
+// Scheme is the wait-free reference-counting memory manager.  It
+// implements mm.Scheme.
+type Scheme struct {
+	ar  *arena.Arena
+	n   int
+	lim int
+
+	ann []annRow
+
+	currentFreeList atomic.Int64
+	freeList        []padU64 // 2n heads holding raw Handles
+	helpCurrent     atomic.Int64
+	annAlloc        []padU64 // n cells holding raw Handles
+
+	regMu   sync.Mutex
+	regUsed []bool
+}
+
+// New creates a wait-free reference-counting scheme over ar.  All of the
+// arena's nodes start on free-list 0, chained through mm_next, exactly as
+// the paper initializes freeList[0].
+func New(ar *arena.Arena, cfg Config) (*Scheme, error) {
+	if cfg.Threads <= 0 {
+		return nil, fmt.Errorf("core: Threads must be positive, got %d", cfg.Threads)
+	}
+	n := cfg.Threads
+	lim := cfg.AllocRetryLimit
+	if lim == 0 {
+		// Generously above the helping bound: every 2n-list sweep plus n
+		// helping rounds fits many times over.
+		lim = 16*n*n + 64*n + 256
+	}
+	s := &Scheme{
+		ar:       ar,
+		n:        n,
+		lim:      lim,
+		ann:      make([]annRow, n),
+		freeList: make([]padU64, 2*n),
+		annAlloc: make([]padU64, n),
+		regUsed:  make([]bool, n),
+	}
+	for i := range s.ann {
+		s.ann[i].slots = make([]annSlot, n)
+	}
+	// Chain all nodes onto freeList[0]: 1 -> 2 -> ... -> Nodes -> nil.
+	nodes := ar.Nodes()
+	for h := 1; h < nodes; h++ {
+		ar.Next(arena.Handle(h)).Store(uint64(h + 1))
+	}
+	if nodes > 0 {
+		ar.Next(arena.Handle(nodes)).Store(0)
+		s.freeList[0].v.Store(1)
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on error; for tests and examples.
+func MustNew(ar *arena.Arena, cfg Config) *Scheme {
+	s, err := New(ar, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name implements mm.Scheme.
+func (s *Scheme) Name() string { return "waitfree-rc" }
+
+// Arena implements mm.Scheme.
+func (s *Scheme) Arena() *arena.Arena { return s.ar }
+
+// Threads implements mm.Scheme.
+func (s *Scheme) Threads() int { return s.n }
+
+// Register implements mm.Scheme.  It binds the caller to a free thread
+// slot.
+func (s *Scheme) Register() (mm.Thread, error) {
+	t, err := s.RegisterCore()
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// RegisterCore is Register returning the concrete *Thread, giving access
+// to scheme-specific operations (HelpDeRef, FixRef, test hooks).
+func (s *Scheme) RegisterCore() (*Thread, error) {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	for i := 0; i < s.n; i++ {
+		if !s.regUsed[i] {
+			s.regUsed[i] = true
+			return &Thread{s: s, id: i, relStack: make([]arena.Handle, 0, 64)}, nil
+		}
+	}
+	return nil, fmt.Errorf("core: all %d thread slots in use", s.n)
+}
+
+func (s *Scheme) unregister(id int) {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	s.regUsed[id] = false
+}
+
+// Thread is a per-goroutine context on the wait-free scheme.  It
+// implements mm.Thread.
+type Thread struct {
+	s        *Scheme
+	id       int
+	stats    mm.OpStats
+	relStack []arena.Handle // reusable worklist for cascading releases
+	hook     func(Point)    // test-only interleaving hook; nil in production
+}
+
+// ID implements mm.Thread.
+func (t *Thread) ID() int { return t.id }
+
+// Stats implements mm.Thread.
+func (t *Thread) Stats() *mm.OpStats { return &t.stats }
+
+// Unregister implements mm.Thread.
+func (t *Thread) Unregister() { t.s.unregister(t.id) }
+
+// BeginOp implements mm.Thread (no-op: reference counts guard nodes).
+func (t *Thread) BeginOp() {}
+
+// EndOp implements mm.Thread (no-op).
+func (t *Thread) EndOp() {}
+
+// Retire implements mm.Thread (no-op: reclamation happens when the last
+// reference is released).
+func (t *Thread) Retire(arena.Handle) {}
+
+// SetHook installs a test-interleaving callback invoked at the labelled
+// algorithm points.  Production code leaves it nil.
+func (t *Thread) SetHook(h func(Point)) { t.hook = h }
+
+// Point labels the algorithm lines at which tests may interleave.
+type Point int
+
+// Hook points, named after the paper's line numbers.
+const (
+	PD3 Point = iota // announcement published, link not yet read
+	PD4              // link read, mm_ref not yet increased
+	PD6              // mm_ref increased, announcement not yet swapped out
+	PH4              // busy count raised, helper dereference not yet run
+	PH6              // helper dereference done, answer CAS not yet tried
+	PA9              // free-list head read and mm_ref raised, CAS not yet tried
+	PA12             // free-list CAS succeeded, help CAS not yet tried
+	PF3              // help cursor advanced, annAlloc CAS not yet tried
+	PF9              // mm_next written, free-list insertion CAS not yet tried
+	PR2              // mm_ref decremented, reclamation CAS not yet tried
+)
+
+func (t *Thread) at(p Point) {
+	if t.hook != nil {
+		t.hook(p)
+	}
+}

@@ -1,0 +1,114 @@
+// Package hashmap implements a fixed-bucket lock-free hash map: an array
+// of Harris–Michael ordered lists indexed by a multiplicative hash.
+// Like the other structures it is written once against the
+// scheme-neutral mm interface and runs over every memory-management
+// scheme; it exists to exercise the schemes on a many-roots workload
+// (every bucket is an independent root link, so HelpDeRef traffic
+// spreads across links instead of converging on one).
+package hashmap
+
+import (
+	"fmt"
+
+	"wfrc/internal/ds/list"
+	"wfrc/internal/mm"
+)
+
+// Map is a lock-free map from uint64 keys to uint64 values with a fixed
+// bucket count.  Methods are safe for concurrent use; each goroutine
+// passes its own registered mm.Thread.
+type Map struct {
+	s       mm.Scheme
+	buckets []*list.List
+	mask    uint64
+}
+
+// Config parameterizes a Map.
+type Config struct {
+	// Buckets is the bucket count; it must be a power of two.  Zero
+	// selects 64.  The scheme's arena must reserve at least Buckets root
+	// links.
+	Buckets int
+}
+
+// New creates an empty map managed by s.
+func New(s mm.Scheme, cfg Config) (*Map, error) {
+	n := cfg.Buckets
+	if n == 0 {
+		n = 64
+	}
+	if n&(n-1) != 0 || n < 1 {
+		return nil, fmt.Errorf("hashmap: Buckets must be a power of two, got %d", n)
+	}
+	m := &Map{s: s, buckets: make([]*list.List, n), mask: uint64(n - 1)}
+	for i := range m.buckets {
+		l, err := list.New(s)
+		if err != nil {
+			return nil, err
+		}
+		m.buckets[i] = l
+	}
+	return m, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(s mm.Scheme, cfg Config) *Map {
+	m, err := New(s, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// hash is Fibonacci hashing: multiply and take the top bits.
+func (m *Map) hash(key uint64) uint64 {
+	return (key * 0x9e3779b97f4a7c15) >> 32 & m.mask
+}
+
+func (m *Map) bucket(key uint64) *list.List { return m.buckets[m.hash(key)] }
+
+// Insert adds key→value; it returns false if the key is already present.
+func (m *Map) Insert(t mm.Thread, key, value uint64) (bool, error) {
+	return m.bucket(key).Insert(t, key, value)
+}
+
+// Delete removes key, reporting whether it was present.
+func (m *Map) Delete(t mm.Thread, key uint64) bool {
+	return m.bucket(key).Delete(t, key)
+}
+
+// Get returns the value stored under key.
+func (m *Map) Get(t mm.Thread, key uint64) (uint64, bool) {
+	return m.bucket(key).Get(t, key)
+}
+
+// Contains reports whether key is present.
+func (m *Map) Contains(t mm.Thread, key uint64) bool {
+	return m.bucket(key).Contains(t, key)
+}
+
+// Len counts live entries across buckets.  Quiescence only.
+func (m *Map) Len() int {
+	total := 0
+	for _, b := range m.buckets {
+		n := b.Len()
+		if n < 0 {
+			return -1
+		}
+		total += n
+	}
+	return total
+}
+
+// Keys returns all live keys (bucket order, sorted within).  Quiescence
+// only.
+func (m *Map) Keys() []uint64 {
+	var out []uint64
+	for _, b := range m.buckets {
+		out = append(out, b.Keys()...)
+	}
+	return out
+}
+
+// Buckets returns the bucket count.
+func (m *Map) Buckets() int { return len(m.buckets) }

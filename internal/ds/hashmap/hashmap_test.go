@@ -1,0 +1,214 @@
+package hashmap
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/mm"
+	"wfrc/internal/schemes"
+)
+
+func arenaCfg(nodes, buckets int) arena.Config {
+	return arena.Config{Nodes: nodes, LinksPerNode: 1, ValsPerNode: 2, RootLinks: buckets + 2}
+}
+
+func forEachScheme(t *testing.T, nodes, threads, buckets int, fn func(t *testing.T, s mm.Scheme, m *Map)) {
+	for _, f := range schemes.Factories() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			s, err := f.New(arenaCfg(nodes, buckets), schemes.Options{Threads: threads})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := New(s, Config{Buckets: buckets})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fn(t, s, m)
+			for _, err := range schemes.AuditRC(s, nil) {
+				t.Errorf("audit: %v", err)
+			}
+		})
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	f, _ := schemes.ByName("waitfree")
+	s, _ := f.New(arenaCfg(8, 8), schemes.Options{Threads: 1})
+	if _, err := New(s, Config{Buckets: 3}); err == nil {
+		t.Error("non-power-of-two bucket count accepted")
+	}
+	if _, err := New(s, Config{Buckets: 4}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestMapSemanticsSequential(t *testing.T) {
+	forEachScheme(t, 128, 1, 8, func(t *testing.T, s mm.Scheme, m *Map) {
+		th, _ := s.Register()
+		defer th.Unregister()
+		for k := uint64(0); k < 40; k++ {
+			if ok, err := m.Insert(th, k, k*3); err != nil || !ok {
+				t.Fatalf("Insert(%d) = %v,%v", k, ok, err)
+			}
+		}
+		if ok, _ := m.Insert(th, 7, 1); ok {
+			t.Fatal("duplicate insert accepted")
+		}
+		if got := m.Len(); got != 40 {
+			t.Fatalf("Len = %d, want 40", got)
+		}
+		for k := uint64(0); k < 40; k++ {
+			v, ok := m.Get(th, k)
+			if !ok || v != k*3 {
+				t.Fatalf("Get(%d) = %d,%v", k, v, ok)
+			}
+		}
+		if m.Contains(th, 100) {
+			t.Fatal("phantom key present")
+		}
+		for k := uint64(0); k < 40; k += 2 {
+			if !m.Delete(th, k) {
+				t.Fatalf("Delete(%d) failed", k)
+			}
+		}
+		if got := m.Len(); got != 20 {
+			t.Fatalf("Len after deletes = %d, want 20", got)
+		}
+		for k := uint64(1); k < 40; k += 2 {
+			m.Delete(th, k)
+		}
+	})
+}
+
+func TestQuickAgainstMapModel(t *testing.T) {
+	f, _ := schemes.ByName("waitfree")
+	run := func(ops []uint16) bool {
+		s, err := f.New(arenaCfg(128, 8), schemes.Options{Threads: 1})
+		if err != nil {
+			return false
+		}
+		th, _ := s.Register()
+		defer th.Unregister()
+		m := MustNew(s, Config{Buckets: 8})
+		model := map[uint64]uint64{}
+		for _, op := range ops {
+			k := uint64(op % 64)
+			switch (op / 64) % 3 {
+			case 0:
+				ok, err := m.Insert(th, k, k+5)
+				if err != nil {
+					return false
+				}
+				_, dup := model[k]
+				if ok == dup {
+					return false
+				}
+				if !dup {
+					model[k] = k + 5
+				}
+			case 1:
+				if m.Delete(th, k) != containsKey(model, k) {
+					return false
+				}
+				delete(model, k)
+			default:
+				v, ok := m.Get(th, k)
+				mv, present := model[k]
+				if ok != present || (ok && v != mv) {
+					return false
+				}
+			}
+		}
+		return m.Len() == len(model)
+	}
+	cfg := &quick.Config{MaxCount: 100}
+	if testing.Short() {
+		cfg.MaxCount = 20
+	}
+	if err := quick.Check(run, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func containsKey(m map[uint64]uint64, k uint64) bool {
+	_, ok := m[k]
+	return ok
+}
+
+func TestConcurrentMixedChurn(t *testing.T) {
+	const threads = 6
+	iters := 4000
+	if testing.Short() {
+		iters = 400
+	}
+	forEachScheme(t, 1024, threads, 16, func(t *testing.T, s mm.Scheme, m *Map) {
+		var wg sync.WaitGroup
+		for i := 0; i < threads; i++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				th, err := s.Register()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer th.Unregister()
+				rng := rand.New(rand.NewSource(int64(id) * 997))
+				for k := 0; k < iters; k++ {
+					key := uint64(rng.Intn(128))
+					switch rng.Intn(3) {
+					case 0:
+						if _, err := m.Insert(th, key, key); err != nil {
+							t.Errorf("thread %d: %v", id, err)
+							return
+						}
+					case 1:
+						m.Delete(th, key)
+					default:
+						m.Get(th, key)
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		// Consistency: no duplicates across the whole map.
+		keys := m.Keys()
+		seen := map[uint64]bool{}
+		for _, k := range keys {
+			if seen[k] {
+				t.Fatalf("duplicate key %d", k)
+			}
+			seen[k] = true
+		}
+		// Clean up for the audit.
+		th, _ := s.Register()
+		for _, k := range keys {
+			m.Delete(th, k)
+		}
+		th.Unregister()
+	})
+}
+
+func TestBucketSpread(t *testing.T) {
+	f, _ := schemes.ByName("waitfree")
+	s, _ := f.New(arenaCfg(2048, 16), schemes.Options{Threads: 1})
+	m := MustNew(s, Config{Buckets: 16})
+	th, _ := s.Register()
+	defer th.Unregister()
+	for k := uint64(0); k < 1024; k++ {
+		if _, err := m.Insert(th, k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every bucket should hold a reasonable share of sequential keys.
+	for i, b := range m.buckets {
+		n := b.Len()
+		if n < 16 || n > 256 {
+			t.Errorf("bucket %d holds %d of 1024 keys: hash is skewed", i, n)
+		}
+	}
+}

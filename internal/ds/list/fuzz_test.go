@@ -1,0 +1,72 @@
+package list
+
+import (
+	"testing"
+
+	"wfrc/internal/schemes"
+)
+
+// FuzzListVsMap drives the ordered list with byte-encoded operation
+// sequences and checks observable equivalence with a Go map, over the
+// wait-free scheme (whose audit also runs per input).
+//
+// Run with `go test -fuzz FuzzListVsMap ./internal/ds/list` to explore;
+// the seed corpus runs in normal `go test`.
+func FuzzListVsMap(f *testing.F) {
+	f.Add([]byte{0x01, 0x41, 0x81, 0x01})
+	f.Add([]byte{0x00, 0x40, 0x80, 0xc0, 0x00})
+	f.Add([]byte{0x10, 0x50, 0x90, 0x11, 0x51, 0x91})
+	factory, _ := schemes.ByName("waitfree")
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 512 {
+			return
+		}
+		s, err := factory.New(arenaCfg(128), schemes.Options{Threads: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		th, _ := s.Register()
+		defer th.Unregister()
+		l := MustNew(s)
+		model := map[uint64]uint64{}
+
+		for _, op := range ops {
+			key := uint64(op & 0x3f)
+			switch op >> 6 {
+			case 0, 2:
+				ok, err := l.Insert(th, key, key*7)
+				if err != nil {
+					t.Skip("arena exhausted")
+				}
+				_, dup := model[key]
+				if ok == dup {
+					t.Fatalf("Insert(%d) = %v, model dup = %v", key, ok, dup)
+				}
+				if !dup {
+					model[key] = key * 7
+				}
+			case 1:
+				ok := l.Delete(th, key)
+				if _, present := model[key]; ok != present {
+					t.Fatalf("Delete(%d) = %v, model = %v", key, ok, present)
+				}
+				delete(model, key)
+			default:
+				v, ok := l.Get(th, key)
+				mv, present := model[key]
+				if ok != present || (ok && v != mv) {
+					t.Fatalf("Get(%d) = %d,%v, model %d,%v", key, v, ok, mv, present)
+				}
+			}
+		}
+		if l.Len() != len(model) {
+			t.Fatalf("Len = %d, model %d", l.Len(), len(model))
+		}
+		// Live entries are referenced by list links only; the audit needs
+		// no extra held references.
+		for _, err := range schemes.AuditRC(s, nil) {
+			t.Error(err)
+		}
+	})
+}

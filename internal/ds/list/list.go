@@ -1,0 +1,239 @@
+// Package list implements the Harris–Michael lock-free ordered linked
+// list (sorted set with logical deletion marks) on top of the
+// scheme-neutral mm interface.
+//
+// Deletion is two-phase: a node is logically deleted by setting the mark
+// bit on its next pointer, then physically unlinked by whichever
+// traversal gets there first.  The mark travels inside the link word
+// (arena.Ptr's mark bit), so the memory-management schemes handle marked
+// links transparently.
+//
+// Node layout: link slot 0 is the next pointer; value word 0 is the key,
+// word 1 the value.
+package list
+
+import (
+	"fmt"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/mm"
+)
+
+// List is a lock-free sorted map from uint64 keys to uint64 values.
+// Methods are safe for concurrent use; each goroutine passes its own
+// registered mm.Thread.
+type List struct {
+	s    mm.Scheme
+	ar   *arena.Arena
+	head mm.LinkID
+}
+
+// New creates an empty list managed by s.  The arena must provide at
+// least 1 link and 2 value words per node.
+func New(s mm.Scheme) (*List, error) {
+	ar := s.Arena()
+	if c := ar.Config(); c.LinksPerNode < 1 || c.ValsPerNode < 2 {
+		return nil, fmt.Errorf("list: arena needs ≥1 link and ≥2 values per node, have %d/%d",
+			c.LinksPerNode, c.ValsPerNode)
+	}
+	return &List{s: s, ar: ar, head: ar.NewRoot()}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(s mm.Scheme) *List {
+	l, err := New(s)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+func (l *List) next(h arena.Handle) mm.LinkID { return l.ar.LinkOf(h, 0) }
+
+// pos is a search result.  The caller holds guarded references on
+// prevNode (when non-nil), cur's node and next's node, and must release
+// them through release().
+type pos struct {
+	prev     mm.LinkID    // the link that points to cur
+	prevNode arena.Handle // node owning prev; Nil when prev is the head root
+	cur      mm.Ptr       // first node with key >= search key; nil at end
+	next     mm.Ptr       // cur's successor (unmarked view); nil when cur is nil
+	found    bool         // cur is non-nil and cur.key == search key
+}
+
+func (p *pos) release(t mm.Thread) {
+	t.Release(p.next.Handle())
+	t.Release(p.cur.Handle())
+	t.Release(p.prevNode)
+}
+
+// find locates key, unlinking marked nodes it passes (Michael's helping
+// rule).  Lock-free: a traversal restarts when a CAS race invalidates
+// its position.
+func (l *List) find(t mm.Thread, key uint64) pos {
+retry:
+	for {
+		prev := l.head
+		prevNode := arena.Nil
+		cur := t.DeRef(prev)
+		for {
+			if cur.IsNil() {
+				return pos{prev: prev, prevNode: prevNode, cur: cur}
+			}
+			next := t.DeRef(l.next(cur.Handle()))
+			// Revalidate: prev must still point at an unmarked cur,
+			// otherwise our position is stale.
+			if t.Load(prev) != arena.MakePtr(cur.Handle(), false) {
+				t.Release(next.Handle())
+				t.Release(cur.Handle())
+				t.Release(prevNode)
+				continue retry
+			}
+			if next.Marked() {
+				// cur is logically deleted: unlink it here.
+				target := arena.MakePtr(next.Handle(), false)
+				if !t.CASLink(prev, arena.MakePtr(cur.Handle(), false), target) {
+					t.Release(next.Handle())
+					t.Release(cur.Handle())
+					t.Release(prevNode)
+					continue retry
+				}
+				// Break the unlinked node's reference chain to its
+				// successor (see arena.PoisonPtr).  Safe because no link
+				// points at cur anymore: any traversal that read cur's
+				// poisoned link fails its prev revalidation and retries.
+				t.CASLink(l.next(cur.Handle()), next, arena.PoisonPtr)
+				t.Retire(cur.Handle())
+				t.Release(cur.Handle())
+				cur = target // adopt next's reference as the new cur
+				continue
+			}
+			ckey := l.ar.Val(cur.Handle(), 0)
+			if ckey >= key {
+				return pos{
+					prev: prev, prevNode: prevNode,
+					cur: cur, next: next,
+					found: ckey == key,
+				}
+			}
+			t.Release(prevNode)
+			prevNode = cur.Handle()
+			prev = l.next(prevNode)
+			cur = next // adopt next's reference
+		}
+	}
+}
+
+// Insert adds key→value.  It returns false (without modifying the list)
+// if the key is already present, and an error on arena exhaustion.
+func (l *List) Insert(t mm.Thread, key, value uint64) (bool, error) {
+	n, err := t.Alloc() // outside the pinned section
+	if err != nil {
+		return false, err
+	}
+	l.ar.SetVal(n, 0, key)
+	l.ar.SetVal(n, 1, value)
+	t.BeginOp()
+	defer t.EndOp()
+	var hooked mm.Ptr // current target of n's private next link
+	for {
+		p := l.find(t, key)
+		if p.found {
+			p.release(t)
+			// Discard the unused node; its private link may reference a
+			// node from an earlier retry, which reclamation cascades drop.
+			t.Retire(n)
+			t.Release(n)
+			return false, nil
+		}
+		curp := arena.MakePtr(p.cur.Handle(), false)
+		// n is private: this CAS cannot fail, it only moves references.
+		if !t.CASLink(l.next(n), hooked, curp) {
+			panic("list: private link CAS failed")
+		}
+		hooked = curp
+		if t.CASLink(p.prev, curp, arena.MakePtr(n, false)) {
+			p.release(t)
+			t.Release(n)
+			return true, nil
+		}
+		p.release(t)
+	}
+}
+
+// Delete removes key.  It returns false if the key is not present.
+func (l *List) Delete(t mm.Thread, key uint64) bool {
+	t.BeginOp()
+	defer t.EndOp()
+	for {
+		p := l.find(t, key)
+		if !p.found {
+			p.release(t)
+			return false
+		}
+		nextUnmarked := arena.MakePtr(p.next.Handle(), false)
+		// Logical deletion: mark cur's next pointer.  Losing this CAS
+		// means another deleter or inserter interfered; retry from find.
+		if !t.CASLink(l.next(p.cur.Handle()), nextUnmarked, nextUnmarked.WithMark(true)) {
+			p.release(t)
+			continue
+		}
+		// Physical unlink; on failure some traversal will finish the job
+		// and retire the node.
+		if t.CASLink(p.prev, arena.MakePtr(p.cur.Handle(), false), nextUnmarked) {
+			// Break the unlinked node's chain (see arena.PoisonPtr).
+			t.CASLink(l.next(p.cur.Handle()), nextUnmarked.WithMark(true), arena.PoisonPtr)
+			t.Retire(p.cur.Handle())
+		}
+		p.release(t)
+		return true
+	}
+}
+
+// Get returns the value stored under key.
+func (l *List) Get(t mm.Thread, key uint64) (value uint64, ok bool) {
+	t.BeginOp()
+	defer t.EndOp()
+	p := l.find(t, key)
+	if p.found {
+		value = l.ar.Val(p.cur.Handle(), 1)
+	}
+	ok = p.found
+	p.release(t)
+	return value, ok
+}
+
+// Contains reports whether key is present.
+func (l *List) Contains(t mm.Thread, key uint64) bool {
+	_, ok := l.Get(t, key)
+	return ok
+}
+
+// Len walks the list counting unmarked nodes.  Quiescence only.
+func (l *List) Len() int {
+	n := 0
+	for p := l.ar.LoadLink(l.head); !p.IsNil(); {
+		nx := l.ar.LoadLink(l.next(p.Handle()))
+		if !nx.Marked() {
+			n++
+		}
+		if n > l.ar.Nodes() {
+			return -1 // corrupted: cycle
+		}
+		p = nx.WithMark(false)
+	}
+	return n
+}
+
+// Keys returns the unmarked keys in order.  Quiescence only.
+func (l *List) Keys() []uint64 {
+	var out []uint64
+	for p := l.ar.LoadLink(l.head); !p.IsNil(); {
+		nx := l.ar.LoadLink(l.next(p.Handle()))
+		if !nx.Marked() {
+			out = append(out, l.ar.Val(p.Handle(), 0))
+		}
+		p = nx.WithMark(false)
+	}
+	return out
+}

@@ -1,0 +1,308 @@
+package list
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/mm"
+	"wfrc/internal/schemes"
+)
+
+func arenaCfg(nodes int) arena.Config {
+	return arena.Config{Nodes: nodes, LinksPerNode: 1, ValsPerNode: 2, RootLinks: 4}
+}
+
+func forEachScheme(t *testing.T, nodes, threads int, fn func(t *testing.T, s mm.Scheme)) {
+	for _, f := range schemes.Factories() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			s, err := f.New(arenaCfg(nodes), schemes.Options{Threads: threads})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fn(t, s)
+			for _, err := range schemes.AuditRC(s, nil) {
+				t.Errorf("audit: %v", err)
+			}
+		})
+	}
+}
+
+func TestSetSemanticsSequential(t *testing.T) {
+	forEachScheme(t, 64, 1, func(t *testing.T, s mm.Scheme) {
+		th, _ := s.Register()
+		defer th.Unregister()
+		l := MustNew(s)
+
+		if l.Contains(th, 5) {
+			t.Fatal("empty list contains 5")
+		}
+		for _, k := range []uint64{5, 1, 9, 3, 7} {
+			ok, err := l.Insert(th, k, k*10)
+			if err != nil || !ok {
+				t.Fatalf("Insert(%d) = %v,%v", k, ok, err)
+			}
+		}
+		if ok, _ := l.Insert(th, 5, 99); ok {
+			t.Fatal("duplicate insert succeeded")
+		}
+		wantKeys := []uint64{1, 3, 5, 7, 9}
+		if got := l.Keys(); !equalU64(got, wantKeys) {
+			t.Fatalf("Keys = %v, want %v", got, wantKeys)
+		}
+		for _, k := range wantKeys {
+			v, ok := l.Get(th, k)
+			if !ok || v != k*10 {
+				t.Fatalf("Get(%d) = %d,%v", k, v, ok)
+			}
+		}
+		if !l.Delete(th, 5) {
+			t.Fatal("Delete(5) failed")
+		}
+		if l.Delete(th, 5) {
+			t.Fatal("double delete succeeded")
+		}
+		if l.Contains(th, 5) {
+			t.Fatal("deleted key still present")
+		}
+		if got := l.Keys(); !equalU64(got, []uint64{1, 3, 7, 9}) {
+			t.Fatalf("Keys after delete = %v", got)
+		}
+		if got := l.Len(); got != 4 {
+			t.Fatalf("Len = %d, want 4", got)
+		}
+		for _, k := range []uint64{1, 3, 7, 9} {
+			if !l.Delete(th, k) {
+				t.Fatalf("Delete(%d) failed", k)
+			}
+		}
+		if got := l.Len(); got != 0 {
+			t.Fatalf("Len after full delete = %d", got)
+		}
+	})
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBoundaryKeys(t *testing.T) {
+	forEachScheme(t, 16, 1, func(t *testing.T, s mm.Scheme) {
+		th, _ := s.Register()
+		defer th.Unregister()
+		l := MustNew(s)
+		for _, k := range []uint64{0, ^uint64(0), 1, ^uint64(0) - 1} {
+			if ok, err := l.Insert(th, k, k); err != nil || !ok {
+				t.Fatalf("Insert(%#x) = %v,%v", k, ok, err)
+			}
+		}
+		if got := l.Keys(); !equalU64(got, []uint64{0, 1, ^uint64(0) - 1, ^uint64(0)}) {
+			t.Fatalf("Keys = %v", got)
+		}
+		for _, k := range []uint64{0, ^uint64(0), 1, ^uint64(0) - 1} {
+			if !l.Delete(th, k) {
+				t.Fatalf("Delete(%#x) failed", k)
+			}
+		}
+	})
+}
+
+// TestQuickAgainstMapModel replays random operation sequences against a
+// Go map and checks observable equivalence (sequential linearizability).
+func TestQuickAgainstMapModel(t *testing.T) {
+	f, _ := schemes.ByName("waitfree")
+	run := func(ops []uint16) bool {
+		s, err := f.New(arenaCfg(128), schemes.Options{Threads: 1})
+		if err != nil {
+			return false
+		}
+		th, _ := s.Register()
+		defer th.Unregister()
+		l := MustNew(s)
+		model := map[uint64]uint64{}
+		for _, op := range ops {
+			k := uint64(op % 32)
+			switch (op / 32) % 3 {
+			case 0:
+				ok, err := l.Insert(th, k, k+1000)
+				if err != nil {
+					return false
+				}
+				_, dup := model[k]
+				if ok == dup {
+					t.Logf("Insert(%d): got %v, model dup %v", k, ok, dup)
+					return false
+				}
+				if !dup {
+					model[k] = k + 1000
+				}
+			case 1:
+				ok := l.Delete(th, k)
+				_, present := model[k]
+				if ok != present {
+					t.Logf("Delete(%d): got %v, model %v", k, ok, present)
+					return false
+				}
+				delete(model, k)
+			default:
+				v, ok := l.Get(th, k)
+				mv, present := model[k]
+				if ok != present || (ok && v != mv) {
+					t.Logf("Get(%d): got %d,%v, model %d,%v", k, v, ok, mv, present)
+					return false
+				}
+			}
+		}
+		var want []uint64
+		for k := range model {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		return equalU64(l.Keys(), want)
+	}
+	cfg := &quick.Config{MaxCount: 150}
+	if testing.Short() {
+		cfg.MaxCount = 30
+	}
+	if err := quick.Check(run, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentDisjointRanges has each thread own a key range and churn
+// it; cross-thread interference would corrupt ranges it doesn't own.
+func TestConcurrentDisjointRanges(t *testing.T) {
+	const threads = 6
+	iters := 3000
+	if testing.Short() {
+		iters = 300
+	}
+	forEachScheme(t, 512, threads, func(t *testing.T, s mm.Scheme) {
+		l := MustNew(s)
+		var wg sync.WaitGroup
+		for i := 0; i < threads; i++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				th, err := s.Register()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer th.Unregister()
+				base := uint64(id) * 1000
+				rng := rand.New(rand.NewSource(int64(id)))
+				live := map[uint64]bool{}
+				for k := 0; k < iters; k++ {
+					key := base + uint64(rng.Intn(40))
+					if live[key] {
+						if !l.Delete(th, key) {
+							t.Errorf("thread %d: Delete(%d) failed for live key", id, key)
+							return
+						}
+						delete(live, key)
+					} else {
+						ok, err := l.Insert(th, key, key)
+						if err != nil {
+							t.Errorf("thread %d: %v", id, err)
+							return
+						}
+						if !ok {
+							t.Errorf("thread %d: Insert(%d) rejected for dead key", id, key)
+							return
+						}
+						live[key] = true
+					}
+				}
+				// Verify and clean up this thread's range.
+				for key := range live {
+					if !l.Contains(th, key) {
+						t.Errorf("thread %d: key %d lost", id, key)
+					}
+					if !l.Delete(th, key) {
+						t.Errorf("thread %d: cleanup Delete(%d) failed", id, key)
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		if got := l.Len(); got != 0 {
+			t.Errorf("Len after cleanup = %d, want 0 (keys: %v)", got, l.Keys())
+		}
+	})
+}
+
+// TestConcurrentSameKeys hammers a tiny key space from all threads so
+// insert/delete/find constantly collide on the same nodes.
+func TestConcurrentSameKeys(t *testing.T) {
+	const threads = 8
+	iters := 4000
+	if testing.Short() {
+		iters = 400
+	}
+	forEachScheme(t, 512, threads, func(t *testing.T, s mm.Scheme) {
+		l := MustNew(s)
+		var wg sync.WaitGroup
+		for i := 0; i < threads; i++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				th, err := s.Register()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer th.Unregister()
+				rng := rand.New(rand.NewSource(int64(id) * 31))
+				for k := 0; k < iters; k++ {
+					key := uint64(rng.Intn(8))
+					switch rng.Intn(3) {
+					case 0:
+						if _, err := l.Insert(th, key, key); err != nil {
+							t.Errorf("thread %d: %v", id, err)
+							return
+						}
+					case 1:
+						l.Delete(th, key)
+					default:
+						l.Get(th, key)
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		// The list must still be a sorted set over the key space.
+		keys := l.Keys()
+		seen := map[uint64]bool{}
+		for i, k := range keys {
+			if k > 7 {
+				t.Fatalf("alien key %d", k)
+			}
+			if seen[k] {
+				t.Fatalf("duplicate key %d in %v", k, keys)
+			}
+			seen[k] = true
+			if i > 0 && keys[i-1] >= k {
+				t.Fatalf("unsorted keys %v", keys)
+			}
+		}
+		// Clean up for the audit.
+		th, _ := s.Register()
+		for _, k := range keys {
+			l.Delete(th, k)
+		}
+		th.Unregister()
+	})
+}

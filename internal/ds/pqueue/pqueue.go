@@ -1,0 +1,445 @@
+// Package pqueue implements a lock-free skiplist-based priority queue on
+// top of the scheme-neutral mm interface.  It stands in for the
+// Sundell–Tsigas lock-free priority queue (IPDPS 2003) that the paper's
+// evaluation plugs the wait-free memory-management scheme into: a
+// skiplist whose bottom level is the linearizable truth (a Harris-style
+// marked list) and whose upper levels are shortcut hints.
+//
+// Deletion marks every level of the victim top-down and then claims it by
+// marking the bottom-level next pointer; whoever wins that bottom CAS
+// owns the removal.  Physical unlinking is done by the same helping rule
+// as the ordered list, applied per level.
+//
+// Node layout: link slot i is the level-i next pointer (i < MaxLevel);
+// value word 0 is the key (priority), word 1 the value, word 2 the
+// node's tower height.
+package pqueue
+
+import (
+	"fmt"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/mm"
+)
+
+// DefaultMaxLevel is the tower height cap used by NewDefault.
+const DefaultMaxLevel = 8
+
+// Config parameterizes a skiplist priority queue.
+type Config struct {
+	// MaxLevel caps tower heights.  The arena must provide at least
+	// MaxLevel links and 3 value words per node.  With hazard-pointer
+	// memory management each thread needs about 2*MaxLevel+6 hazard
+	// slots.
+	MaxLevel int
+}
+
+// PQueue is a lock-free min-priority queue of (key, value) pairs with
+// duplicate keys allowed.  Methods are safe for concurrent use; each
+// goroutine passes its own registered mm.Thread.
+type PQueue struct {
+	s        mm.Scheme
+	ar       *arena.Arena
+	heads    []mm.LinkID // per-level head links (a head tower with no node)
+	maxLevel int
+	rngs     []padRng // per-thread-slot xorshift states for tower heights
+	towers   []*tower // per-thread-slot scratch towers (one goroutine/slot)
+}
+
+type padRng struct {
+	state uint64
+	_     [7]uint64
+}
+
+// New creates an empty priority queue managed by s.
+func New(s mm.Scheme, cfg Config) (*PQueue, error) {
+	ml := cfg.MaxLevel
+	if ml == 0 {
+		ml = DefaultMaxLevel
+	}
+	if ml < 1 || ml > 30 {
+		return nil, fmt.Errorf("pqueue: MaxLevel %d out of range [1,30]", ml)
+	}
+	ar := s.Arena()
+	if c := ar.Config(); c.LinksPerNode < ml || c.ValsPerNode < 3 {
+		return nil, fmt.Errorf("pqueue: arena needs ≥%d links and ≥3 values per node, have %d/%d",
+			ml, c.LinksPerNode, c.ValsPerNode)
+	}
+	pq := &PQueue{
+		s: s, ar: ar, maxLevel: ml,
+		rngs:   make([]padRng, s.Threads()),
+		towers: make([]*tower, s.Threads()),
+	}
+	pq.heads = make([]mm.LinkID, ml)
+	for i := range pq.heads {
+		pq.heads[i] = ar.NewRoot()
+	}
+	for i := range pq.rngs {
+		pq.rngs[i].state = uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	}
+	return pq, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(s mm.Scheme, cfg Config) *PQueue {
+	pq, err := New(s, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return pq
+}
+
+// NewDefault creates a queue with DefaultMaxLevel.
+func NewDefault(s mm.Scheme) (*PQueue, error) { return New(s, Config{}) }
+
+func (pq *PQueue) link(h arena.Handle, lvl int) mm.LinkID { return pq.ar.LinkOf(h, lvl) }
+
+func (pq *PQueue) key(h arena.Handle) uint64   { return pq.ar.Val(h, 0) }
+func (pq *PQueue) value(h arena.Handle) uint64 { return pq.ar.Val(h, 1) }
+func (pq *PQueue) level(h arena.Handle) int    { return int(pq.ar.Val(h, 2)) }
+
+// randomLevel draws a geometric(1/2) tower height in [1, maxLevel],
+// using a per-thread-slot xorshift so no global state is contended.
+func (pq *PQueue) randomLevel(t mm.Thread) int {
+	st := &pq.rngs[t.ID()].state
+	x := *st
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*st = x
+	lvl := 1
+	for x&1 == 1 && lvl < pq.maxLevel {
+		lvl++
+		x >>= 1
+	}
+	return lvl
+}
+
+// tower is a full search result: per-level insertion points with guarded
+// references on every stored node.
+type tower struct {
+	preds     []mm.LinkID
+	predNodes []arena.Handle // guarded; Nil where pred is a head root
+	succs     []mm.Ptr       // guarded
+	hooked    []mm.Ptr       // Insert scratch: current targets of n's links
+	foundEq   bool           // some level-0 successor has key == search key
+}
+
+func (tw *tower) release(t mm.Thread, pq *PQueue) {
+	for i := 0; i < pq.maxLevel; i++ {
+		t.Release(tw.predNodes[i])
+		t.Release(tw.succs[i].Handle())
+		tw.predNodes[i] = arena.Nil
+		tw.succs[i] = arena.NilPtr
+	}
+}
+
+// headLink returns the level-lvl link of pred (the head root when pred is
+// Nil).
+func (pq *PQueue) headLink(pred arena.Handle, lvl int) mm.LinkID {
+	if pred == arena.Nil {
+		return pq.heads[lvl]
+	}
+	return pq.link(pred, lvl)
+}
+
+// find locates the insertion point for key at every level, unlinking
+// marked nodes it passes.  If exclusive is true the per-level stop
+// condition is "first node with key > search key" (used by Insert so
+// equal priorities queue after one another); otherwise ">=".
+// On return the caller owns the tower's references.
+func (pq *PQueue) find(t mm.Thread, key uint64, exclusive bool, tw *tower) {
+retry:
+	for {
+		tw.release(t, pq)
+		tw.foundEq = false
+		var tprev arena.Handle // traversal pred node, guarded (Nil = head)
+		for lvl := pq.maxLevel - 1; lvl >= 0; lvl-- {
+			prevLink := pq.headLink(tprev, lvl)
+			cur := t.DeRef(prevLink)
+			for {
+				if cur.IsNil() {
+					break // end of this level
+				}
+				next := t.DeRef(pq.link(cur.Handle(), lvl))
+				if t.Load(prevLink) != arena.MakePtr(cur.Handle(), false) {
+					t.Release(next.Handle())
+					t.Release(cur.Handle())
+					t.Release(tprev)
+					continue retry
+				}
+				if next.Marked() {
+					// cur is being deleted: unlink it at this level.
+					target := arena.MakePtr(next.Handle(), false)
+					if !t.CASLink(prevLink, arena.MakePtr(cur.Handle(), false), target) {
+						t.Release(next.Handle())
+						t.Release(cur.Handle())
+						t.Release(tprev)
+						continue retry
+					}
+					// Break the unlinked node's chain at this level (see
+					// arena.PoisonPtr); safe for the same revalidation
+					// reason as in the ordered list.
+					t.CASLink(pq.link(cur.Handle(), lvl), next, arena.PoisonPtr)
+					if lvl == 0 {
+						t.Retire(cur.Handle())
+					}
+					t.Release(cur.Handle())
+					cur = target // adopt next's reference
+					continue
+				}
+				ckey := pq.key(cur.Handle())
+				if ckey > key || (!exclusive && ckey == key) {
+					t.Release(next.Handle()) // level stop: next is not kept
+					break
+				}
+				if ckey == key {
+					tw.foundEq = true
+				}
+				// Advance within the level.
+				t.Release(tprev)
+				tprev = cur.Handle()
+				prevLink = pq.link(tprev, lvl)
+				cur = next // adopt next's reference
+			}
+			tw.preds[lvl] = prevLink
+			if tprev != arena.Nil {
+				t.Copy(tprev) // stored slot keeps its own reference
+			}
+			tw.predNodes[lvl] = tprev
+			tw.succs[lvl] = cur // transfer cur's reference to the tower
+			if !cur.IsNil() && pq.key(cur.Handle()) == key {
+				tw.foundEq = true
+			}
+		}
+		t.Release(tprev)
+		return
+	}
+}
+
+// towerFor returns the calling thread's scratch tower.  Thread slots are
+// owned by one goroutine at a time, so no synchronization is needed.
+func (pq *PQueue) towerFor(t mm.Thread) *tower {
+	tw := pq.towers[t.ID()]
+	if tw == nil {
+		tw = &tower{
+			preds:     make([]mm.LinkID, pq.maxLevel),
+			predNodes: make([]arena.Handle, pq.maxLevel),
+			succs:     make([]mm.Ptr, pq.maxLevel),
+			hooked:    make([]mm.Ptr, pq.maxLevel),
+		}
+		pq.towers[t.ID()] = tw
+	}
+	return tw
+}
+
+// Insert adds (key, value).  Duplicate keys are allowed; equal keys
+// dequeue in insertion order of their towers' bottom links.
+func (pq *PQueue) Insert(t mm.Thread, key, value uint64) error {
+	n, err := t.Alloc() // outside the pinned section
+	if err != nil {
+		return err
+	}
+	h := pq.randomLevel(t)
+	pq.ar.SetVal(n, 0, key)
+	pq.ar.SetVal(n, 1, value)
+	pq.ar.SetVal(n, 2, uint64(h))
+
+	tw := pq.towerFor(t)
+	hooked := tw.hooked[:h]
+	for i := range hooked {
+		hooked[i] = arena.NilPtr
+	}
+	t.BeginOp()
+	defer t.EndOp()
+
+	// Phase 1: link the bottom level.
+	for {
+		pq.find(t, key, true, tw)
+		// Pre-point n's links at the successors found for each level.
+		ok := true
+		for lvl := 0; lvl < h; lvl++ {
+			want := arena.MakePtr(tw.succs[lvl].Handle(), false)
+			if hooked[lvl] == want {
+				continue
+			}
+			if !t.CASLink(pq.link(n, lvl), hooked[lvl], want) {
+				ok = false // a concurrent deleter marked our link
+				break
+			}
+			hooked[lvl] = want
+		}
+		if !ok {
+			// Can only happen after n is published and deleted, which is
+			// impossible in phase 1 (n is still private).
+			panic("pqueue: private link CAS failed before publication")
+		}
+		if t.CASLink(tw.preds[0], arena.MakePtr(tw.succs[0].Handle(), false), arena.MakePtr(n, false)) {
+			break
+		}
+		// Lost the race at the bottom level; retry with a fresh tower.
+	}
+
+	// Phase 2: link upper levels.  A concurrent deleteMin may already be
+	// deleting n; stop as soon as n's bottom link is marked.
+	for lvl := 1; lvl < h; lvl++ {
+		for {
+			if t.Load(pq.link(n, 0)).Marked() {
+				lvl = h // n was deleted while we were linking
+				break
+			}
+			if t.CASLink(tw.preds[lvl], arena.MakePtr(tw.succs[lvl].Handle(), false), arena.MakePtr(n, false)) {
+				break
+			}
+			// Stale insertion point: refresh and re-aim n's level link.
+			pq.find(t, key, true, tw)
+			want := arena.MakePtr(tw.succs[lvl].Handle(), false)
+			if hooked[lvl] != want {
+				if !t.CASLink(pq.link(n, lvl), hooked[lvl], want) {
+					// Our link was marked by a deleter: n is going away.
+					lvl = h
+					break
+				}
+				hooked[lvl] = want
+			}
+		}
+	}
+	tw.release(t, pq)
+	t.Release(n)
+	return nil
+}
+
+// DeleteMin removes and returns the minimum-key pair.  ok is false when
+// the queue is empty.
+func (pq *PQueue) DeleteMin(t mm.Thread) (key, value uint64, ok bool) {
+	t.BeginOp()
+	defer t.EndOp()
+retry:
+	for {
+		prevLink := pq.heads[0]
+		var tprev arena.Handle
+		cur := t.DeRef(prevLink)
+		for {
+			if cur.IsNil() {
+				t.Release(tprev)
+				return 0, 0, false
+			}
+			next := t.DeRef(pq.link(cur.Handle(), 0))
+			if t.Load(prevLink) != arena.MakePtr(cur.Handle(), false) {
+				t.Release(next.Handle())
+				t.Release(cur.Handle())
+				t.Release(tprev)
+				continue retry
+			}
+			if next.Marked() {
+				// Already claimed by another deleter: unlink and move on.
+				target := arena.MakePtr(next.Handle(), false)
+				if !t.CASLink(prevLink, arena.MakePtr(cur.Handle(), false), target) {
+					t.Release(next.Handle())
+					t.Release(cur.Handle())
+					t.Release(tprev)
+					continue retry
+				}
+				// Break the unlinked node's bottom-level chain (see
+				// arena.PoisonPtr).
+				t.CASLink(pq.link(cur.Handle(), 0), next, arena.PoisonPtr)
+				t.Retire(cur.Handle())
+				t.Release(cur.Handle())
+				cur = target
+				continue
+			}
+			// Claim cur: mark its upper levels top-down, then decide at
+			// the bottom.
+			h := pq.level(cur.Handle())
+			for i := h - 1; i >= 1; i-- {
+				for {
+					li := t.Load(pq.link(cur.Handle(), i))
+					if li.Marked() {
+						break
+					}
+					if t.CASLink(pq.link(cur.Handle(), i), li, li.WithMark(true)) {
+						break
+					}
+				}
+			}
+			nextUnmarked := arena.MakePtr(next.Handle(), false)
+			if t.CASLink(pq.link(cur.Handle(), 0), nextUnmarked, nextUnmarked.WithMark(true)) {
+				key = pq.key(cur.Handle())
+				value = pq.value(cur.Handle())
+				// Physically unlink at every level via the helping search.
+				tw := pq.towerFor(t)
+				pq.find(t, key, false, tw)
+				tw.release(t, pq)
+				t.Release(next.Handle())
+				t.Release(cur.Handle())
+				t.Release(tprev)
+				return key, value, true
+			}
+			// Bottom CAS lost: either another deleter claimed cur or an
+			// insert slipped a node in after cur.  Re-examine cur.
+			t.Release(next.Handle())
+			continue
+		}
+	}
+}
+
+// PeekMin returns the minimum pair without removing it.
+func (pq *PQueue) PeekMin(t mm.Thread) (key, value uint64, ok bool) {
+	t.BeginOp()
+	defer t.EndOp()
+retry:
+	for {
+		cur := t.DeRef(pq.heads[0])
+		for {
+			if cur.IsNil() {
+				return 0, 0, false
+			}
+			next := t.Load(pq.link(cur.Handle(), 0))
+			if !next.Marked() {
+				key = pq.key(cur.Handle())
+				value = pq.value(cur.Handle())
+				t.Release(cur.Handle())
+				return key, value, true
+			}
+			// Skip claimed nodes without helping (read-only peek).
+			nx := t.DeRef(pq.link(cur.Handle(), 0))
+			t.Release(cur.Handle())
+			if nx == arena.PoisonPtr {
+				// cur was unlinked under us; restart from the head.
+				continue retry
+			}
+			cur = nx.WithMark(false)
+		}
+	}
+}
+
+// Len counts live nodes at level 0.  Quiescence only.
+func (pq *PQueue) Len() int {
+	n := 0
+	steps := 0
+	for p := pq.ar.LoadLink(pq.heads[0]); !p.IsNil(); {
+		nx := pq.ar.LoadLink(pq.link(p.Handle(), 0))
+		if !nx.Marked() {
+			n++
+		}
+		steps++
+		if steps > pq.ar.Nodes()+1 {
+			return -1 // corrupted: cycle
+		}
+		p = nx.WithMark(false)
+	}
+	return n
+}
+
+// Keys returns the live keys in order.  Quiescence only.
+func (pq *PQueue) Keys() []uint64 {
+	var out []uint64
+	for p := pq.ar.LoadLink(pq.heads[0]); !p.IsNil(); {
+		nx := pq.ar.LoadLink(pq.link(p.Handle(), 0))
+		if !nx.Marked() {
+			out = append(out, pq.key(p.Handle()))
+		}
+		p = nx.WithMark(false)
+	}
+	return out
+}

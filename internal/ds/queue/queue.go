@@ -1,0 +1,161 @@
+// Package queue implements the Michael–Scott lock-free FIFO queue on top
+// of the scheme-neutral mm interface.  Michael and Scott's memory
+// management correction (TR 1995) is one of the paper's starting points;
+// here the queue runs unchanged over wait-free reference counting, the
+// Valois baseline, hazard pointers, epochs and the lock-based scheme.
+//
+// Node layout: link slot 0 is the next pointer, value word 0 the payload.
+// The queue maintains a dummy node: head always points at the node whose
+// successor holds the front value.
+package queue
+
+import (
+	"fmt"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/mm"
+)
+
+// Queue is a lock-free FIFO of uint64 values.  Methods are safe for
+// concurrent use; each goroutine passes its own registered mm.Thread.
+type Queue struct {
+	s    mm.Scheme
+	ar   *arena.Arena
+	head mm.LinkID
+	tail mm.LinkID
+}
+
+// New creates an empty queue managed by s, allocating the initial dummy
+// node with t.  The arena must provide at least 1 link and 1 value word
+// per node.
+func New(s mm.Scheme, t mm.Thread) (*Queue, error) {
+	ar := s.Arena()
+	if c := ar.Config(); c.LinksPerNode < 1 || c.ValsPerNode < 1 {
+		return nil, fmt.Errorf("queue: arena needs ≥1 link and ≥1 value per node, have %d/%d",
+			c.LinksPerNode, c.ValsPerNode)
+	}
+	q := &Queue{s: s, ar: ar, head: ar.NewRoot(), tail: ar.NewRoot()}
+	dummy, err := t.Alloc()
+	if err != nil {
+		return nil, fmt.Errorf("queue: allocating dummy: %w", err)
+	}
+	dp := arena.MakePtr(dummy, false)
+	t.StoreLink(q.head, dp)
+	t.StoreLink(q.tail, dp)
+	t.Release(dummy)
+	return q, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(s mm.Scheme, t mm.Thread) *Queue {
+	q, err := New(s, t)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func (q *Queue) next(h arena.Handle) mm.LinkID { return q.ar.LinkOf(h, 0) }
+
+// Enqueue appends v.  It fails only on arena exhaustion.
+func (q *Queue) Enqueue(t mm.Thread, v uint64) error {
+	n, err := t.Alloc() // outside the pinned section (see mm.Thread.Alloc)
+	if err != nil {
+		return err
+	}
+	q.ar.SetVal(n, 0, v)
+	np := arena.MakePtr(n, false)
+	t.BeginOp()
+	for {
+		tail := t.DeRef(q.tail)
+		next := t.DeRef(q.next(tail.Handle()))
+		if !next.IsNil() {
+			// Tail is lagging: help swing it forward and retry.
+			t.CASLink(q.tail, tail, next)
+			t.Release(next.Handle())
+			t.Release(tail.Handle())
+			continue
+		}
+		if t.CASLink(q.next(tail.Handle()), arena.NilPtr, np) {
+			// Swing tail; failure is benign (another thread helped).
+			t.CASLink(q.tail, tail, np)
+			t.Release(tail.Handle())
+			break
+		}
+		t.Release(tail.Handle())
+	}
+	t.Release(n)
+	t.EndOp()
+	return nil
+}
+
+// Dequeue removes and returns the front value.  ok is false when the
+// queue is empty.
+func (q *Queue) Dequeue(t mm.Thread) (v uint64, ok bool) {
+	t.BeginOp()
+	defer t.EndOp()
+	for {
+		head := t.DeRef(q.head)
+		next := t.DeRef(q.next(head.Handle()))
+		if next == arena.PoisonPtr {
+			// head was already advanced past and poisoned; retry with a
+			// fresh head.
+			t.Release(head.Handle())
+			continue
+		}
+		if next.IsNil() {
+			t.Release(head.Handle())
+			return 0, false
+		}
+		if tail := t.Load(q.tail); tail.Handle() == head.Handle() {
+			// Tail lags behind head: help swing it before advancing head,
+			// or the dummy could overtake tail.
+			tailp := t.DeRef(q.tail)
+			if tailp.Handle() == head.Handle() {
+				t.CASLink(q.tail, tailp, next)
+			}
+			t.Release(tailp.Handle())
+			t.Release(next.Handle())
+			t.Release(head.Handle())
+			continue
+		}
+		v = q.ar.Val(next.Handle(), 0)
+		if t.CASLink(q.head, head, next) {
+			// Break the reference chain from the removed dummy to its
+			// successor (see arena.PoisonPtr).  Without this, one slow
+			// thread holding an old dummy transitively retains every
+			// node dequeued since.
+			t.CASLink(q.next(head.Handle()), next, arena.PoisonPtr)
+			t.Retire(head.Handle())
+			t.Release(next.Handle())
+			t.Release(head.Handle())
+			return v, true
+		}
+		t.Release(next.Handle())
+		t.Release(head.Handle())
+	}
+}
+
+// Len walks the queue and returns its length.  Quiescence only.
+func (q *Queue) Len() int {
+	n := -1 // skip the dummy
+	for p := q.ar.LoadLink(q.head); !p.IsNil(); p = q.ar.LoadLink(q.next(p.Handle())) {
+		n++
+		if n > q.ar.Nodes() {
+			return -1 // corrupted: cycle
+		}
+	}
+	return n
+}
+
+// Drain dequeues until empty and returns the values; for teardown.
+func (q *Queue) Drain(t mm.Thread) []uint64 {
+	var out []uint64
+	for {
+		v, ok := q.Dequeue(t)
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}

@@ -1,0 +1,144 @@
+// Package stack implements a Treiber stack on top of the scheme-neutral
+// mm interface, following the paper's §3.2 user model: every link update
+// goes through CASLink (which, on the wait-free scheme, helps pending
+// dereference announcements), every dereference through DeRef, and every
+// acquired reference is released exactly once.
+//
+// Node layout: link slot 0 is the next pointer, value word 0 the payload.
+package stack
+
+import (
+	"fmt"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/mm"
+)
+
+// Stack is a lock-free LIFO of uint64 values.  Methods are safe for
+// concurrent use; each goroutine passes its own registered mm.Thread.
+type Stack struct {
+	s   mm.Scheme
+	ar  *arena.Arena
+	top mm.LinkID
+}
+
+// New creates an empty stack managed by s.  The scheme's arena must
+// provide at least 1 link and 1 value word per node.
+func New(s mm.Scheme) (*Stack, error) {
+	ar := s.Arena()
+	if c := ar.Config(); c.LinksPerNode < 1 || c.ValsPerNode < 1 {
+		return nil, fmt.Errorf("stack: arena needs ≥1 link and ≥1 value per node, have %d/%d",
+			c.LinksPerNode, c.ValsPerNode)
+	}
+	return &Stack{s: s, ar: ar, top: ar.NewRoot()}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(s mm.Scheme) *Stack {
+	st, err := New(s)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+func (st *Stack) next(h arena.Handle) mm.LinkID { return st.ar.LinkOf(h, 0) }
+
+// Push adds v on top of the stack.  It fails only on arena exhaustion.
+func (st *Stack) Push(t mm.Thread, v uint64) error {
+	n, err := t.Alloc() // outside the pinned section (see mm.Thread.Alloc)
+	if err != nil {
+		return err
+	}
+	st.ar.SetVal(n, 0, v)
+	t.BeginOp()
+	np := arena.MakePtr(n, false)
+	var cur mm.Ptr // current value of the private node's next link
+	for {
+		top := t.DeRef(st.top)
+		// n is still private, so this CAS cannot fail; it exists to move
+		// the link's reference from the previous retry's target.
+		if !t.CASLink(st.next(n), cur, top) {
+			panic("stack: private link CAS failed")
+		}
+		cur = top
+		if t.CASLink(st.top, top, np) {
+			t.Release(top.Handle())
+			break
+		}
+		t.Release(top.Handle())
+	}
+	t.Release(n)
+	t.EndOp()
+	return nil
+}
+
+// Pop removes and returns the top value.  ok is false when the stack is
+// empty.
+func (st *Stack) Pop(t mm.Thread) (v uint64, ok bool) {
+	t.BeginOp()
+	defer t.EndOp()
+	for {
+		top := t.DeRef(st.top)
+		if top.IsNil() {
+			return 0, false
+		}
+		next := t.DeRef(st.next(top.Handle()))
+		if next == arena.PoisonPtr {
+			// top was already popped and its next link poisoned; the
+			// CAS below would fail anyway, so retry immediately.
+			t.Release(top.Handle())
+			continue
+		}
+		if t.CASLink(st.top, top, next) {
+			v = st.ar.Val(top.Handle(), 0)
+			// Break the reference chain from the removed node to its
+			// successor (see arena.PoisonPtr).
+			t.CASLink(st.next(top.Handle()), next, arena.PoisonPtr)
+			t.Release(next.Handle())
+			t.Retire(top.Handle())
+			t.Release(top.Handle())
+			return v, true
+		}
+		t.Release(next.Handle())
+		t.Release(top.Handle())
+	}
+}
+
+// Peek returns the top value without removing it.
+func (st *Stack) Peek(t mm.Thread) (v uint64, ok bool) {
+	t.BeginOp()
+	defer t.EndOp()
+	top := t.DeRef(st.top)
+	if top.IsNil() {
+		return 0, false
+	}
+	v = st.ar.Val(top.Handle(), 0)
+	t.Release(top.Handle())
+	return v, true
+}
+
+// Len walks the stack and returns its length.  Quiescence only: the walk
+// takes no references and is meant for tests and teardown.
+func (st *Stack) Len() int {
+	n := 0
+	for p := st.ar.LoadLink(st.top); !p.IsNil(); p = st.ar.LoadLink(st.next(p.Handle())) {
+		n++
+		if n > st.ar.Nodes() {
+			return -1 // corrupted: cycle
+		}
+	}
+	return n
+}
+
+// Drain pops until empty and returns the values; for teardown in tests.
+func (st *Stack) Drain(t mm.Thread) []uint64 {
+	var out []uint64
+	for {
+		v, ok := st.Pop(t)
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}

@@ -1,0 +1,189 @@
+package stack
+
+import (
+	"sync"
+	"testing"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/mm"
+	"wfrc/internal/schemes"
+)
+
+func arenaCfg(nodes int) arena.Config {
+	return arena.Config{Nodes: nodes, LinksPerNode: 1, ValsPerNode: 1, RootLinks: 4}
+}
+
+func forEachScheme(t *testing.T, nodes, threads int, fn func(t *testing.T, s mm.Scheme)) {
+	for _, f := range schemes.Factories() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			s, err := f.New(arenaCfg(nodes), schemes.Options{Threads: threads})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fn(t, s)
+			for _, err := range schemes.AuditRC(s, nil) {
+				t.Errorf("audit: %v", err)
+			}
+		})
+	}
+}
+
+func TestLIFOSequential(t *testing.T) {
+	forEachScheme(t, 64, 1, func(t *testing.T, s mm.Scheme) {
+		th, err := s.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer th.Unregister()
+		st := MustNew(s)
+
+		if _, ok := st.Pop(th); ok {
+			t.Fatal("pop from empty stack succeeded")
+		}
+		for i := uint64(1); i <= 10; i++ {
+			if err := st.Push(th, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := st.Len(); got != 10 {
+			t.Fatalf("Len = %d, want 10", got)
+		}
+		if v, ok := st.Peek(th); !ok || v != 10 {
+			t.Fatalf("Peek = %d,%v, want 10,true", v, ok)
+		}
+		for want := uint64(10); want >= 1; want-- {
+			v, ok := st.Pop(th)
+			if !ok || v != want {
+				t.Fatalf("Pop = %d,%v, want %d,true", v, ok, want)
+			}
+		}
+		if _, ok := st.Pop(th); ok {
+			t.Fatal("pop after drain succeeded")
+		}
+	})
+}
+
+func TestPushPopInterleaved(t *testing.T) {
+	forEachScheme(t, 16, 1, func(t *testing.T, s mm.Scheme) {
+		th, _ := s.Register()
+		defer th.Unregister()
+		st := MustNew(s)
+		for round := 0; round < 200; round++ {
+			for i := uint64(0); i < 5; i++ {
+				if err := st.Push(th, i); err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+			}
+			for i := 4; i >= 0; i-- {
+				v, ok := st.Pop(th)
+				if !ok || v != uint64(i) {
+					t.Fatalf("round %d: pop = %d,%v want %d", round, v, ok, i)
+				}
+			}
+		}
+	})
+}
+
+// TestConcurrentConservation checks that under concurrent push/pop every
+// pushed value is popped exactly once (counting the final drain).
+func TestConcurrentConservation(t *testing.T) {
+	const threads = 8
+	perThread := 5000
+	if testing.Short() {
+		perThread = 500
+	}
+	forEachScheme(t, 1024, threads+1, func(t *testing.T, s mm.Scheme) {
+		st := MustNew(s)
+		var mu sync.Mutex
+		popped := make(map[uint64]int)
+
+		var wg sync.WaitGroup
+		for i := 0; i < threads; i++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				th, err := s.Register()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer th.Unregister()
+				local := make(map[uint64]int)
+				for k := 0; k < perThread; k++ {
+					v := uint64(id)<<32 | uint64(k)
+					if err := st.Push(th, v); err != nil {
+						t.Errorf("thread %d: %v", id, err)
+						return
+					}
+					// Pop one value back with retries: a failed pop
+					// permanently grows the stack (reflected random walk),
+					// which would outgrow the arena over enough iterations.
+					for r := 0; r < 100; r++ {
+						if v, ok := st.Pop(th); ok {
+							local[v]++
+							break
+						}
+					}
+				}
+				mu.Lock()
+				for v, c := range local {
+					popped[v] += c
+				}
+				mu.Unlock()
+			}(i)
+		}
+		wg.Wait()
+
+		th, _ := s.Register()
+		for _, v := range st.Drain(th) {
+			popped[v]++
+		}
+		th.Unregister()
+
+		want := threads * perThread
+		if len(popped) != want {
+			t.Fatalf("distinct values popped = %d, want %d", len(popped), want)
+		}
+		for v, c := range popped {
+			if c != 1 {
+				t.Fatalf("value %#x popped %d times", v, c)
+			}
+		}
+		if st.Len() != 0 {
+			t.Fatalf("stack not empty after drain: %d", st.Len())
+		}
+	})
+}
+
+func TestArenaConfigValidation(t *testing.T) {
+	f, _ := schemes.ByName("waitfree")
+	s, err := f.New(arena.Config{Nodes: 4}, schemes.Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(s); err == nil {
+		t.Fatal("New accepted an arena without links/values")
+	}
+}
+
+func TestPushExhaustion(t *testing.T) {
+	f, _ := schemes.ByName("waitfree")
+	s, _ := f.New(arenaCfg(2), schemes.Options{Threads: 1})
+	th, _ := s.Register()
+	defer th.Unregister()
+	st := MustNew(s)
+	if err := st.Push(th, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Push(th, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Push(th, 3); err == nil {
+		t.Fatal("push on exhausted arena succeeded")
+	}
+	st.Drain(th)
+	if err := st.Push(th, 4); err != nil {
+		t.Fatalf("push after drain: %v", err)
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/ds/pqueue"
+	"wfrc/internal/harness"
+	"wfrc/internal/mm"
+	"wfrc/internal/schemes"
+)
+
+// E10LevelAblation is an extension beyond the paper: the skiplist tower
+// height trades search depth against the per-node reference traffic the
+// memory-management scheme pays (each level adds a link whose updates
+// carry FixRef/Release pairs and — on the wait-free scheme — HelpDeRef
+// scans).  It reports the priority-queue workload of E1 on the wait-free
+// scheme across MaxLevel settings and two prefill sizes.
+func E10LevelAblation(p Params) ([]harness.Table, error) {
+	opsPer := p.ops(100000)
+	threads := p.maxThreads()
+	f, err := schemes.ByName("waitfree")
+	if err != nil {
+		return nil, err
+	}
+
+	tbl := harness.Table{
+		Title: "E10 (ablation): skiplist MaxLevel vs throughput (waitfree scheme)",
+		Cols:  []string{"prefill", "MaxLevel", "Mops/s"},
+	}
+	for _, prefill := range []int{100, 10000} {
+		for _, ml := range []int{2, 4, 8, 12} {
+			acfg := arena.Config{
+				Nodes: 2*prefill + 64*threads + 4096,
+				LinksPerNode: ml, ValsPerNode: 3, RootLinks: ml + 2,
+			}
+			s, err := f.New(acfg, schemes.Options{Threads: threads + 1})
+			if err != nil {
+				return nil, err
+			}
+			pq, err := pqueue.New(s, pqueue.Config{MaxLevel: ml})
+			if err != nil {
+				return nil, err
+			}
+			setup, err := s.Register()
+			if err != nil {
+				return nil, err
+			}
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < prefill; i++ {
+				if err := pq.Insert(setup, uint64(rng.Intn(1<<20)), uint64(i)); err != nil {
+					return nil, err
+				}
+			}
+			setup.Unregister()
+
+			res, err := harness.Run(s, threads, func(t mm.Thread, rng *rand.Rand, _ *harness.Histogram) (uint64, error) {
+				var ops uint64
+				for i := 0; i < opsPer; i++ {
+					if rng.Intn(2) == 0 {
+						if err := pq.Insert(t, uint64(rng.Intn(1<<20)), uint64(i)); err != nil {
+							return ops, err
+						}
+					} else {
+						pq.DeleteMin(t)
+					}
+					ops++
+				}
+				return ops, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			tbl.AddRow(prefill, ml, fmtMops(res.MopsPerSec()))
+		}
+	}
+	return []harness.Table{tbl}, nil
+}

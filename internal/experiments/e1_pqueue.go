@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/ds/pqueue"
+	"wfrc/internal/harness"
+	"wfrc/internal/mm"
+)
+
+// pqMaxLevel is the skiplist height used throughout the suite; 2^8
+// levels comfortably cover the prefill sizes used here.
+const pqMaxLevel = 8
+
+func pqArena(nodes int) arena.Config {
+	return arena.Config{Nodes: nodes, LinksPerNode: pqMaxLevel, ValsPerNode: 3, RootLinks: pqMaxLevel + 2}
+}
+
+// E1PQueueThroughput reproduces the paper's experiment: the lock-free
+// skiplist priority queue running over the wait-free memory-management
+// scheme versus the default lock-free scheme (and the other baselines),
+// 50/50 insert/deleteMin, prefilled with 1000 keys, swept over thread
+// counts.  The paper reports "asymptotically similar performance
+// behaviour in average" for wait-free RC versus the default scheme —
+// the shape this table checks.
+func E1PQueueThroughput(p Params) ([]harness.Table, error) {
+	const prefill = 1000
+	opsPer := p.ops(200000)
+	maxT := p.maxThreads()
+	fs, err := p.factories()
+	if err != nil {
+		return nil, err
+	}
+
+	tbl := harness.Table{
+		Title: "E1: priority-queue throughput (Mops/s), 50/50 insert/deleteMin, prefill 1000",
+		Note:  "paper claim: waitfree ≈ valois on average; lock-based trails under load",
+		Cols:  append([]string{"threads"}, names(fs)...),
+	}
+	for _, threads := range harness.ThreadCounts(maxT) {
+		row := []interface{}{threads}
+		for _, f := range fs {
+			nodes := 2*prefill + 64*threads + 4096
+			s, err := newScheme(f, pqArena(nodes), threads+1, 2*pqMaxLevel+8)
+			if err != nil {
+				return nil, err
+			}
+			pq, err := pqueue.New(s, pqueue.Config{MaxLevel: pqMaxLevel})
+			if err != nil {
+				return nil, err
+			}
+			setup, err := s.Register()
+			if err != nil {
+				return nil, err
+			}
+			rng := rand.New(rand.NewSource(42))
+			for i := 0; i < prefill; i++ {
+				if err := pq.Insert(setup, uint64(rng.Intn(1<<20)), uint64(i)); err != nil {
+					return nil, err
+				}
+			}
+			setup.Unregister()
+
+			res, err := harness.Run(s, threads, func(t mm.Thread, rng *rand.Rand, _ *harness.Histogram) (uint64, error) {
+				var ops uint64
+				for i := 0; i < opsPer; i++ {
+					if rng.Intn(2) == 0 {
+						if err := pq.Insert(t, uint64(rng.Intn(1<<20)), uint64(i)); err != nil {
+							return ops, err
+						}
+					} else {
+						pq.DeleteMin(t)
+					}
+					ops++
+				}
+				return ops, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtMops(res.MopsPerSec()))
+		}
+		tbl.AddRow(row...)
+	}
+	return []harness.Table{tbl}, nil
+}

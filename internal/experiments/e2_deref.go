@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/baseline/valois"
+	"wfrc/internal/core"
+	"wfrc/internal/harness"
+)
+
+// E2DeRefBoundedness measures the quantity the wait-freedom proof bounds:
+// the number of retry-loop iterations per DeRefLink under adversarial
+// link updates.  A fixed reader dereferences one shared link while a
+// growing set of writers continuously swings it between freshly allocated
+// nodes.  The wait-free scheme's DeRef always completes in one
+// announcement round (steps == 1 by construction; the interesting figure
+// is that its *max* stays 1), while the Valois baseline's retry loop
+// grows with writer pressure and is unbounded in principle.
+func E2DeRefBoundedness(p Params) ([]harness.Table, error) {
+	readsPer := p.ops(200000)
+	maxW := p.maxThreads() - 1
+	if maxW < 1 {
+		maxW = 1
+	}
+
+	tbl := harness.Table{
+		Title: "E2: DeRefLink steps under adversarial link updates",
+		Note:  "reader loop iterations per dereference; wait-free is bounded, Valois retries grow",
+		Cols: []string{"writers",
+			"waitfree mean", "waitfree max", "waitfree helped%",
+			"valois mean", "valois max"},
+	}
+	for _, writers := range harness.ThreadCounts(maxW) {
+		wfMean, wfMax, helpedPct, err := e2WaitFree(writers, readsPer)
+		if err != nil {
+			return nil, err
+		}
+		vMean, vMax, err := e2Valois(writers, readsPer)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(writers,
+			fmtF(wfMean), wfMax, fmtF(helpedPct),
+			fmtF(vMean), vMax)
+	}
+	// The wall-clock table above depends on preemption luck (on a single
+	// core a short reader loop is rarely preempted inside the vulnerable
+	// window); the deterministic table below forces the schedule.
+	preempt, err := e2bPreemption()
+	if err != nil {
+		return nil, err
+	}
+	return []harness.Table{tbl, preempt}, nil
+}
+
+func fmtF(v float64) string {
+	return fmtMops(v) // same %.3f formatting
+}
+
+func e2WaitFree(writers, readsPer int) (mean float64, max uint64, helpedPct float64, err error) {
+	ar := arena.MustNew(arena.Config{Nodes: 64 * (writers + 1), RootLinks: 1})
+	s, err := core.New(ar, core.Config{Threads: writers + 1})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	root := ar.NewRoot()
+	reader, err := s.RegisterCore()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var werr atomic.Value
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			t, err := s.RegisterCore()
+			if err != nil {
+				werr.Store(err)
+				return
+			}
+			defer t.Unregister()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n, err := t.AllocNode()
+				if err != nil {
+					continue // exhaustion is transient under churn
+				}
+				old := t.DeRefLink(root)
+				if t.CASLink(root, old, arena.MakePtr(n, false)) {
+					t.Release(old.Handle())
+				} else {
+					t.Release(old.Handle())
+				}
+				t.Release(n)
+			}
+		}(int64(w))
+	}
+
+	for i := 0; i < readsPer; i++ {
+		ptr := reader.DeRefLink(root)
+		reader.Release(ptr.Handle())
+	}
+	st := reader.Stats()
+	mean = float64(st.DeRefSteps) / float64(st.DeRefs)
+	max = st.DeRefMaxSteps
+	helpedPct = 100 * float64(st.HelpsReceived) / float64(st.DeRefs)
+	reader.Unregister()
+	close(stop)
+	wg.Wait()
+	if e, ok := werr.Load().(error); ok {
+		return 0, 0, 0, e
+	}
+	return mean, max, helpedPct, nil
+}
+
+func e2Valois(writers, readsPer int) (mean float64, max uint64, err error) {
+	ar := arena.MustNew(arena.Config{Nodes: 64 * (writers + 1), RootLinks: 1})
+	s, err := valois.New(ar, valois.Config{Threads: writers + 1})
+	if err != nil {
+		return 0, 0, err
+	}
+	root := ar.NewRoot()
+	reader, err := s.Register()
+	if err != nil {
+		return 0, 0, err
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			t, err := s.Register()
+			if err != nil {
+				return
+			}
+			defer t.Unregister()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n, err := t.Alloc()
+				if err != nil {
+					continue
+				}
+				old := t.DeRef(root)
+				if t.CASLink(root, old, arena.MakePtr(n, false)) {
+					t.Release(old.Handle())
+				} else {
+					t.Release(old.Handle())
+				}
+				t.Release(n)
+			}
+		}(int64(w))
+	}
+
+	for i := 0; i < readsPer; i++ {
+		ptr := reader.DeRef(root)
+		reader.Release(ptr.Handle())
+	}
+	st := reader.Stats()
+	mean = float64(st.DeRefSteps) / float64(st.DeRefs)
+	max = st.DeRefMaxSteps
+	reader.Unregister()
+	close(stop)
+	wg.Wait()
+	return mean, max, nil
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"wfrc/internal/arena"
+	"wfrc/internal/baseline/valois"
+	"wfrc/internal/core"
+	"wfrc/internal/harness"
+)
+
+// e2bPreemption drives the adversarial schedule deterministically: the
+// reader is paused (via a scheme hook) inside the dereference's
+// vulnerable window — after the optimistic reference-count increment,
+// before the validation step — and an adversary thread swings the link
+// once per pause, up to K times.
+//
+// Valois's DeRef revalidates and retries, so its step count is K+1: the
+// adversary controls the reader's running time (the unbounded loop the
+// paper's introduction criticizes).  The wait-free DeRefLink instead
+// completes in a single announcement round regardless of K: the
+// adversary's own CompareAndSwapLink is obliged to help the announced
+// dereference, so its interference satisfies the reader instead of
+// starving it.
+func e2bPreemption() (harness.Table, error) {
+	tbl := harness.Table{
+		Title: "E2b: forced preemption in the dereference window (deterministic adversary)",
+		Note:  "reader paused inside DeRef while the adversary swings the link K times",
+		Cols:  []string{"K (swings)", "waitfree steps", "waitfree pauses", "valois steps"},
+	}
+	for _, k := range []int{1, 4, 16, 64, 256} {
+		wfSteps, wfPauses, err := e2bWaitFree(k)
+		if err != nil {
+			return tbl, err
+		}
+		vSteps, err := e2bValois(k)
+		if err != nil {
+			return tbl, err
+		}
+		tbl.AddRow(k, wfSteps, wfPauses, vSteps)
+	}
+	return tbl, nil
+}
+
+// adversary runs swings on demand: each receive on req performs one link
+// swing and acks on done.  It stops when stop closes.
+func adversary(t interface {
+	Alloc() (arena.Handle, error)
+	DeRef(arena.LinkID) arena.Ptr
+	CASLink(arena.LinkID, arena.Ptr, arena.Ptr) bool
+	Release(arena.Handle)
+	Unregister()
+}, root arena.LinkID, req, ack chan struct{}, stop chan struct{}) {
+	defer t.Unregister()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-req:
+		}
+		n, err := t.Alloc()
+		if err != nil {
+			ack <- struct{}{}
+			continue
+		}
+		old := t.DeRef(root)
+		t.CASLink(root, old, arena.MakePtr(n, false))
+		t.Release(old.Handle())
+		t.Release(n)
+		ack <- struct{}{}
+	}
+}
+
+func e2bWaitFree(k int) (steps uint64, pauses int, err error) {
+	ar := arena.MustNew(arena.Config{Nodes: 64, RootLinks: 1})
+	s, err := core.New(ar, core.Config{Threads: 2})
+	if err != nil {
+		return 0, 0, err
+	}
+	root := ar.NewRoot()
+	reader, err := s.RegisterCore()
+	if err != nil {
+		return 0, 0, err
+	}
+	x, err := reader.Alloc()
+	if err != nil {
+		return 0, 0, err
+	}
+	reader.StoreLink(root, arena.MakePtr(x, false))
+	reader.Release(x)
+
+	adv, err := s.RegisterCore()
+	if err != nil {
+		return 0, 0, err
+	}
+	req, ack, stop := make(chan struct{}), make(chan struct{}), make(chan struct{})
+	go adversary(adv, root, req, ack, stop)
+
+	reader.SetHook(func(p core.Point) {
+		if p == core.PD6 && pauses < k {
+			pauses++
+			req <- struct{}{}
+			<-ack
+		}
+	})
+	p := reader.DeRefLink(root)
+	reader.Release(p.Handle())
+	reader.SetHook(nil)
+	steps = reader.Stats().DeRefMaxSteps
+	close(stop)
+	reader.Unregister()
+	return steps, pauses, nil
+}
+
+func e2bValois(k int) (steps uint64, err error) {
+	ar := arena.MustNew(arena.Config{Nodes: 64, RootLinks: 1})
+	s, err := valois.New(ar, valois.Config{Threads: 2})
+	if err != nil {
+		return 0, err
+	}
+	root := ar.NewRoot()
+	rth, err := s.Register()
+	if err != nil {
+		return 0, err
+	}
+	reader := rth.(*valois.Thread)
+	x, err := reader.Alloc()
+	if err != nil {
+		return 0, err
+	}
+	reader.StoreLink(root, arena.MakePtr(x, false))
+	reader.Release(x)
+
+	ath, err := s.Register()
+	if err != nil {
+		return 0, err
+	}
+	req, ack, stop := make(chan struct{}), make(chan struct{}), make(chan struct{})
+	go adversary(ath.(*valois.Thread), root, req, ack, stop)
+
+	pauses := 0
+	reader.SetHook(func() {
+		if pauses < k {
+			pauses++
+			req <- struct{}{}
+			<-ack
+		}
+	})
+	p := reader.DeRef(root)
+	reader.Release(p.Handle())
+	reader.SetHook(nil)
+	steps = reader.Stats().DeRefMaxSteps
+	close(stop)
+	reader.Unregister()
+	return steps, nil
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/harness"
+	"wfrc/internal/mm"
+)
+
+// E3AllocFree measures raw allocator scalability: each thread runs
+// alloc/release pairs as fast as it can.  The wait-free free-list spreads
+// work over 2·NR_THREADS list heads with round-robin helping, while the
+// Valois baseline funnels everything through one CAS-contended head — the
+// design difference §3.1 of the paper motivates.
+func E3AllocFree(p Params) ([]harness.Table, error) {
+	opsPer := p.ops(300000)
+	maxT := p.maxThreads()
+	fs, err := p.factories()
+	if err != nil {
+		return nil, err
+	}
+
+	tbl := harness.Table{
+		Title: "E3: allocator throughput (Mops/s), alloc/release pairs",
+		Note:  "waitfree uses 2N free-lists + helping; valois/hazard/epoch one shared head; lockrc a mutex",
+		Cols:  append([]string{"threads"}, names(fs)...),
+	}
+	steps := harness.Table{
+		Title: "E3b: allocation loop iterations (mean / max per alloc) at max threads",
+		Cols:  []string{"scheme", "mean steps", "max steps", "helped%"},
+	}
+	for _, threads := range harness.ThreadCounts(maxT) {
+		row := []interface{}{threads}
+		for _, f := range fs {
+			// Deferred-reclamation schemes retain nodes: hazard up to
+			// threads*threshold, epoch up to ~3 buckets per thread.  Size
+			// the arena so retention never masquerades as exhaustion.
+			acfg := arena.Config{Nodes: 96*threads + 4096}
+			s, err := newScheme(f, acfg, threads, 4)
+			if err != nil {
+				return nil, err
+			}
+			res, err := harness.Run(s, threads, func(t mm.Thread, rng *rand.Rand, _ *harness.Histogram) (uint64, error) {
+				var ops uint64
+				for i := 0; i < opsPer; i++ {
+					h, err := t.Alloc()
+					if err != nil {
+						return ops, err
+					}
+					t.Release(h)
+					t.Retire(h)
+					ops++
+				}
+				return ops, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtMops(res.MopsPerSec()))
+			if threads == maxT {
+				mean := float64(res.Stats.AllocSteps) / float64(res.Stats.Allocs)
+				helped := 100 * float64(res.Stats.AllocHelped) / float64(res.Stats.Allocs)
+				steps.AddRow(f.Name, fmtMops(mean), res.Stats.AllocMaxSteps, fmtMops(helped))
+			}
+		}
+		tbl.AddRow(row...)
+	}
+	return []harness.Table{tbl, steps}, nil
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"wfrc/internal/ds/pqueue"
+	"wfrc/internal/harness"
+	"wfrc/internal/mm"
+)
+
+// E4LatencyTail measures per-operation latency distributions on the
+// priority queue under oversubscription (2× GOMAXPROCS workers), the
+// regime where execution-time guarantees — the wait-free scheme's design
+// goal — separate the schemes: lock-based memory management inherits the
+// scheduler's preemption tail, lock-free schemes inherit retry storms,
+// and the wait-free scheme bounds the work per operation.
+func E4LatencyTail(p Params) ([]harness.Table, error) {
+	const prefill = 1000
+	opsPer := p.ops(50000)
+	threads := 2 * p.maxThreads()
+	fs, err := p.factories()
+	if err != nil {
+		return nil, err
+	}
+
+	tbl := harness.Table{
+		Title: "E4: per-op latency, pqueue 50/50 mix, threads = 2x procs",
+		Note:  "bucketed at powers of two; compare tails (p999/max), not means",
+		Cols:  []string{"scheme", "mean", "p50", "p99", "p999", "max"},
+	}
+	for _, f := range fs {
+		nodes := 2*prefill + 64*threads + 4096
+		s, err := newScheme(f, pqArena(nodes), threads+1, 2*pqMaxLevel+8)
+		if err != nil {
+			return nil, err
+		}
+		pq, err := pqueue.New(s, pqueue.Config{MaxLevel: pqMaxLevel})
+		if err != nil {
+			return nil, err
+		}
+		setup, err := s.Register()
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < prefill; i++ {
+			if err := pq.Insert(setup, uint64(rng.Intn(1<<20)), uint64(i)); err != nil {
+				return nil, err
+			}
+		}
+		setup.Unregister()
+
+		res, err := harness.Run(s, threads, func(t mm.Thread, rng *rand.Rand, hist *harness.Histogram) (uint64, error) {
+			var ops uint64
+			for i := 0; i < opsPer; i++ {
+				t0 := time.Now()
+				if rng.Intn(2) == 0 {
+					if err := pq.Insert(t, uint64(rng.Intn(1<<20)), uint64(i)); err != nil {
+						return ops, err
+					}
+				} else {
+					pq.DeleteMin(t)
+				}
+				hist.Record(time.Since(t0))
+				ops++
+			}
+			return ops, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		h := &res.Hist
+		tbl.AddRow(f.Name, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Quantile(0.999), h.Max())
+	}
+	return []harness.Table{tbl}, nil
+}

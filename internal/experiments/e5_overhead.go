@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"time"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/core"
+	"wfrc/internal/harness"
+)
+
+// E5Overhead isolates the wait-free scheme's constant costs:
+//
+//   - E5a: uncontended DeRef+Release round-trip versus every baseline —
+//     the price of announcing before every dereference (one extra SWAP
+//     plus the slot scan) against Valois's optimistic loop;
+//   - E5b: the CompareAndSwapLink obligation — HelpDeRef scans one
+//     announcement slot per configured thread, so the cost of a link
+//     update grows linearly with NR_THREADS even when no announcement
+//     matches.  This is the paper's space/time trade-off for helping.
+func E5Overhead(p Params) ([]harness.Table, error) {
+	iters := p.ops(2000000)
+	fs, err := p.factories()
+	if err != nil {
+		return nil, err
+	}
+
+	a := harness.Table{
+		Title: "E5a: uncontended DeRef+Release (ns/op), single thread",
+		Cols:  []string{"scheme", "ns/op"},
+	}
+	for _, f := range fs {
+		s, err := newScheme(f, arena.Config{Nodes: 8, RootLinks: 1}, 1, 0)
+		if err != nil {
+			return nil, err
+		}
+		ar := s.Arena()
+		root := ar.NewRoot()
+		t, err := s.Register()
+		if err != nil {
+			return nil, err
+		}
+		h, err := t.Alloc()
+		if err != nil {
+			return nil, err
+		}
+		t.StoreLink(root, arena.MakePtr(h, false))
+		t.Release(h)
+
+		t.BeginOp()
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			p := t.DeRef(root)
+			t.Release(p.Handle())
+		}
+		elapsed := time.Since(t0)
+		t.EndOp()
+		t.Unregister()
+		a.AddRow(f.Name, float64(elapsed.Nanoseconds())/float64(iters))
+	}
+
+	b := harness.Table{
+		Title: "E5b: wait-free CASLink cost vs configured NR_THREADS (ns/op), single thread",
+		Note:  "HelpDeRef scans one announcement row entry per configured thread",
+		Cols:  []string{"NR_THREADS", "ns/op"},
+	}
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
+		ar := arena.MustNew(arena.Config{Nodes: 8, RootLinks: 1})
+		s, err := core.New(ar, core.Config{Threads: n})
+		if err != nil {
+			return nil, err
+		}
+		root := ar.NewRoot()
+		t, err := s.RegisterCore()
+		if err != nil {
+			return nil, err
+		}
+		x, err := t.Alloc()
+		if err != nil {
+			return nil, err
+		}
+		y, err := t.Alloc()
+		if err != nil {
+			return nil, err
+		}
+		t.StoreLink(root, arena.MakePtr(x, false))
+		cur, next := x, y
+		casIters := iters / 4
+		t0 := time.Now()
+		for i := 0; i < casIters; i++ {
+			if !t.CASLink(root, arena.MakePtr(cur, false), arena.MakePtr(next, false)) {
+				break
+			}
+			cur, next = next, cur
+		}
+		elapsed := time.Since(t0)
+		b.AddRow(n, float64(elapsed.Nanoseconds())/float64(casIters))
+		t.CASLink(root, arena.MakePtr(cur, false), arena.NilPtr)
+		t.Release(x)
+		t.Release(y)
+		t.Unregister()
+	}
+	return []harness.Table{a, b}, nil
+}

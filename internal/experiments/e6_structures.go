@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/ds/queue"
+	"wfrc/internal/ds/stack"
+	"wfrc/internal/harness"
+	"wfrc/internal/mm"
+)
+
+// E6Structures demonstrates the scheme's compatibility claim (§3.2):
+// unchanged Treiber-stack and Michael–Scott-queue code runs over every
+// memory-management scheme, and throughput stays comparable between the
+// wait-free scheme and the default lock-free scheme across the sweep.
+func E6Structures(p Params) ([]harness.Table, error) {
+	opsPer := p.ops(200000)
+	maxT := p.maxThreads()
+	fs, err := p.factories()
+	if err != nil {
+		return nil, err
+	}
+
+	stackTbl := harness.Table{
+		Title: "E6a: Treiber stack throughput (Mops/s), push/pop pairs",
+		Cols:  append([]string{"threads"}, names(fs)...),
+	}
+	queueTbl := harness.Table{
+		Title: "E6b: Michael-Scott queue throughput (Mops/s), enqueue/dequeue pairs",
+		Cols:  append([]string{"threads"}, names(fs)...),
+	}
+
+	for _, threads := range harness.ThreadCounts(maxT) {
+		srow := []interface{}{threads}
+		qrow := []interface{}{threads}
+		for _, f := range fs {
+			acfg := arena.Config{Nodes: 64*threads + 1024, LinksPerNode: 1, ValsPerNode: 1, RootLinks: 4}
+
+			// Stack.
+			s, err := newScheme(f, acfg, threads, 0)
+			if err != nil {
+				return nil, err
+			}
+			st := stack.MustNew(s)
+			res, err := harness.Run(s, threads, func(t mm.Thread, rng *rand.Rand, _ *harness.Histogram) (uint64, error) {
+				var ops uint64
+				for i := 0; i < opsPer; i++ {
+					if err := st.Push(t, uint64(i)); err != nil {
+						return ops, err
+					}
+					st.Pop(t)
+					ops += 2
+				}
+				return ops, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			srow = append(srow, fmtMops(res.MopsPerSec()))
+
+			// Queue.
+			s2, err := newScheme(f, acfg, threads+1, 0)
+			if err != nil {
+				return nil, err
+			}
+			setup, err := s2.Register()
+			if err != nil {
+				return nil, err
+			}
+			q := queue.MustNew(s2, setup)
+			setup.Unregister()
+			res2, err := harness.Run(s2, threads, func(t mm.Thread, rng *rand.Rand, _ *harness.Histogram) (uint64, error) {
+				var ops uint64
+				for i := 0; i < opsPer; i++ {
+					if err := q.Enqueue(t, uint64(i)); err != nil {
+						return ops, err
+					}
+					q.Dequeue(t)
+					ops += 2
+				}
+				return ops, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			qrow = append(qrow, fmtMops(res2.MopsPerSec()))
+		}
+		stackTbl.AddRow(srow...)
+		queueTbl.AddRow(qrow...)
+	}
+	return []harness.Table{stackTbl, queueTbl}, nil
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"errors"
+	"time"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/core"
+	"wfrc/internal/harness"
+)
+
+// E7OutOfMemory validates the paper's footnote-4 detection rule: with the
+// arena exhausted, AllocNode reports out-of-memory within the configured
+// retry bound (wait-freedom is preserved even in the failure case), the
+// failure is cheap, and it is not sticky — freeing a node makes the next
+// allocation succeed.
+func E7OutOfMemory(p Params) ([]harness.Table, error) {
+	tbl := harness.Table{
+		Title: "E7: out-of-memory detection (paper footnote 4)",
+		Cols:  []string{"NR_THREADS", "retry bound", "steps to detect", "detect time", "recovers"},
+	}
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		ar := arena.MustNew(arena.Config{Nodes: n})
+		s, err := core.New(ar, core.Config{Threads: n})
+		if err != nil {
+			return nil, err
+		}
+		t, err := s.RegisterCore()
+		if err != nil {
+			return nil, err
+		}
+		var held []arena.Handle
+		for {
+			h, err := t.Alloc()
+			if err != nil {
+				break
+			}
+			held = append(held, h)
+		}
+		t0 := time.Now()
+		_, err = t.Alloc()
+		elapsed := time.Since(t0)
+		if !errors.Is(err, core.ErrOutOfMemory) {
+			return nil, err
+		}
+		steps := t.Stats().AllocMaxSteps
+		// Release everything: some nodes may sit parked in other threads'
+		// annAlloc cells (grants), so a single free need not make this
+		// thread's next allocation succeed — releasing all must.
+		for _, h := range held {
+			t.Release(h)
+		}
+		_, recErr := t.Alloc()
+		bound := 16*n*n + 64*n + 256
+		tbl.AddRow(n, bound, steps, elapsed.Round(time.Microsecond), recErr == nil)
+		t.Unregister()
+	}
+	return []harness.Table{tbl}, nil
+}

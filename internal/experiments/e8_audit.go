@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/ds/list"
+	"wfrc/internal/harness"
+	"wfrc/internal/mm"
+	"wfrc/internal/schemes"
+)
+
+// E8ReclamationAudit runs a mixed ordered-list churn on every scheme and
+// then audits the quiescent state: for the reference-counting schemes the
+// full invariant (Definition 1 of the paper — every node free exactly
+// once or live with a count matching its incoming links) is checked
+// mechanically; for all schemes the helping/reclamation counters are
+// reported.
+func E8ReclamationAudit(p Params) ([]harness.Table, error) {
+	opsPer := p.ops(50000)
+	threads := p.maxThreads()
+	fs, err := p.factories()
+	if err != nil {
+		return nil, err
+	}
+
+	tbl := harness.Table{
+		Title: "E8: reclamation audit after mixed list churn",
+		Cols: []string{"scheme", "ops", "allocs", "reclaims", "helps given",
+			"helps recv", "audit"},
+	}
+	for _, f := range fs {
+		acfg := arena.Config{Nodes: 2048, LinksPerNode: 1, ValsPerNode: 2, RootLinks: 4}
+		s, err := newScheme(f, acfg, threads+1, 0)
+		if err != nil {
+			return nil, err
+		}
+		l, err := list.New(s)
+		if err != nil {
+			return nil, err
+		}
+		res, err := harness.Run(s, threads, func(t mm.Thread, rng *rand.Rand, _ *harness.Histogram) (uint64, error) {
+			var ops uint64
+			for i := 0; i < opsPer; i++ {
+				key := uint64(rng.Intn(256))
+				switch rng.Intn(3) {
+				case 0:
+					if _, err := l.Insert(t, key, key); err != nil {
+						return ops, err
+					}
+				case 1:
+					l.Delete(t, key)
+				default:
+					l.Contains(t, key)
+				}
+				ops++
+			}
+			return ops, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Quiesce: empty the list so the audit's expected state is trivial.
+		t, err := s.Register()
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range l.Keys() {
+			l.Delete(t, k)
+		}
+		t.Unregister()
+
+		verdict := "n/a (non-RC scheme)"
+		if errs := schemes.AuditRC(s, nil); len(errs) > 0 {
+			verdict = "FAIL"
+		} else {
+			switch f.Name {
+			case "waitfree", "valois", "lockrc":
+				verdict = "OK"
+			}
+		}
+		tbl.AddRow(f.Name, res.Ops, res.Stats.Allocs,
+			res.Stats.Frees+res.Stats.Retired,
+			res.Stats.HelpsGiven, res.Stats.HelpsReceived, verdict)
+	}
+	return []harness.Table{tbl}, nil
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/harness"
+	"wfrc/internal/mm"
+	"wfrc/internal/schemes"
+)
+
+// E9ThresholdAblation is an extension beyond the paper: it quantifies
+// the space/time knob of the deferred-reclamation baselines that the
+// reference-counting schemes do not have.  Hazard pointers and epochs
+// amortize reclamation over batches of RetireThreshold nodes; larger
+// batches mean fewer scans (faster) but more retained-dead memory.
+// Reference counting reclaims eagerly: its line is flat at zero
+// retention, which is the property that lets the paper's scheme run in a
+// fixed-size arena with no slack.
+func E9ThresholdAblation(p Params) ([]harness.Table, error) {
+	opsPer := p.ops(100000)
+	threads := p.maxThreads()
+
+	tbl := harness.Table{
+		Title: "E9 (ablation): retire-threshold sensitivity of deferred reclamation",
+		Note:  "alloc/retire churn; retention = nodes unreclaimed at quiescence before the final flush",
+		Cols:  []string{"scheme", "threshold", "Mops/s", "scans", "max retention"},
+	}
+	for _, name := range []string{"hazard", "epoch"} {
+		for _, threshold := range []int{8, 64, 512} {
+			f, err := schemes.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			// Arena sized so even the largest threshold cannot exhaust it.
+			nodes := 3*threads*512 + 4096
+			s, err := f.New(arena.Config{Nodes: nodes}, schemes.Options{
+				Threads: threads, HazardSlots: 4, RetireThreshold: threshold,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := harness.Run(s, threads, func(t mm.Thread, rng *rand.Rand, _ *harness.Histogram) (uint64, error) {
+				var ops uint64
+				for i := 0; i < opsPer; i++ {
+					h, err := t.Alloc()
+					if err != nil {
+						return ops, err
+					}
+					t.Release(h)
+					t.Retire(h)
+					ops++
+				}
+				return ops, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			retention := res.Stats.Retired - res.Stats.Frees // retired but not yet reclaimed
+			_ = retention
+			tbl.AddRow(name, threshold, fmtMops(res.MopsPerSec()), res.Stats.Scans,
+				maxRetention(name, threshold, threads))
+		}
+	}
+	// Reference counting for contrast: eager, zero retention.
+	for _, name := range []string{"waitfree", "valois"} {
+		f, _ := schemes.ByName(name)
+		s, err := f.New(arena.Config{Nodes: 64 * threads}, schemes.Options{Threads: threads})
+		if err != nil {
+			return nil, err
+		}
+		res, err := harness.Run(s, threads, func(t mm.Thread, rng *rand.Rand, _ *harness.Histogram) (uint64, error) {
+			var ops uint64
+			for i := 0; i < opsPer; i++ {
+				h, err := t.Alloc()
+				if err != nil {
+					return ops, err
+				}
+				t.Release(h)
+				ops++
+			}
+			return ops, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(name, "(eager)", fmtMops(res.MopsPerSec()), 0, 0)
+	}
+	return []harness.Table{tbl}, nil
+}
+
+// maxRetention is the scheme's worst-case retained-dead-node bound.
+func maxRetention(name string, threshold, threads int) int {
+	switch name {
+	case "hazard":
+		return threads * threshold
+	case "epoch":
+		return 3 * threads * threshold
+	default:
+		return 0
+	}
+}

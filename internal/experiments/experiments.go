@@ -1,0 +1,87 @@
+// Package experiments implements the reproduction experiment suite
+// defined in DESIGN.md §4 (E1–E8): each experiment exercises the
+// wait-free memory-management scheme and the baselines on the workloads
+// the paper's evaluation describes or implies, and renders results as
+// plain-text tables for cmd/wfrc-bench and EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/mm"
+	"wfrc/internal/schemes"
+)
+
+// Params tunes an experiment run.
+type Params struct {
+	// MaxThreads caps the thread sweep; 0 selects GOMAXPROCS.
+	MaxThreads int
+	// OpsPerThread is the per-thread operation count per data point;
+	// 0 selects an experiment-specific default.
+	OpsPerThread int
+	// Schemes restricts the scheme set; empty runs all.
+	Schemes []string
+	// Quick shrinks workloads for smoke tests.
+	Quick bool
+}
+
+func (p Params) maxThreads() int {
+	if p.MaxThreads > 0 {
+		return p.MaxThreads
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+func (p Params) ops(def int) int {
+	if p.OpsPerThread > 0 {
+		return p.OpsPerThread
+	}
+	if p.Quick {
+		return def / 10
+	}
+	return def
+}
+
+func (p Params) factories() ([]schemes.Factory, error) {
+	if len(p.Schemes) == 0 {
+		return schemes.Factories(), nil
+	}
+	var out []schemes.Factory
+	for _, name := range p.Schemes {
+		f, err := schemes.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// newScheme builds one scheme instance sized for a structure workload.
+// Deferred-reclamation schemes get an explicit retire threshold so their
+// retention is bounded independently of slot counts.
+func newScheme(f schemes.Factory, acfg arena.Config, threads, hazardSlots int) (mm.Scheme, error) {
+	return f.New(acfg, schemes.Options{
+		Threads:         threads,
+		HazardSlots:     hazardSlots,
+		RetireThreshold: 64,
+	})
+}
+
+// fmtMops formats a throughput cell.
+func fmtMops(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// names lists factory names for table columns.
+func names(fs []schemes.Factory) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Name
+	}
+	return out
+}

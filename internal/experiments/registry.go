@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"wfrc/internal/harness"
+)
+
+// Experiment is one entry of the reproduction suite.
+type Experiment struct {
+	ID    string
+	Brief string
+	Run   func(Params) ([]harness.Table, error)
+}
+
+// Registry returns all experiments in canonical order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"e1", "priority-queue throughput: waitfree vs baselines (the paper's experiment)", E1PQueueThroughput},
+		{"e2", "DeRefLink step bound under adversarial link updates", E2DeRefBoundedness},
+		{"e3", "allocator throughput: 2N wait-free free-lists vs shared heads", E3AllocFree},
+		{"e4", "latency tail under oversubscription", E4LatencyTail},
+		{"e5", "announcement/helping overhead", E5Overhead},
+		{"e6", "stack and queue across all schemes", E6Structures},
+		{"e7", "out-of-memory detection (footnote 4)", E7OutOfMemory},
+		{"e8", "reclamation audit after churn", E8ReclamationAudit},
+		{"e9", "ablation: retire-threshold sensitivity of deferred reclamation", E9ThresholdAblation},
+		{"e10", "ablation: skiplist tower height vs MM traffic", E10LevelAblation},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// IDs lists the registered experiment ids.
+func IDs() []string {
+	var out []string
+	for _, e := range Registry() {
+		out = append(out, e.ID)
+	}
+	sort.Strings(out)
+	return out
+}

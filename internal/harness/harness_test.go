@@ -1,0 +1,194 @@
+package harness
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/core"
+	"wfrc/internal/mm"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+	h.Record(100 * time.Nanosecond)
+	h.Record(200 * time.Nanosecond)
+	h.Record(10 * time.Microsecond)
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Max() != 10*time.Microsecond {
+		t.Fatalf("Max = %v", h.Max())
+	}
+	if mean := h.Mean(); mean < 3*time.Microsecond || mean > 4*time.Microsecond {
+		t.Fatalf("Mean = %v", mean)
+	}
+	// p50 upper bound must cover the second observation's bucket.
+	if q := h.Quantile(0.5); q < 200*time.Nanosecond || q > 512*time.Nanosecond {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := h.Quantile(1.0); q < 10*time.Microsecond {
+		t.Fatalf("p100 = %v", q)
+	}
+}
+
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	f := func(samples []uint32) bool {
+		var h Histogram
+		for _, s := range samples {
+			h.Record(time.Duration(s%1000000) * time.Nanosecond)
+		}
+		last := time.Duration(0)
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1.0} {
+			v := h.Quantile(q)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return h.Quantile(1.0) >= h.Quantile(0.5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Record(time.Microsecond)
+	b.Record(time.Millisecond)
+	b.Record(2 * time.Microsecond)
+	a.Merge(&b)
+	if a.Count() != 3 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Max() != time.Millisecond {
+		t.Fatalf("merged max = %v", a.Max())
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		Title: "demo",
+		Note:  "a note",
+		Cols:  []string{"threads", "mops"},
+	}
+	tbl.AddRow(1, 2.5)
+	tbl.AddRow(16, 0.125)
+	out := tbl.Render()
+	for _, want := range []string{"== demo ==", "a note", "threads", "mops", "2.50", "0.12", "16"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := Table{Title: "demo", Cols: []string{"a", "b"}}
+	tbl.AddRow(1, "x,y") // comma must be quoted
+	out := tbl.CSV()
+	want := "# demo\na,b\n1,\"x,y\"\n"
+	if out != want {
+		t.Fatalf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestRunMergesResults(t *testing.T) {
+	ar := arena.MustNew(arena.Config{Nodes: 64})
+	s := core.MustNew(ar, core.Config{Threads: 4})
+	res, err := Run(s, 4, func(th mm.Thread, rng *rand.Rand, hist *Histogram) (uint64, error) {
+		for i := 0; i < 100; i++ {
+			h, err := th.Alloc()
+			if err != nil {
+				return uint64(i), err
+			}
+			th.Release(h)
+			hist.Record(time.Duration(rng.Intn(1000)+1) * time.Nanosecond)
+		}
+		return 100, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 400 {
+		t.Fatalf("Ops = %d, want 400", res.Ops)
+	}
+	if res.Hist.Count() != 400 {
+		t.Fatalf("Hist count = %d, want 400", res.Hist.Count())
+	}
+	if res.Stats.Allocs != 400 {
+		t.Fatalf("merged Allocs = %d, want 400", res.Stats.Allocs)
+	}
+	if res.OpsPerSec() <= 0 {
+		t.Fatal("throughput not positive")
+	}
+	// All thread slots must be free again.
+	for i := 0; i < 4; i++ {
+		th, err := s.Register()
+		if err != nil {
+			t.Fatalf("slot %d not released: %v", i, err)
+		}
+		defer th.Unregister()
+	}
+}
+
+func TestRunTooManyThreads(t *testing.T) {
+	ar := arena.MustNew(arena.Config{Nodes: 8})
+	s := core.MustNew(ar, core.Config{Threads: 2})
+	_, err := Run(s, 3, func(th mm.Thread, rng *rand.Rand, hist *Histogram) (uint64, error) {
+		return 0, nil
+	})
+	if err == nil {
+		t.Fatal("Run with more threads than slots succeeded")
+	}
+}
+
+func TestRunPropagatesBodyError(t *testing.T) {
+	ar := arena.MustNew(arena.Config{Nodes: 8})
+	s := core.MustNew(ar, core.Config{Threads: 2})
+	wantErr := errors.New("boom")
+	res, err := Run(s, 2, func(th mm.Thread, rng *rand.Rand, hist *Histogram) (uint64, error) {
+		if th.ID() == 0 {
+			return 1, wantErr
+		}
+		return 1, nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if res.Ops != 2 {
+		t.Fatalf("Ops = %d, want 2 (partial work still counted)", res.Ops)
+	}
+}
+
+func TestThreadCounts(t *testing.T) {
+	cases := []struct {
+		max  int
+		want []int
+	}{
+		{1, []int{1}},
+		{2, []int{1, 2}},
+		{6, []int{1, 2, 4, 6}},
+		{8, []int{1, 2, 4, 8}},
+	}
+	for _, c := range cases {
+		got := ThreadCounts(c.max)
+		if len(got) != len(c.want) {
+			t.Errorf("ThreadCounts(%d) = %v, want %v", c.max, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("ThreadCounts(%d) = %v, want %v", c.max, got, c.want)
+				break
+			}
+		}
+	}
+}

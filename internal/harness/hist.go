@@ -1,0 +1,91 @@
+// Package harness provides the measurement plumbing for the experiment
+// suite: latency histograms, throughput accounting, per-thread statistic
+// aggregation and plain-text table rendering in the style of the paper's
+// evaluation tables.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"time"
+)
+
+// Histogram is a log-scaled latency histogram: bucket i covers durations
+// in [2^i, 2^(i+1)) nanoseconds.  It is not safe for concurrent use; give
+// each thread its own and Merge at quiescence.
+type Histogram struct {
+	buckets [64]uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+// Record adds one duration observation.
+func (h *Histogram) Record(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	if ns == 0 {
+		ns = 1
+	}
+	h.buckets[bits.Len64(ns)-1]++
+	h.count++
+	h.sum += ns
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// Merge folds o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the mean observation.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.count)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1), with
+// bucket (factor-of-two) resolution.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	if target > h.count {
+		target = h.count
+	}
+	var acc uint64
+	for i, c := range h.buckets {
+		acc += c
+		if acc >= target {
+			return time.Duration(uint64(1) << (i + 1)) // bucket upper bound
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// String summarizes the histogram.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v p999=%v max=%v",
+		h.count, h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999), h.Max())
+}

@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"wfrc/internal/mm"
+)
+
+// Result is the outcome of one concurrent run.
+type Result struct {
+	Threads int
+	Ops     uint64
+	Elapsed time.Duration
+	Hist    Histogram
+	Stats   mm.OpStats
+}
+
+// OpsPerSec returns the aggregate throughput.
+func (r Result) OpsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// MopsPerSec returns throughput in million operations per second.
+func (r Result) MopsPerSec() float64 { return r.OpsPerSec() / 1e6 }
+
+// Body is one worker's whole workload: it performs its operations using
+// the registered thread context, optionally recording per-op latencies,
+// and returns how many operations it completed.
+type Body func(t mm.Thread, rng *rand.Rand, hist *Histogram) (uint64, error)
+
+// Run registers `threads` contexts on s, releases them simultaneously,
+// runs body on each, and merges the results.  The scheme must have at
+// least `threads` free slots.
+func Run(s mm.Scheme, threads int, body Body) (Result, error) {
+	type out struct {
+		ops  uint64
+		hist Histogram
+		st   mm.OpStats
+		err  error
+	}
+	outs := make([]out, threads)
+	ths := make([]mm.Thread, threads)
+	for i := range ths {
+		t, err := s.Register()
+		if err != nil {
+			for j := 0; j < i; j++ {
+				ths[j].Unregister()
+			}
+			return Result{}, fmt.Errorf("harness: registering thread %d: %w", i, err)
+		}
+		ths[i] = t
+	}
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i)*0x9e37 + 1))
+			<-start
+			ops, err := body(ths[i], rng, &outs[i].hist)
+			outs[i].ops = ops
+			outs[i].err = err
+			outs[i].st = *ths[i].Stats()
+		}(i)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	res := Result{Threads: threads, Elapsed: elapsed}
+	var firstErr error
+	for i := range outs {
+		res.Ops += outs[i].ops
+		res.Hist.Merge(&outs[i].hist)
+		res.Stats.Add(&outs[i].st)
+		if outs[i].err != nil && firstErr == nil {
+			firstErr = outs[i].err
+		}
+		ths[i].Unregister()
+	}
+	return res, firstErr
+}
+
+// ThreadCounts returns a 1..max sweep of thread counts doubling from 1
+// (1, 2, 4, ..., max), always including max.
+func ThreadCounts(max int) []int {
+	var out []int
+	for t := 1; t < max; t *= 2 {
+		out = append(out, t)
+	}
+	return append(out, max)
+}

@@ -1,0 +1,214 @@
+// Package lincheck is a small Wing–Gong linearizability checker used by
+// the test suite to validate concurrent histories of the memory
+// management operations against their sequential specification
+// (Definition 1/3 of the paper).
+//
+// A History is a set of completed operations with begin/end timestamps
+// drawn from one global logical clock.  Check searches for a total order
+// that (a) respects the real-time precedence relation (paper
+// Definition 2) and (b) is legal under the sequential Model.  The search
+// is exponential in the worst case; keep histories small (tests use
+// dozens of operations).
+package lincheck
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Op is one completed operation.
+type Op struct {
+	// Thread is the executing thread id (informational).
+	Thread int
+	// Name is the operation name, interpreted by the model.
+	Name string
+	// Arg and Ret are the argument and result values.
+	Arg, Ret uint64
+	// Begin and End are logical timestamps: Begin is drawn before the
+	// operation's first step, End after its last.  Op A precedes op B
+	// iff A.End < B.Begin.
+	Begin, End int64
+}
+
+func (o Op) String() string {
+	return fmt.Sprintf("T%d %s(%d)=%d [%d,%d]", o.Thread, o.Name, o.Arg, o.Ret, o.Begin, o.End)
+}
+
+// Model is a sequential specification.  States must be treated as
+// immutable: Apply returns a fresh state.
+type Model interface {
+	// Init returns the initial state.
+	Init() State
+}
+
+// State is one sequential-specification state.
+type State interface {
+	// Apply attempts to apply op, returning the successor state and
+	// whether op (including its return value) is legal here.
+	Apply(op Op) (State, bool)
+	// Key returns a canonical encoding used to prune the search; states
+	// with equal keys must be behaviourally identical.
+	Key() string
+}
+
+// Check reports whether history is linearizable under m.  If it is not,
+// the returned explanation lists the operations in a maximal legal
+// prefix order found before the search failed (useful for debugging).
+func Check(m Model, history []Op) (bool, string) {
+	n := len(history)
+	if n == 0 {
+		return true, ""
+	}
+	if n > 63 {
+		return false, "lincheck: history too large (max 63 ops)"
+	}
+	ops := append([]Op(nil), history...)
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Begin < ops[j].Begin })
+
+	type frame struct {
+		mask  uint64
+		state State
+	}
+	seen := make(map[string]bool)
+	var best []Op
+
+	var dfs func(mask uint64, st State, order []Op) bool
+	dfs = func(mask uint64, st State, order []Op) bool {
+		if len(order) > len(best) {
+			best = append(best[:0], order...)
+		}
+		if mask == (uint64(1)<<n)-1 {
+			return true
+		}
+		memoKey := fmt.Sprintf("%d|%s", mask, st.Key())
+		if seen[memoKey] {
+			return false
+		}
+		seen[memoKey] = true
+
+		// minEnd over remaining ops: a candidate must have begun before
+		// every remaining op ended (nothing remaining precedes it).
+		minEnd := int64(1<<62 - 1)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 && ops[i].End < minEnd {
+				minEnd = ops[i].End
+			}
+		}
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				continue
+			}
+			if ops[i].Begin > minEnd {
+				continue // some remaining op precedes ops[i]
+			}
+			next, ok := st.Apply(ops[i])
+			if !ok {
+				continue
+			}
+			if dfs(mask|(1<<i), next, append(order, ops[i])) {
+				return true
+			}
+		}
+		return false
+	}
+
+	if dfs(0, m.Init(), nil) {
+		return true, ""
+	}
+	expl := "no legal linearization; longest legal prefix:"
+	for _, o := range best {
+		expl += "\n  " + o.String()
+	}
+	return false, expl
+}
+
+// --- built-in models --------------------------------------------------------
+
+// AllocModel is the sequential specification of the allocator
+// (paper Definition 1, equations (1) and (2)): Alloc returns a node not
+// currently allocated; Free requires its argument to be allocated.
+// Operation names: "alloc" (Ret = handle) and "free" (Arg = handle).
+type AllocModel struct {
+	// Nodes is the arena capacity; alloc results must be in [1, Nodes].
+	Nodes int
+}
+
+// Init implements Model.
+func (m AllocModel) Init() State {
+	return allocState{nodes: m.Nodes, held: ""}
+}
+
+type allocState struct {
+	nodes int
+	held  string // canonical sorted byte-encoded handle set
+}
+
+func (s allocState) Key() string { return s.held }
+
+func (s allocState) Apply(op Op) (State, bool) {
+	switch op.Name {
+	case "alloc":
+		h := op.Ret
+		if h == 0 || int(h) > s.nodes {
+			return s, false
+		}
+		if s.has(byte(h)) {
+			return s, false // double allocation
+		}
+		return allocState{nodes: s.nodes, held: s.insert(byte(h))}, true
+	case "free":
+		h := op.Arg
+		if !s.has(byte(h)) {
+			return s, false // freeing a node not held
+		}
+		return allocState{nodes: s.nodes, held: s.remove(byte(h))}, true
+	default:
+		return s, false
+	}
+}
+
+func (s allocState) has(b byte) bool {
+	for i := 0; i < len(s.held); i++ {
+		if s.held[i] == b {
+			return true
+		}
+	}
+	return false
+}
+
+func (s allocState) insert(b byte) string {
+	i := sort.Search(len(s.held), func(i int) bool { return s.held[i] >= b })
+	return s.held[:i] + string(b) + s.held[i:]
+}
+
+func (s allocState) remove(b byte) string {
+	for i := 0; i < len(s.held); i++ {
+		if s.held[i] == b {
+			return s.held[:i] + s.held[i+1:]
+		}
+	}
+	return s.held
+}
+
+// RegisterModel is the sequential specification of a single mutable cell
+// with "read" (Ret = value) and "write" (Arg = value) operations; the
+// cell starts at 0.
+type RegisterModel struct{}
+
+// Init implements Model.
+func (RegisterModel) Init() State { return regState(0) }
+
+type regState uint64
+
+func (s regState) Key() string { return fmt.Sprintf("%d", uint64(s)) }
+
+func (s regState) Apply(op Op) (State, bool) {
+	switch op.Name {
+	case "read":
+		return s, op.Ret == uint64(s)
+	case "write":
+		return regState(op.Arg), true
+	default:
+		return s, false
+	}
+}

@@ -1,0 +1,138 @@
+package lincheck
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEmptyHistory(t *testing.T) {
+	ok, _ := Check(AllocModel{Nodes: 4}, nil)
+	if !ok {
+		t.Fatal("empty history not linearizable")
+	}
+}
+
+func TestSequentialAllocFree(t *testing.T) {
+	h := []Op{
+		{Thread: 0, Name: "alloc", Ret: 1, Begin: 1, End: 2},
+		{Thread: 0, Name: "free", Arg: 1, Begin: 3, End: 4},
+		{Thread: 0, Name: "alloc", Ret: 1, Begin: 5, End: 6},
+	}
+	if ok, why := Check(AllocModel{Nodes: 4}, h); !ok {
+		t.Fatal(why)
+	}
+}
+
+func TestDoubleAllocationRejected(t *testing.T) {
+	// Two non-overlapping allocs of the same node without a free between
+	// them cannot be linearized.
+	h := []Op{
+		{Thread: 0, Name: "alloc", Ret: 1, Begin: 1, End: 2},
+		{Thread: 1, Name: "alloc", Ret: 1, Begin: 3, End: 4},
+	}
+	ok, why := Check(AllocModel{Nodes: 4}, h)
+	if ok {
+		t.Fatal("double allocation accepted")
+	}
+	if !strings.Contains(why, "prefix") {
+		t.Errorf("explanation missing prefix: %q", why)
+	}
+}
+
+func TestOverlappingAllocsOfDistinctNodes(t *testing.T) {
+	h := []Op{
+		{Thread: 0, Name: "alloc", Ret: 1, Begin: 1, End: 10},
+		{Thread: 1, Name: "alloc", Ret: 2, Begin: 2, End: 9},
+		{Thread: 2, Name: "alloc", Ret: 3, Begin: 3, End: 8},
+	}
+	if ok, why := Check(AllocModel{Nodes: 4}, h); !ok {
+		t.Fatal(why)
+	}
+}
+
+func TestReorderingWithinOverlapAllowed(t *testing.T) {
+	// T1 frees node 1 concurrently with T0's alloc of node 1: legal only
+	// by ordering the free first — which the overlap permits.
+	h := []Op{
+		{Thread: 9, Name: "alloc", Ret: 1, Begin: 1, End: 2},
+		{Thread: 1, Name: "free", Arg: 1, Begin: 3, End: 6},
+		{Thread: 0, Name: "alloc", Ret: 1, Begin: 4, End: 5},
+	}
+	if ok, why := Check(AllocModel{Nodes: 4}, h); !ok {
+		t.Fatal(why)
+	}
+}
+
+func TestPrecedenceRespected(t *testing.T) {
+	// The same history with no overlap (alloc strictly before free) in
+	// the wrong order must fail.
+	h := []Op{
+		{Thread: 0, Name: "free", Arg: 1, Begin: 1, End: 2}, // free before any alloc
+		{Thread: 1, Name: "alloc", Ret: 1, Begin: 3, End: 4},
+	}
+	if ok, _ := Check(AllocModel{Nodes: 4}, h); ok {
+		t.Fatal("free-before-alloc accepted")
+	}
+}
+
+func TestFreeUnallocatedRejected(t *testing.T) {
+	h := []Op{
+		{Thread: 0, Name: "alloc", Ret: 2, Begin: 1, End: 2},
+		{Thread: 0, Name: "free", Arg: 3, Begin: 3, End: 4},
+	}
+	if ok, _ := Check(AllocModel{Nodes: 4}, h); ok {
+		t.Fatal("free of unallocated node accepted")
+	}
+}
+
+func TestAllocOutOfRangeRejected(t *testing.T) {
+	for _, ret := range []uint64{0, 5} {
+		h := []Op{{Thread: 0, Name: "alloc", Ret: ret, Begin: 1, End: 2}}
+		if ok, _ := Check(AllocModel{Nodes: 4}, h); ok {
+			t.Fatalf("alloc returning %d accepted", ret)
+		}
+	}
+}
+
+func TestRegisterModel(t *testing.T) {
+	good := []Op{
+		{Name: "read", Ret: 0, Begin: 1, End: 2},
+		{Name: "write", Arg: 7, Begin: 3, End: 4},
+		{Name: "read", Ret: 7, Begin: 5, End: 6},
+	}
+	if ok, why := Check(RegisterModel{}, good); !ok {
+		t.Fatal(why)
+	}
+	stale := []Op{
+		{Name: "write", Arg: 7, Begin: 1, End: 2},
+		{Name: "read", Ret: 0, Begin: 3, End: 4}, // reads the overwritten value
+	}
+	if ok, _ := Check(RegisterModel{}, stale); ok {
+		t.Fatal("stale read accepted")
+	}
+	// Concurrent write/read: both outcomes are linearizable.
+	concurrent := []Op{
+		{Name: "write", Arg: 7, Begin: 1, End: 10},
+		{Name: "read", Ret: 0, Begin: 2, End: 9},
+	}
+	if ok, why := Check(RegisterModel{}, concurrent); !ok {
+		t.Fatal(why)
+	}
+}
+
+func TestHistoryTooLarge(t *testing.T) {
+	h := make([]Op, 64)
+	for i := range h {
+		h[i] = Op{Name: "alloc", Ret: 1, Begin: int64(2 * i), End: int64(2*i + 1)}
+	}
+	if ok, _ := Check(AllocModel{Nodes: 4}, h); ok {
+		t.Fatal("oversized history accepted")
+	}
+}
+
+func TestUnknownOpRejected(t *testing.T) {
+	h := []Op{{Name: "mystery", Begin: 1, End: 2}}
+	if ok, _ := Check(AllocModel{Nodes: 4}, h); ok {
+		t.Fatal("unknown operation accepted")
+	}
+}

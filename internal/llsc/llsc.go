@@ -1,0 +1,94 @@
+// Package llsc implements Load-Linked / Store-Conditional /
+// Validate from Compare-And-Swap using version tags, after the
+// constructions the paper cites for deriving synchronization primitives
+// from one another (Moir, PODC 1997; Jayanti, DISC 1998 — references
+// [15] and [9]).
+//
+// A Cell packs a 32-bit value and a 32-bit modification tag into one
+// 64-bit word.  LL returns the value with a token capturing the tag; SC
+// succeeds only if no successful SC intervened, by CASing on the full
+// (tag, value) pair and bumping the tag.  Unlike hardware LL/SC this
+// construction never fails spuriously; its one weakness is tag
+// wrap-around (an ABA after exactly 2^32 intervening SCs), which is the
+// standard trade-off of tag-based constructions.
+//
+// All operations are wait-free: each is a single read or a single CAS.
+package llsc
+
+import "sync/atomic"
+
+// Cell is a 32-bit memory location supporting LL/SC/VL.  The zero Cell
+// holds value 0.  Safe for concurrent use.
+type Cell struct {
+	w atomic.Uint64 // tag<<32 | value
+}
+
+// Token witnesses an LL; pass it to SC or VL.
+type Token struct {
+	snap uint64
+}
+
+// Load returns the current value (a plain atomic read).
+func (c *Cell) Load() uint32 { return uint32(c.w.Load()) }
+
+// Store unconditionally writes v and invalidates outstanding tokens.
+func (c *Cell) Store(v uint32) {
+	for {
+		old := c.w.Load()
+		if c.w.CompareAndSwap(old, bump(old, v)) {
+			return
+		}
+	}
+}
+
+// LL load-links the cell: it returns the current value and a token that
+// a subsequent SC or VL checks.
+func (c *Cell) LL() (uint32, Token) {
+	s := c.w.Load()
+	return uint32(s), Token{snap: s}
+}
+
+// SC store-conditionally writes v: it succeeds iff the cell has not been
+// successfully written since the LL that produced tok.
+func (c *Cell) SC(tok Token, v uint32) bool {
+	return c.w.CompareAndSwap(tok.snap, bump(tok.snap, v))
+}
+
+// VL validates tok: it reports whether the cell is still unmodified
+// since the LL that produced tok.
+func (c *Cell) VL(tok Token) bool { return c.w.Load() == tok.snap }
+
+// Tag exposes the modification counter, for tests and diagnostics.
+func (c *Cell) Tag() uint32 { return uint32(c.w.Load() >> 32) }
+
+func bump(old uint64, v uint32) uint64 {
+	tag := (old >> 32) + 1
+	return tag<<32 | uint64(v)
+}
+
+// FetchAdd is a lock-free fetch-and-add built from LL/SC, demonstrating
+// the derivation in the other direction (Figure 2's FAA from LL/SC).
+// It returns the pre-increment value.
+func (c *Cell) FetchAdd(delta uint32) uint32 {
+	for {
+		v, tok := c.LL()
+		if c.SC(tok, v+delta) {
+			return v
+		}
+	}
+}
+
+// CompareAndSwap builds CAS from LL/SC (Jayanti's direction), returning
+// whether the swap happened.
+func (c *Cell) CompareAndSwap(old, new uint32) bool {
+	for {
+		v, tok := c.LL()
+		if v != old {
+			return false
+		}
+		if c.SC(tok, new) {
+			return true
+		}
+		// SC lost to a concurrent writer; re-examine the value.
+	}
+}

@@ -1,0 +1,157 @@
+package llsc
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicLLSC(t *testing.T) {
+	var c Cell
+	v, tok := c.LL()
+	if v != 0 {
+		t.Fatalf("initial value %d", v)
+	}
+	if !c.VL(tok) {
+		t.Fatal("fresh token invalid")
+	}
+	if !c.SC(tok, 42) {
+		t.Fatal("uncontended SC failed")
+	}
+	if c.Load() != 42 {
+		t.Fatalf("Load = %d", c.Load())
+	}
+	if c.VL(tok) {
+		t.Fatal("token survived a successful SC")
+	}
+	if c.SC(tok, 99) {
+		t.Fatal("stale SC succeeded")
+	}
+	if c.Load() != 42 {
+		t.Fatal("stale SC modified the cell")
+	}
+}
+
+func TestInterveningWriteInvalidates(t *testing.T) {
+	var c Cell
+	_, tok := c.LL()
+	c.Store(7)
+	if c.VL(tok) {
+		t.Fatal("token valid after Store")
+	}
+	if c.SC(tok, 1) {
+		t.Fatal("SC succeeded after Store")
+	}
+	// Same-value rewrite still invalidates (no ABA on values).
+	_, tok2 := c.LL()
+	c.Store(7)
+	if c.SC(tok2, 1) {
+		t.Fatal("SC succeeded across a same-value Store (value ABA)")
+	}
+}
+
+func TestTagAdvances(t *testing.T) {
+	var c Cell
+	for i := uint32(1); i <= 5; i++ {
+		_, tok := c.LL()
+		if !c.SC(tok, i) {
+			t.Fatal("SC failed")
+		}
+		if c.Tag() != i {
+			t.Fatalf("tag = %d, want %d", c.Tag(), i)
+		}
+	}
+}
+
+func TestFetchAddConcurrent(t *testing.T) {
+	const threads = 8
+	per := 20000
+	if testing.Short() {
+		per = 2000
+	}
+	var c Cell
+	var wg sync.WaitGroup
+	seen := make([][]uint32, threads)
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				seen[id] = append(seen[id], c.FetchAdd(1))
+			}
+		}(i)
+	}
+	wg.Wait()
+	total := threads * per
+	if got := c.Load(); got != uint32(total) {
+		t.Fatalf("final value %d, want %d", got, total)
+	}
+	dup := make([]bool, total)
+	for _, vs := range seen {
+		for _, v := range vs {
+			if dup[v] {
+				t.Fatalf("pre-value %d returned twice", v)
+			}
+			dup[v] = true
+		}
+	}
+}
+
+func TestCASFromLLSC(t *testing.T) {
+	var c Cell
+	if !c.CompareAndSwap(0, 5) {
+		t.Fatal("CAS(0,5) failed")
+	}
+	if c.CompareAndSwap(0, 9) {
+		t.Fatal("CAS with wrong expected succeeded")
+	}
+	if !c.CompareAndSwap(5, 9) || c.Load() != 9 {
+		t.Fatal("CAS(5,9) failed")
+	}
+}
+
+// TestQuickSequentialModel replays random op sequences against a plain
+// variable.
+func TestQuickSequentialModel(t *testing.T) {
+	f := func(ops []uint32) bool {
+		var c Cell
+		var model uint32
+		var tok Token
+		var tokValidFor uint32
+		haveTok := false
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				v, tk := c.LL()
+				if v != model {
+					return false
+				}
+				tok, haveTok, tokValidFor = tk, true, model
+			case 1:
+				if !haveTok {
+					continue
+				}
+				ok := c.SC(tok, op)
+				if ok {
+					if tokValidFor != model {
+						return false // SC succeeded across a modification
+					}
+					model = op
+				}
+				haveTok = false
+			case 2:
+				c.Store(op)
+				model = op
+				haveTok = false // any outstanding token is now stale
+			default:
+				if c.Load() != model {
+					return false
+				}
+			}
+		}
+		return c.Load() == model
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package mm
+
+// OpStats counts the primitive work a thread performed, in the units the
+// wait-freedom proof bounds: loop iterations and CAS outcomes.  Counters
+// are plain (unsynchronized) because each Thread belongs to one goroutine;
+// readers take a snapshot at quiescence or accept slight staleness.
+//
+// The struct is padded to a cache line so per-thread stats never share a
+// line across threads.
+type OpStats struct {
+	// DeRefs is the number of DeRef calls.
+	DeRefs uint64
+	// DeRefSteps is the total number of retry-loop iterations (Valois) or
+	// announcement rounds (wait-free: always 1 per call) spent in DeRef.
+	DeRefSteps uint64
+	// DeRefMaxSteps is the maximum steps observed in a single DeRef.
+	DeRefMaxSteps uint64
+	// HelpsGiven counts announcement answers this thread provided to
+	// other threads' DeRef operations (wait-free scheme only).
+	HelpsGiven uint64
+	// HelpsReceived counts DeRef calls that returned a helper's answer.
+	HelpsReceived uint64
+	// HelpScans counts HelpDeRef invocations (one full announcement-table
+	// scan each).
+	HelpScans uint64
+	// Allocs is the number of Alloc calls.
+	Allocs uint64
+	// AllocSteps is the total number of allocation-loop iterations.
+	AllocSteps uint64
+	// AllocMaxSteps is the maximum loop iterations in a single Alloc.
+	AllocMaxSteps uint64
+	// AllocHelped counts Alloc calls satisfied through annAlloc helping.
+	AllocHelped uint64
+	// Frees is the number of nodes this thread reclaimed (FreeNode or
+	// scheme equivalent).
+	Frees uint64
+	// FreeSteps is the total number of free-list insertion attempts.
+	FreeSteps uint64
+	// FreeMaxSteps is the maximum insertion attempts in a single free.
+	FreeMaxSteps uint64
+	// CASFailures counts failed CAS operations on links and list heads.
+	CASFailures uint64
+	// Retired counts Retire calls (hazard/epoch schemes).
+	Retired uint64
+	// Scans counts reclamation scans (hazard-pointer scan passes or epoch
+	// flushes).
+	Scans uint64
+
+	_ [8]uint64 // pad to avoid false sharing between adjacent stats
+}
+
+// Add accumulates o into s (for aggregating per-thread stats).
+func (s *OpStats) Add(o *OpStats) {
+	s.DeRefs += o.DeRefs
+	s.DeRefSteps += o.DeRefSteps
+	s.DeRefMaxSteps = maxU64(s.DeRefMaxSteps, o.DeRefMaxSteps)
+	s.HelpsGiven += o.HelpsGiven
+	s.HelpsReceived += o.HelpsReceived
+	s.HelpScans += o.HelpScans
+	s.Allocs += o.Allocs
+	s.AllocSteps += o.AllocSteps
+	s.AllocMaxSteps = maxU64(s.AllocMaxSteps, o.AllocMaxSteps)
+	s.AllocHelped += o.AllocHelped
+	s.Frees += o.Frees
+	s.FreeSteps += o.FreeSteps
+	s.FreeMaxSteps = maxU64(s.FreeMaxSteps, o.FreeMaxSteps)
+	s.CASFailures += o.CASFailures
+	s.Retired += o.Retired
+	s.Scans += o.Scans
+}
+
+// NoteDeRef records one DeRef that took steps loop iterations.
+func (s *OpStats) NoteDeRef(steps uint64) {
+	s.DeRefs++
+	s.DeRefSteps += steps
+	s.DeRefMaxSteps = maxU64(s.DeRefMaxSteps, steps)
+}
+
+// NoteAlloc records one Alloc that took steps loop iterations.
+func (s *OpStats) NoteAlloc(steps uint64) {
+	s.Allocs++
+	s.AllocSteps += steps
+	s.AllocMaxSteps = maxU64(s.AllocMaxSteps, steps)
+}
+
+// NoteFree records one free-list insertion that took steps attempts.
+func (s *OpStats) NoteFree(steps uint64) {
+	s.Frees++
+	s.FreeSteps += steps
+	s.FreeMaxSteps = maxU64(s.FreeMaxSteps, steps)
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

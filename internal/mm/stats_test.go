@@ -1,0 +1,71 @@
+package mm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNoteDeRef(t *testing.T) {
+	var s OpStats
+	s.NoteDeRef(1)
+	s.NoteDeRef(5)
+	s.NoteDeRef(3)
+	if s.DeRefs != 3 || s.DeRefSteps != 9 || s.DeRefMaxSteps != 5 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestNoteAllocFree(t *testing.T) {
+	var s OpStats
+	s.NoteAlloc(2)
+	s.NoteAlloc(7)
+	s.NoteFree(1)
+	s.NoteFree(4)
+	if s.Allocs != 2 || s.AllocSteps != 9 || s.AllocMaxSteps != 7 {
+		t.Fatalf("alloc stats = %+v", s)
+	}
+	if s.Frees != 2 || s.FreeSteps != 5 || s.FreeMaxSteps != 4 {
+		t.Fatalf("free stats = %+v", s)
+	}
+}
+
+func TestAddMergesCountersAndMaxes(t *testing.T) {
+	var a, b OpStats
+	a.NoteDeRef(2)
+	a.HelpsGiven = 3
+	a.CASFailures = 1
+	b.NoteDeRef(9)
+	b.HelpsReceived = 4
+	b.Retired = 2
+	b.Scans = 1
+	a.Add(&b)
+	if a.DeRefs != 2 || a.DeRefSteps != 11 || a.DeRefMaxSteps != 9 {
+		t.Fatalf("deref merge = %+v", a)
+	}
+	if a.HelpsGiven != 3 || a.HelpsReceived != 4 || a.CASFailures != 1 || a.Retired != 2 || a.Scans != 1 {
+		t.Fatalf("counter merge = %+v", a)
+	}
+}
+
+// TestAddCommutesOnTotals checks with random inputs that aggregation
+// order does not change totals (max fields are order-independent too).
+func TestAddCommutesOnTotals(t *testing.T) {
+	f := func(d1, d2, a1, a2 uint16) bool {
+		var x1, x2, y1, y2 OpStats
+		x1.NoteDeRef(uint64(d1) + 1)
+		x1.NoteAlloc(uint64(a1) + 1)
+		y1.NoteDeRef(uint64(d2) + 1)
+		y1.NoteAlloc(uint64(a2) + 1)
+		x2, y2 = y1, x1
+
+		var ab, ba OpStats
+		ab.Add(&x1)
+		ab.Add(&y1)
+		ba.Add(&x2)
+		ba.Add(&y2)
+		return ab == ba
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

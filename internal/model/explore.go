@@ -1,0 +1,125 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Result summarizes an exploration.
+type Result struct {
+	// States is the number of distinct states visited.
+	States int
+	// Schedules is the number of complete executions examined (leaf
+	// count for exhaustive runs, walk count for random runs).
+	Schedules int
+	// Violation is empty when every explored execution satisfied all
+	// invariants; otherwise it describes the first failure.
+	Violation string
+	// Trace is the thread schedule leading to the violation.
+	Trace []int
+	// Truncated reports that the state budget was exhausted before the
+	// space was covered.
+	Truncated bool
+}
+
+// Explore exhaustively enumerates interleavings of cfg by DFS with state
+// memoization, checking step invariants and the quiescent-state
+// invariants at every completed execution.  maxStates bounds the visited
+// set (0 selects a default of 2,000,000).
+func Explore(cfg Config, held map[uint8]int, maxStates int) Result {
+	if maxStates == 0 {
+		maxStates = 2_000_000
+	}
+	res := Result{}
+	seen := make(map[string]struct{}, 1<<16)
+	var trace []int
+
+	var dfs func(s *State) bool // returns true to stop (violation)
+	dfs = func(s *State) bool {
+		key := s.Key(cfg)
+		if _, ok := seen[key]; ok {
+			return false
+		}
+		if len(seen) >= maxStates {
+			res.Truncated = true
+			return false
+		}
+		seen[key] = struct{}{}
+
+		if s.Done(cfg) {
+			res.Schedules++
+			errs := s.CheckQuiescent(cfg, held)
+			if cfg.ModelFreeList {
+				errs = append(errs, s.CheckFreeListQuiescent(cfg)...)
+			}
+			if len(errs) > 0 {
+				res.Violation = fmt.Sprintf("quiescent check: %v", errs)
+				res.Trace = append([]int(nil), trace...)
+				return true
+			}
+			return false
+		}
+		for t := 0; t < cfg.Threads; t++ {
+			if !s.Runnable(t) {
+				continue
+			}
+			next := *s // states are plain values: this is a deep copy
+			if v := next.Step(cfg, t); v != "" {
+				res.Violation = v
+				res.Trace = append(append([]int(nil), trace...), t)
+				return true
+			}
+			trace = append(trace, t)
+			stop := dfs(&next)
+			trace = trace[:len(trace)-1]
+			if stop {
+				return true
+			}
+		}
+		return false
+	}
+
+	s := NewState(cfg)
+	dfs(s)
+	res.States = len(seen)
+	return res
+}
+
+// RandomWalks samples n random schedules of cfg, checking the same
+// invariants.  Use for configurations too large to enumerate.
+func RandomWalks(cfg Config, held map[uint8]int, n int, seed int64) Result {
+	res := Result{}
+	rng := rand.New(rand.NewSource(seed))
+	for walk := 0; walk < n; walk++ {
+		s := NewState(cfg)
+		var trace []int
+		for !s.Done(cfg) {
+			var runnable []int
+			for t := 0; t < cfg.Threads; t++ {
+				if s.Runnable(t) {
+					runnable = append(runnable, t)
+				}
+			}
+			t := runnable[rng.Intn(len(runnable))]
+			trace = append(trace, t)
+			if v := s.Step(cfg, t); v != "" {
+				res.Violation = v
+				res.Trace = trace
+				res.Schedules = walk + 1
+				return res
+			}
+		}
+		errs := s.CheckQuiescent(cfg, held)
+		if cfg.ModelFreeList {
+			errs = append(errs, s.CheckFreeListQuiescent(cfg)...)
+		}
+		if len(errs) > 0 {
+			res.Violation = fmt.Sprintf("quiescent check: %v", errs)
+			res.Trace = trace
+			res.Schedules = walk + 1
+			return res
+		}
+	}
+	res.Schedules = n
+	return res
+}

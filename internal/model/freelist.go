@@ -1,0 +1,232 @@
+package model
+
+import "fmt"
+
+// stepAlloc interprets the paper's AllocNode (Figure 5, lines A1–A18)
+// one shared-memory access at a time.  Frame fields: a = flags (bit 0:
+// helped), b = helpID, c = node, d = current free-list index, e =
+// successor read from mm_next.
+func (s *State) stepAlloc(cfg Config, t int, th *thread, f *frame) string {
+	const flagHelped = 1
+	nLists := uint8(2 * cfg.Threads)
+	switch f.pc {
+	case 0: // A1/A2
+		f.b = s.helpCur
+		f.pc = 1
+	case 1: // A4: check the grant cell
+		if s.annAlloc[t] != 0 {
+			f.pc = 2
+		} else {
+			f.pc = 3
+		}
+	case 2: // A4: adopt the grant (SWAP + FixRef(-1))
+		granted := s.annAlloc[t]
+		s.annAlloc[t] = 0
+		if granted == 0 {
+			// Only the owner clears its own cell, so the value cannot
+			// vanish between the check and the swap.
+			return fmt.Sprintf("T%d: annAlloc emptied by another thread", t)
+		}
+		s.ref[granted]-- // handover convention: 3 -> 2
+		return s.finishAlloc(t, th, granted)
+	case 3: // A5
+		f.d = s.curFL
+		f.pc = 4
+	case 4: // A6
+		f.c = s.freeHead[f.d]
+		if f.c == 0 {
+			f.pc = 5
+		} else {
+			f.pc = 6
+		}
+	case 5: // A7: rotate the active list, then loop to A3/A4
+		if s.curFL == f.d {
+			s.curFL = (f.d + 1) % nLists
+		}
+		f.pc = 1
+	case 6: // A9: guard the candidate so its mm_next freezes
+		if !cfg.Mode.SkipA9Guard {
+			s.ref[f.c] += 2
+		}
+		f.pc = 7
+	case 7: // read mm_next under the guard
+		f.e = s.next[f.c]
+		f.pc = 8
+	case 8: // A10: try to pop the candidate
+		if s.freeHead[f.d] == f.c {
+			s.freeHead[f.d] = f.e
+			if cfg.Mode.SkipA9Guard {
+				// Mutated protocol: no guard, no grant machinery; take
+				// the node directly (its count goes 1 -> 2 here).
+				s.ref[f.c]++
+				return s.finishAlloc(t, th, f.c)
+			}
+			f.pc = 9
+		} else if cfg.Mode.SkipA9Guard {
+			f.pc = 1 // no guard to roll back
+		} else {
+			// A18: lost the race; roll back the guard and loop.
+			f.pc = 1
+			th.push(frame{kind: kRelease, a: f.c})
+		}
+	case 9: // A11
+		if f.a&flagHelped == 0 && s.annAlloc[f.b] == 0 {
+			f.pc = 10
+		} else {
+			f.pc = 12
+		}
+	case 10: // A12: offer the node to the help target
+		if s.annAlloc[f.b] == 0 {
+			s.annAlloc[f.b] = f.c // node carries mm_ref 3: the grant convention
+			f.a |= flagHelped
+			f.pc = 11
+		} else {
+			f.pc = 12
+		}
+	case 11: // A14, then A15 (continue)
+		if s.helpCur == f.b {
+			s.helpCur = (f.b + 1) % uint8(cfg.Threads)
+		}
+		f.pc = 1
+	case 12: // A16
+		if s.helpCur == f.b {
+			s.helpCur = (f.b + 1) % uint8(cfg.Threads)
+		}
+		f.pc = 13
+	case 13: // A17: FixRef(-1) and return
+		s.ref[f.c]--
+		return s.finishAlloc(t, th, f.c)
+	}
+	return ""
+}
+
+// finishAlloc performs the ghost checks of a completed allocation.
+func (s *State) finishAlloc(t int, th *thread, n uint8) string {
+	if s.free&(1<<n) == 0 {
+		return fmt.Sprintf("T%d: allocated node %d that was not free (double allocation)", t, n)
+	}
+	s.free &^= 1 << n
+	// The allocation contributes net weight 2 (one reference), but
+	// concurrent A9 guards of losing allocators may transiently inflate
+	// the count; they roll back through A18.  Parity and a lower bound
+	// are the strongest local assertions; the quiescent check verifies
+	// exact conservation.
+	if s.ref[n] < 2 || s.ref[n]%2 != 0 {
+		return fmt.Sprintf("T%d: allocated node %d with mm_ref %d, want even ≥2", t, n, s.ref[n])
+	}
+	th.ret = n
+	th.pop()
+	return ""
+}
+
+// stepFree interprets the paper's FreeNode (Figure 5, lines F1–F10) with
+// the repository's F3 erratum fix (grant handover at mm_ref 3).  Frame
+// fields: a = node, b = helpID, c = head read, d = current list, e =
+// chosen index.
+func (s *State) stepFree(cfg Config, t int, th *thread, f *frame) string {
+	nLists := uint8(2 * cfg.Threads)
+	switch f.pc {
+	case 0: // F1
+		if cfg.Mode.SkipA9Guard {
+			// The A9 mutation also disables grants so every free reaches
+			// the lists, isolating the mm_next-freeze hazard.
+			f.pc = 5
+			return ""
+		}
+		f.b = s.helpCur
+		f.pc = 1
+	case 1: // F2
+		if s.helpCur == f.b {
+			s.helpCur = (f.b + 1) % uint8(cfg.Threads)
+		}
+		f.pc = 2
+	case 2: // erratum: raise to the grant convention before offering
+		if !cfg.Mode.PaperF3 {
+			s.ref[f.a] += 2
+		}
+		f.pc = 3
+	case 3: // F3: offer through annAlloc
+		if s.annAlloc[f.b] == 0 {
+			s.annAlloc[f.b] = f.a
+			th.pop()
+			return ""
+		}
+		f.pc = 4
+	case 4: // offer declined: back to the free-list value
+		if !cfg.Mode.PaperF3 {
+			s.ref[f.a] -= 2
+		}
+		f.pc = 5
+	case 5: // F4
+		f.d = s.curFL
+		// F5/F6: pick the list the allocators are not working on.
+		tid := uint8(t)
+		if f.d <= tid || f.d > uint8(cfg.Threads)+tid {
+			f.e = uint8(cfg.Threads) + tid
+		} else {
+			f.e = tid
+		}
+		f.pc = 6
+	case 6: // F8: read the head
+		f.c = s.freeHead[f.e]
+		f.pc = 7
+	case 7: // F8: write mm_next
+		s.next[f.a] = f.c
+		f.pc = 8
+	case 8: // F9: CAS the head
+		if s.freeHead[f.e] == f.c {
+			s.freeHead[f.e] = f.a
+			th.pop()
+		} else {
+			// F10: toggle to the partner list and retry.
+			f.e = (f.e + uint8(cfg.Threads)) % nLists
+			f.pc = 6
+		}
+	}
+	return ""
+}
+
+// CheckFreeListQuiescent extends the quiescent check for ModelFreeList
+// scenarios: free-list chains must be acyclic and consistent with the
+// ghost free set, and grant cells hold nodes at the handover count.
+func (s *State) CheckFreeListQuiescent(cfg Config) []string {
+	var errs []string
+	onList := uint16(0)
+	for i := 0; i < 2*cfg.Threads; i++ {
+		seen := 0
+		for n := s.freeHead[i]; n != 0; n = s.next[n] {
+			if onList&(1<<n) != 0 {
+				errs = append(errs, fmt.Sprintf("node %d appears on two free-lists", n))
+				break
+			}
+			onList |= 1 << n
+			if s.ref[n] != 1 {
+				errs = append(errs, fmt.Sprintf("free-list node %d has mm_ref %d, want 1", n, s.ref[n]))
+			}
+			if seen++; seen > cfg.Nodes {
+				errs = append(errs, fmt.Sprintf("free-list %d is cyclic", i))
+				break
+			}
+		}
+	}
+	granted := uint16(0)
+	wantGrantRef := int16(3)
+	if cfg.Mode.PaperF3 {
+		wantGrantRef = 1
+	}
+	for t := 0; t < cfg.Threads; t++ {
+		if n := s.annAlloc[t]; n != 0 {
+			if granted&(1<<n) != 0 || onList&(1<<n) != 0 {
+				errs = append(errs, fmt.Sprintf("granted node %d duplicated in free structures", n))
+			}
+			granted |= 1 << n
+			if s.ref[n] != wantGrantRef {
+				errs = append(errs, fmt.Sprintf("granted node %d has mm_ref %d, want %d", n, s.ref[n], wantGrantRef))
+			}
+		}
+	}
+	if got := onList | granted; got != s.free {
+		errs = append(errs, fmt.Sprintf("free structures hold %#x, ghost free set %#x", got, s.free))
+	}
+	return errs
+}

@@ -1,0 +1,191 @@
+package model
+
+import "testing"
+
+// scenarioAllocRace: two threads race to allocate from a short free
+// chain and release their results.  Exercises A9/A10 pop races, the
+// A11–A15 grant path and adoption at A4.
+func scenarioAllocRace() Config {
+	return Config{
+		Threads: 2, Nodes: 3, Links: 1, ModelFreeList: true,
+		Programs: [][]Instr{
+			{{Op: IAlloc, Reg: 0}, {Op: IRelReg, Reg: 0}},
+			{{Op: IAlloc, Reg: 0}, {Op: IRelReg, Reg: 0}},
+		},
+		Init: func(s *State) {
+			s.ChainFree(0, 1, 2, 3)
+		},
+	}
+}
+
+func TestExhaustiveAllocRace(t *testing.T) {
+	res := Explore(scenarioAllocRace(), nil, 4_000_000)
+	if res.Violation != "" {
+		t.Fatalf("violation: %s\ntrace: %v", res.Violation, res.Trace)
+	}
+	if res.Truncated {
+		t.Fatal("state budget exhausted")
+	}
+	if res.Schedules == 0 {
+		t.Fatal("no complete schedules")
+	}
+	t.Logf("alloc race: %d states, %d schedules", res.States, res.Schedules)
+}
+
+// scenarioAllocFreeHandoff: one thread frees while the other allocates,
+// exercising the F3 grant path against concurrent A4 adoption, and the
+// F5–F10 list insertion against A10 pops.
+func scenarioAllocFreeHandoff() Config {
+	return Config{
+		Threads: 2, Nodes: 2, Links: 1, ModelFreeList: true,
+		Programs: [][]Instr{
+			{{Op: IAlloc, Reg: 0}, {Op: IRelReg, Reg: 0}},
+			{{Op: IRelease, Node: 2}},
+		},
+		Init: func(s *State) {
+			s.ChainFree(0, 1)
+			s.ref[2] = 2 // node 2 held by T1, about to be freed
+		},
+	}
+}
+
+func TestExhaustiveAllocFreeHandoff(t *testing.T) {
+	res := Explore(scenarioAllocFreeHandoff(), nil, 4_000_000)
+	if res.Violation != "" {
+		t.Fatalf("violation: %s\ntrace: %v", res.Violation, res.Trace)
+	}
+	if res.Truncated {
+		t.Fatal("state budget exhausted")
+	}
+	t.Logf("alloc/free handoff: %d states, %d schedules", res.States, res.Schedules)
+}
+
+// scenarioSingleNodeChurn: both threads cycle alloc→release over a
+// single node — maximum interference on one head plus grant traffic.
+func scenarioSingleNodeChurn() Config {
+	return Config{
+		Threads: 2, Nodes: 1, Links: 1, ModelFreeList: true,
+		Programs: [][]Instr{
+			{{Op: IAlloc, Reg: 0}, {Op: IRelReg, Reg: 0}},
+			{{Op: IAlloc, Reg: 0}, {Op: IRelReg, Reg: 0}},
+		},
+		Init: func(s *State) {
+			s.ChainFree(0, 1)
+		},
+	}
+}
+
+func TestExhaustiveSingleNodeChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large exhaustive exploration")
+	}
+	res := Explore(scenarioSingleNodeChurn(), nil, 8_000_000)
+	if res.Violation != "" {
+		t.Fatalf("violation: %s\ntrace: %v", res.Violation, res.Trace)
+	}
+	t.Logf("single-node churn: %d states, %d schedules, truncated=%v",
+		res.States, res.Schedules, res.Truncated)
+}
+
+// scenarioFullCycle couples everything: a link dereference, an unlink
+// whose reclamation goes through the real FreeNode, and a concurrent
+// allocation that may adopt the freed node through a grant.
+func scenarioFullCycle() Config {
+	return Config{
+		Threads: 2, Nodes: 2, Links: 1, ModelFreeList: true,
+		Programs: [][]Instr{
+			{{Op: IDeRef, Link: 1, Reg: 0}, {Op: IRelReg, Reg: 0}, {Op: IAlloc, Reg: 1}, {Op: IRelReg, Reg: 1}},
+			{{Op: ICAS, Link: 1, Old: 1, New: 0}},
+		},
+		Init: func(s *State) {
+			s.SetLink(1, 1)
+			s.ChainFree(0, 2)
+		},
+	}
+}
+
+func TestExhaustiveFullCycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large exhaustive exploration")
+	}
+	res := Explore(scenarioFullCycle(), nil, 8_000_000)
+	if res.Violation != "" {
+		t.Fatalf("violation: %s\ntrace: %v", res.Violation, res.Trace)
+	}
+	t.Logf("full cycle: %d states, %d schedules, truncated=%v",
+		res.States, res.Schedules, res.Truncated)
+}
+
+// TestPaperF3IsBroken runs FreeNode's grant handover exactly as printed
+// in the paper (mm_ref 1 through annAlloc, no erratum fix); the explorer
+// must find the count corruption — mechanical evidence for the erratum
+// documented in DESIGN.md §6.1.
+func TestPaperF3IsBroken(t *testing.T) {
+	cfg := scenarioAllocFreeHandoff()
+	cfg.Mode.PaperF3 = true
+	res := Explore(cfg, nil, 4_000_000)
+	if res.Violation == "" {
+		t.Fatal("explorer found no violation with the paper's literal F3")
+	}
+	t.Logf("found (as expected): %s\ntrace: %v", res.Violation, res.Trace)
+}
+
+// TestSkipA9GuardIsBroken removes the reference-count guard that freezes
+// a free-list candidate's mm_next (line A9); the explorer must find the
+// remove/re-insert corruption §3.1 warns about.  The hazard needs a full
+// drain-rotate-refill cycle because the 2N-list design (Lemma 10)
+// deliberately keeps frees away from the list the allocators are
+// popping: T1 stalls between reading the head and its pop CAS while T0
+// cycles nodes through the other lists until the same head node
+// reappears with a different successor.
+func TestSkipA9GuardIsBroken(t *testing.T) {
+	cfg := Config{
+		Threads: 2, Nodes: 3, Links: 1, ModelFreeList: true,
+		Mode: Mode{SkipA9Guard: true},
+		Programs: [][]Instr{
+			{
+				{Op: IAlloc, Reg: 0}, {Op: IAlloc, Reg: 1}, {Op: IAlloc, Reg: 2},
+				{Op: IRelReg, Reg: 2}, {Op: IRelReg, Reg: 1},
+				{Op: IAlloc, Reg: 3},
+				{Op: IRelReg, Reg: 0},
+				{Op: IRelReg, Reg: 3},
+			},
+			{{Op: IAlloc, Reg: 0}, {Op: IRelReg, Reg: 0}},
+		},
+		Init: func(s *State) {
+			s.ChainFree(0, 1, 2, 3)
+		},
+	}
+	res := Explore(cfg, nil, 16_000_000)
+	if res.Violation == "" {
+		t.Fatalf("explorer found no violation without the A9 guard (states=%d truncated=%v)",
+			res.States, res.Truncated)
+	}
+	t.Logf("found (as expected): %s\ntrace: %v", res.Violation, res.Trace)
+}
+
+// TestRandomWalksFreeList samples schedules on a three-thread free-list
+// scenario too large to enumerate exhaustively.
+func TestRandomWalksFreeList(t *testing.T) {
+	cfg := Config{
+		Threads: 3, Nodes: 4, Links: 1, ModelFreeList: true,
+		Programs: [][]Instr{
+			{{Op: IAlloc, Reg: 0}, {Op: IRelReg, Reg: 0}, {Op: IAlloc, Reg: 0}, {Op: IRelReg, Reg: 0}},
+			{{Op: IAlloc, Reg: 0}, {Op: IRelReg, Reg: 0}},
+			{{Op: IRelease, Node: 4}, {Op: IAlloc, Reg: 0}, {Op: IRelReg, Reg: 0}},
+		},
+		Init: func(s *State) {
+			s.ChainFree(0, 1, 2, 3)
+			s.ref[4] = 2
+		},
+	}
+	walks := 20000
+	if testing.Short() {
+		walks = 2000
+	}
+	res := RandomWalks(cfg, nil, walks, 777)
+	if res.Violation != "" {
+		t.Fatalf("violation: %s\ntrace: %v", res.Violation, res.Trace)
+	}
+	t.Logf("free-list random walks: %d schedules clean", res.Schedules)
+}

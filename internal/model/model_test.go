@@ -1,0 +1,303 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// scenarioBasic: one reader dereferences a link while one writer swings
+// it from a to b and releases its own reference to b.
+//
+// Initial heap: link 1 -> node 1; node 2 held by the writer; node 3 free.
+func scenarioBasic(mode Mode) Config {
+	return Config{
+		Threads: 2, Nodes: 3, Links: 1, Mode: mode,
+		Programs: [][]Instr{
+			{{Op: IDeRef, Link: 1, Reg: 0}, {Op: IRelReg, Reg: 0}},
+			{{Op: ICAS, Link: 1, Old: 1, New: 2}, {Op: IRelease, Node: 2}},
+		},
+		Init: func(s *State) {
+			s.SetLink(1, 1)
+			s.AddRef(2)
+			s.AddFree(3)
+		},
+	}
+}
+
+func TestExhaustiveBasicSwing(t *testing.T) {
+	res := Explore(scenarioBasic(Mode{}), nil, 0)
+	if res.Violation != "" {
+		t.Fatalf("violation: %s\ntrace: %v", res.Violation, res.Trace)
+	}
+	if res.Truncated {
+		t.Fatal("state budget exhausted")
+	}
+	if res.Schedules == 0 || res.States < 100 {
+		t.Fatalf("suspiciously small exploration: %+v", res)
+	}
+	t.Logf("basic swing: %d states, %d complete schedules", res.States, res.Schedules)
+}
+
+// scenarioUnlinkReclaim: the writer unlinks the only node, whose
+// reclamation races the reader's optimistic increment — the situation
+// HelpDeRef exists for (Lemma 2's helped case).
+func scenarioUnlinkReclaim(mode Mode) Config {
+	return Config{
+		Threads: 2, Nodes: 2, Links: 1, Mode: mode,
+		Programs: [][]Instr{
+			{{Op: IDeRef, Link: 1, Reg: 0}, {Op: IRelReg, Reg: 0}},
+			{{Op: ICAS, Link: 1, Old: 1, New: 0}},
+		},
+		Init: func(s *State) {
+			s.SetLink(1, 1)
+			s.AddFree(2)
+		},
+	}
+}
+
+func TestExhaustiveUnlinkReclaim(t *testing.T) {
+	res := Explore(scenarioUnlinkReclaim(Mode{}), nil, 0)
+	if res.Violation != "" {
+		t.Fatalf("violation: %s\ntrace: %v", res.Violation, res.Trace)
+	}
+	if res.Truncated {
+		t.Fatal("state budget exhausted")
+	}
+	t.Logf("unlink-reclaim: %d states, %d schedules", res.States, res.Schedules)
+}
+
+// TestNoHelpIsUnsafe removes the HelpDeRef obligation; the explorer must
+// find the Lemma 2 failure: a dereference returning a reclaimed node
+// (or the resulting count corruption).
+func TestNoHelpIsUnsafe(t *testing.T) {
+	res := Explore(scenarioUnlinkReclaim(Mode{NoHelp: true}), nil, 0)
+	if res.Violation == "" {
+		t.Fatal("explorer found no violation with helping disabled")
+	}
+	t.Logf("found (as expected): %s\ntrace: %v", res.Violation, res.Trace)
+	if !strings.Contains(res.Violation, "reclaimed") && !strings.Contains(res.Violation, "mm_ref") {
+		t.Errorf("unexpected violation class: %s", res.Violation)
+	}
+}
+
+// scenarioSlotReuse: the announcement-slot ABA case of §3.  T0
+// dereferences the same link twice; T1's CASLink helper can be paused
+// with a pending answer for the first announcement; T2 moves the link
+// onward in between.  With busy counters the second announcement avoids
+// the pinned slot; without them the stale answer lands in the fresh
+// announcement.
+//
+// Heap: link 1 -> node 1; T1 holds node 2, T2 holds node 3.
+func scenarioSlotReuse(mode Mode) Config {
+	return Config{
+		Threads: 3, Nodes: 3, Links: 1, Mode: mode,
+		Programs: [][]Instr{
+			{
+				{Op: IDeRef, Link: 1, Reg: 0}, {Op: IRelReg, Reg: 0},
+				{Op: IDeRef, Link: 1, Reg: 0}, {Op: IRelReg, Reg: 0},
+			},
+			{{Op: ICAS, Link: 1, Old: 1, New: 2}, {Op: IRelease, Node: 2}},
+			{{Op: ICAS, Link: 1, Old: 2, New: 3}, {Op: IRelease, Node: 3}},
+		},
+		Init: func(s *State) {
+			s.SetLink(1, 1)
+			s.AddRef(2)
+			s.AddRef(3)
+		},
+	}
+}
+
+func TestExhaustiveSlotReuseSafeWithBusyCounters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large exhaustive exploration")
+	}
+	res := Explore(scenarioSlotReuse(Mode{}), nil, 6_000_000)
+	if res.Violation != "" {
+		t.Fatalf("violation: %s\ntrace: %v", res.Violation, res.Trace)
+	}
+	t.Logf("slot reuse (protected): %d states, %d schedules, truncated=%v",
+		res.States, res.Schedules, res.Truncated)
+}
+
+// TestSkipBusyCheckIsUnsafe disables the busy counters; the explorer
+// must exhibit the stale-answer ABA the paper describes.
+func TestSkipBusyCheckIsUnsafe(t *testing.T) {
+	res := Explore(scenarioSlotReuse(Mode{SkipBusyCheck: true}), nil, 6_000_000)
+	if res.Violation == "" {
+		t.Fatalf("explorer found no violation with busy counters disabled (states=%d truncated=%v)",
+			res.States, res.Truncated)
+	}
+	t.Logf("found (as expected): %s\ntrace: %v", res.Violation, res.Trace)
+}
+
+// scenarioReleaseRace: two threads race to reclaim the same node.
+func scenarioReleaseRace() Config {
+	return Config{
+		Threads: 2, Nodes: 1, Links: 1,
+		Programs: [][]Instr{
+			{{Op: IRelease, Node: 1}},
+			{{Op: IRelease, Node: 1}},
+		},
+		Init: func(s *State) {
+			s.AddRef(1)
+			s.AddRef(1)
+		},
+	}
+}
+
+func TestExhaustiveReleaseRace(t *testing.T) {
+	res := Explore(scenarioReleaseRace(), nil, 0)
+	if res.Violation != "" {
+		t.Fatalf("violation: %s\ntrace: %v", res.Violation, res.Trace)
+	}
+	t.Logf("release race: %d states, %d schedules", res.States, res.Schedules)
+}
+
+// scenarioTwoReaders: two concurrent dereferences of the same link plus
+// an unlinking writer; exercises multiple simultaneous announcements.
+func scenarioTwoReaders() Config {
+	return Config{
+		Threads: 3, Nodes: 2, Links: 1,
+		Programs: [][]Instr{
+			{{Op: IDeRef, Link: 1, Reg: 0}, {Op: IRelReg, Reg: 0}},
+			{{Op: IDeRef, Link: 1, Reg: 0}, {Op: IRelReg, Reg: 0}},
+			{{Op: ICAS, Link: 1, Old: 1, New: 0}},
+		},
+		Init: func(s *State) {
+			s.SetLink(1, 1)
+			s.AddFree(2)
+		},
+	}
+}
+
+func TestExhaustiveTwoReaders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large exhaustive exploration")
+	}
+	res := Explore(scenarioTwoReaders(), nil, 6_000_000)
+	if res.Violation != "" {
+		t.Fatalf("violation: %s\ntrace: %v", res.Violation, res.Trace)
+	}
+	t.Logf("two readers: %d states, %d schedules, truncated=%v",
+		res.States, res.Schedules, res.Truncated)
+}
+
+// TestRandomWalksLargeScenario samples schedules on a scenario with more
+// traffic than the exhaustive tests can cover.
+func TestRandomWalksLargeScenario(t *testing.T) {
+	cfg := Config{
+		Threads: 3, Nodes: 5, Links: 2,
+		Programs: [][]Instr{
+			{
+				{Op: IDeRef, Link: 1, Reg: 0}, {Op: IRelReg, Reg: 0},
+				{Op: IDeRef, Link: 2, Reg: 0}, {Op: IRelReg, Reg: 0},
+				{Op: IDeRef, Link: 1, Reg: 0}, {Op: IRelReg, Reg: 0},
+			},
+			{
+				{Op: ICAS, Link: 1, Old: 1, New: 3}, {Op: IRelease, Node: 3},
+				{Op: ICAS, Link: 2, Old: 2, New: 0},
+			},
+			{
+				{Op: ICAS, Link: 1, Old: 3, New: 4}, {Op: IRelease, Node: 4},
+				{Op: ICAS, Link: 2, Old: 2, New: 5}, {Op: IRelease, Node: 5},
+			},
+		},
+		Init: func(s *State) {
+			s.SetLink(1, 1)
+			s.SetLink(2, 2)
+			s.AddRef(3)
+			s.AddRef(4)
+			s.AddRef(5)
+		},
+	}
+	walks := 30000
+	if testing.Short() {
+		walks = 3000
+	}
+	res := RandomWalks(cfg, nil, walks, 12345)
+	if res.Violation != "" {
+		t.Fatalf("violation: %s\ntrace: %v", res.Violation, res.Trace)
+	}
+	t.Logf("random walks: %d schedules clean", res.Schedules)
+}
+
+// scenarioCASFailureRollback: two writers race the same CAS; exactly one
+// must win, and the loser's prospective reference must roll back.
+func scenarioCASFailureRollback() Config {
+	return Config{
+		Threads: 3, Nodes: 3, Links: 1,
+		Programs: [][]Instr{
+			{{Op: ICAS, Link: 1, Old: 1, New: 2}, {Op: IRelease, Node: 2}},
+			{{Op: ICAS, Link: 1, Old: 1, New: 3}, {Op: IRelease, Node: 3}},
+			{{Op: IDeRef, Link: 1, Reg: 0}, {Op: IRelReg, Reg: 0}},
+		},
+		Init: func(s *State) {
+			s.SetLink(1, 1)
+			s.AddRef(2)
+			s.AddRef(3)
+		},
+	}
+}
+
+func TestExhaustiveCASFailureRollback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large exhaustive exploration")
+	}
+	res := Explore(scenarioCASFailureRollback(), nil, 8_000_000)
+	if res.Violation != "" {
+		t.Fatalf("violation: %s\ntrace: %v", res.Violation, res.Trace)
+	}
+	if res.Truncated {
+		t.Fatal("state budget exhausted")
+	}
+	t.Logf("CAS rollback: %d states, %d schedules", res.States, res.Schedules)
+}
+
+// scenarioTwoLinks: dereferences and updates interleave across two
+// distinct links, so HelpDeRef scans regularly see announcements for the
+// other link (the H3 mismatch path).
+func scenarioTwoLinks() Config {
+	return Config{
+		Threads: 2, Nodes: 4, Links: 2,
+		Programs: [][]Instr{
+			{
+				{Op: IDeRef, Link: 1, Reg: 0}, {Op: IRelReg, Reg: 0},
+				{Op: ICAS, Link: 2, Old: 2, New: 4}, {Op: IRelease, Node: 4},
+			},
+			{
+				{Op: IDeRef, Link: 2, Reg: 0}, {Op: IRelReg, Reg: 0},
+				{Op: ICAS, Link: 1, Old: 1, New: 3}, {Op: IRelease, Node: 3},
+			},
+		},
+		Init: func(s *State) {
+			s.SetLink(1, 1)
+			s.SetLink(2, 2)
+			s.AddRef(3)
+			s.AddRef(4)
+		},
+	}
+}
+
+func TestExhaustiveTwoLinks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large exhaustive exploration")
+	}
+	res := Explore(scenarioTwoLinks(), nil, 8_000_000)
+	if res.Violation != "" {
+		t.Fatalf("violation: %s\ntrace: %v", res.Violation, res.Trace)
+	}
+	if res.Truncated {
+		t.Fatal("state budget exhausted")
+	}
+	t.Logf("two links: %d states, %d schedules", res.States, res.Schedules)
+}
+
+// TestModelDeterminism guards the explorer itself: same config, same
+// result counts.
+func TestModelDeterminism(t *testing.T) {
+	a := Explore(scenarioBasic(Mode{}), nil, 0)
+	b := Explore(scenarioBasic(Mode{}), nil, 0)
+	if a.States != b.States || a.Schedules != b.Schedules {
+		t.Fatalf("nondeterministic exploration: %+v vs %+v", a, b)
+	}
+}

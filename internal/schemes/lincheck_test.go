@@ -1,0 +1,141 @@
+package schemes
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/lincheck"
+)
+
+// TestAllocatorLinearizability records real concurrent alloc/free
+// histories from every scheme on a tiny arena and verifies them against
+// the sequential allocator specification (paper Definition 1, equations
+// (1)-(2)) with the Wing–Gong checker.  A double allocation, a lost
+// free, or an alloc of a node that was never freed would fail the check.
+func TestAllocatorLinearizability(t *testing.T) {
+	const (
+		nodes      = 4
+		threads    = 3
+		opsPerThr  = 6
+		rounds     = 25
+		shortRound = 5
+	)
+	nRounds := rounds
+	if testing.Short() {
+		nRounds = shortRound
+	}
+	for _, f := range Factories() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			for round := 0; round < nRounds; round++ {
+				s, err := f.New(arena.Config{Nodes: nodes}, Options{
+					Threads: threads, RetireThreshold: 1,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var clock atomic.Int64
+				var mu sync.Mutex
+				var history []lincheck.Op
+
+				record := func(op lincheck.Op) {
+					mu.Lock()
+					history = append(history, op)
+					mu.Unlock()
+				}
+
+				var wg sync.WaitGroup
+				for i := 0; i < threads; i++ {
+					wg.Add(1)
+					go func(id int, seed int64) {
+						defer wg.Done()
+						th, err := s.Register()
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						defer th.Unregister()
+						rng := rand.New(rand.NewSource(seed))
+						var held []arena.Handle
+						for k := 0; k < opsPerThr; k++ {
+							if len(held) > 0 && rng.Intn(2) == 0 {
+								h := held[len(held)-1]
+								held = held[:len(held)-1]
+								begin := clock.Add(1)
+								th.Release(h)
+								th.Retire(h)
+								end := clock.Add(1)
+								record(lincheck.Op{Thread: id, Name: "free", Arg: uint64(h), Begin: begin, End: end})
+								continue
+							}
+							begin := clock.Add(1)
+							h, err := th.Alloc()
+							end := clock.Add(1)
+							if err != nil {
+								continue // transient exhaustion: no event
+							}
+							record(lincheck.Op{Thread: id, Name: "alloc", Ret: uint64(h), Begin: begin, End: end})
+							held = append(held, h)
+						}
+						for _, h := range held {
+							begin := clock.Add(1)
+							th.Release(h)
+							th.Retire(h)
+							end := clock.Add(1)
+							record(lincheck.Op{Thread: id, Name: "free", Arg: uint64(h), Begin: begin, End: end})
+						}
+					}(i, int64(round*31+i))
+				}
+				wg.Wait()
+
+				if ok, why := lincheck.Check(lincheck.AllocModel{Nodes: nodes}, history); !ok {
+					t.Fatalf("round %d (%s): history not linearizable:\n%s", round, f.Name, why)
+				}
+			}
+		})
+	}
+}
+
+// TestFactoryBasics exercises the registry plumbing.
+func TestFactoryBasics(t *testing.T) {
+	if len(Names()) != 5 {
+		t.Fatalf("Names() = %v, want 5 schemes", Names())
+	}
+	for _, name := range Names() {
+		f, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := f.New(arena.Config{Nodes: 2}, Options{Threads: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name() == "" || s.Threads() != 1 || s.Arena() == nil {
+			t.Errorf("%s: malformed scheme %q/%d", name, s.Name(), s.Threads())
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("ByName accepted bogus scheme")
+	}
+}
+
+// TestAuditRCDispatch sanity-checks the audit helper across schemes.
+func TestAuditRCDispatch(t *testing.T) {
+	for _, name := range []string{"waitfree", "valois", "lockrc"} {
+		f, _ := ByName(name)
+		s, _ := f.New(arena.Config{Nodes: 4}, Options{Threads: 1})
+		if errs := AuditRC(s, nil); len(errs) != 0 {
+			t.Errorf("%s: clean scheme failed audit: %v", name, errs)
+		}
+	}
+	for _, name := range []string{"hazard", "epoch"} {
+		f, _ := ByName(name)
+		s, _ := f.New(arena.Config{Nodes: 4}, Options{Threads: 1})
+		if errs := AuditRC(s, nil); errs != nil {
+			t.Errorf("%s: non-RC scheme returned audit errors: %v", name, errs)
+		}
+	}
+}

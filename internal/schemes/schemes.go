@@ -1,0 +1,131 @@
+// Package schemes enumerates the memory-management schemes in this
+// repository behind a uniform constructor, so tests, benchmarks and the
+// experiment harness can run the same data-structure code over every
+// scheme.
+package schemes
+
+import (
+	"fmt"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/baseline/epoch"
+	"wfrc/internal/baseline/hazard"
+	"wfrc/internal/baseline/lockrc"
+	"wfrc/internal/baseline/valois"
+	"wfrc/internal/core"
+	"wfrc/internal/mm"
+)
+
+// Options tunes scheme construction.
+type Options struct {
+	// Threads is the maximum number of concurrently registered threads.
+	Threads int
+	// HazardSlots overrides the hazard-pointer scheme's slots per thread
+	// (0 keeps its default).  Structures that hold many simultaneous
+	// references — the skiplist holds about 2·(maxLevel+2) — need this
+	// raised.
+	HazardSlots int
+	// AllocRetryLimit overrides the out-of-memory retry bound of the
+	// schemes that have one (0 keeps defaults).
+	AllocRetryLimit int
+	// RetireThreshold overrides the hazard/epoch reclamation trigger
+	// (0 keeps defaults).  Deferred-reclamation schemes retain up to
+	// threads*threshold nodes, so benchmarks bound it explicitly.
+	RetireThreshold int
+}
+
+// Factory names and constructs one memory-management scheme.
+type Factory struct {
+	// Name is the scheme identifier used in test names and benchmark
+	// output: waitfree, valois, hazard, epoch, lockrc.
+	Name string
+	// New builds a fresh scheme over a fresh arena.
+	New func(acfg arena.Config, opts Options) (mm.Scheme, error)
+}
+
+// Factories returns all five schemes: the paper's wait-free contribution
+// plus the four baselines.
+func Factories() []Factory {
+	return []Factory{
+		{Name: "waitfree", New: func(acfg arena.Config, o Options) (mm.Scheme, error) {
+			ar, err := arena.New(acfg)
+			if err != nil {
+				return nil, err
+			}
+			return core.New(ar, core.Config{Threads: o.Threads, AllocRetryLimit: o.AllocRetryLimit})
+		}},
+		{Name: "valois", New: func(acfg arena.Config, o Options) (mm.Scheme, error) {
+			ar, err := arena.New(acfg)
+			if err != nil {
+				return nil, err
+			}
+			return valois.New(ar, valois.Config{Threads: o.Threads, AllocRetryLimit: o.AllocRetryLimit})
+		}},
+		{Name: "hazard", New: func(acfg arena.Config, o Options) (mm.Scheme, error) {
+			ar, err := arena.New(acfg)
+			if err != nil {
+				return nil, err
+			}
+			return hazard.New(ar, hazard.Config{
+				Threads:         o.Threads,
+				SlotsPerThread:  o.HazardSlots,
+				AllocRetryLimit: o.AllocRetryLimit,
+				RetireThreshold: o.RetireThreshold,
+			})
+		}},
+		{Name: "epoch", New: func(acfg arena.Config, o Options) (mm.Scheme, error) {
+			ar, err := arena.New(acfg)
+			if err != nil {
+				return nil, err
+			}
+			return epoch.New(ar, epoch.Config{
+				Threads:         o.Threads,
+				AllocRetryLimit: o.AllocRetryLimit,
+				RetireThreshold: o.RetireThreshold,
+			})
+		}},
+		{Name: "lockrc", New: func(acfg arena.Config, o Options) (mm.Scheme, error) {
+			ar, err := arena.New(acfg)
+			if err != nil {
+				return nil, err
+			}
+			return lockrc.New(ar, lockrc.Config{Threads: o.Threads})
+		}},
+	}
+}
+
+// ByName returns the factory with the given name.
+func ByName(name string) (Factory, error) {
+	for _, f := range Factories() {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return Factory{}, fmt.Errorf("schemes: unknown scheme %q", name)
+}
+
+// Names lists the factory names in canonical order.
+func Names() []string {
+	fs := Factories()
+	names := make([]string, len(fs))
+	for i, f := range fs {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// AuditRC runs the reference-counting audit on schemes that support it
+// (waitfree, valois, lockrc); for the others it returns nil.  Quiescence
+// only.
+func AuditRC(s mm.Scheme, extraRefs map[arena.Handle]int) []error {
+	switch cs := s.(type) {
+	case *core.Scheme:
+		return cs.Audit(extraRefs)
+	case *valois.Scheme:
+		return cs.Audit(extraRefs)
+	case *lockrc.Scheme:
+		return cs.Audit(extraRefs)
+	default:
+		return nil
+	}
+}

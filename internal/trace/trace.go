@@ -1,0 +1,224 @@
+// Package trace provides a recording decorator for mm.Thread: every
+// memory-management operation a thread performs is appended to a
+// fixed-size per-thread ring buffer, cheap enough to leave enabled
+// during stress runs and dumped when an audit or invariant check fails.
+// Because it wraps the scheme-neutral interface, it works over every
+// memory-management scheme without touching their hot paths.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/mm"
+)
+
+// Kind identifies a recorded operation.
+type Kind uint8
+
+// Recorded operation kinds.
+const (
+	KAlloc Kind = iota
+	KAllocFail
+	KDeRef
+	KRelease
+	KCopy
+	KCASOk
+	KCASFail
+	KStore
+	KRetire
+	KBeginOp
+	KEndOp
+)
+
+var kindNames = [...]string{
+	"alloc", "alloc!", "deref", "release", "copy",
+	"cas+", "cas-", "store", "retire", "begin", "end",
+}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// Event is one recorded operation.
+type Event struct {
+	Seq  uint64
+	When time.Duration // since the recorder was created
+	Kind Kind
+	Link mm.LinkID
+	Node arena.Handle
+	Aux  arena.Handle // CAS: new target; DeRef: result
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case KDeRef:
+		return fmt.Sprintf("%6d %8s deref  l%d -> n%d", e.Seq, e.When.Round(time.Microsecond), e.Link, e.Aux)
+	case KCASOk, KCASFail:
+		return fmt.Sprintf("%6d %8s %s   l%d n%d -> n%d", e.Seq, e.When.Round(time.Microsecond), e.Kind, e.Link, e.Node, e.Aux)
+	case KStore:
+		return fmt.Sprintf("%6d %8s store  l%d <- n%d", e.Seq, e.When.Round(time.Microsecond), e.Link, e.Aux)
+	default:
+		return fmt.Sprintf("%6d %8s %-6s n%d", e.Seq, e.When.Round(time.Microsecond), e.Kind, e.Node)
+	}
+}
+
+// Thread wraps an mm.Thread, recording every operation into a ring
+// buffer of the configured capacity.  It implements mm.Thread.
+type Thread struct {
+	inner mm.Thread
+	start time.Time
+	ring  []Event
+	seq   uint64
+}
+
+// Wrap decorates t with a recorder holding the last capacity events
+// (minimum 16).
+func Wrap(t mm.Thread, capacity int) *Thread {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Thread{inner: t, start: time.Now(), ring: make([]Event, 0, capacity)}
+}
+
+func (t *Thread) record(k Kind, l mm.LinkID, n, aux arena.Handle) {
+	e := Event{Seq: t.seq, When: time.Since(t.start), Kind: k, Link: l, Node: n, Aux: aux}
+	t.seq++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, e)
+		return
+	}
+	t.ring[int(e.Seq)%cap(t.ring)] = e
+}
+
+// Events returns the recorded events, oldest first.
+func (t *Thread) Events() []Event {
+	if len(t.ring) < cap(t.ring) {
+		return append([]Event(nil), t.ring...)
+	}
+	cut := int(t.seq) % cap(t.ring)
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[cut:]...)
+	out = append(out, t.ring[:cut]...)
+	return out
+}
+
+// Dump renders the recorded events.
+func (t *Thread) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace of thread %d (%d ops total, last %d shown):\n",
+		t.inner.ID(), t.seq, len(t.ring))
+	for _, e := range t.Events() {
+		b.WriteString("  ")
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// --- mm.Thread ---------------------------------------------------------------
+
+// ID implements mm.Thread.
+func (t *Thread) ID() int { return t.inner.ID() }
+
+// Stats implements mm.Thread.
+func (t *Thread) Stats() *mm.OpStats { return t.inner.Stats() }
+
+// Unregister implements mm.Thread.
+func (t *Thread) Unregister() { t.inner.Unregister() }
+
+// Alloc implements mm.Thread.
+func (t *Thread) Alloc() (arena.Handle, error) {
+	h, err := t.inner.Alloc()
+	if err != nil {
+		t.record(KAllocFail, 0, 0, 0)
+	} else {
+		t.record(KAlloc, 0, h, 0)
+	}
+	return h, err
+}
+
+// DeRef implements mm.Thread.
+func (t *Thread) DeRef(l mm.LinkID) mm.Ptr {
+	p := t.inner.DeRef(l)
+	t.record(KDeRef, l, 0, p.Handle())
+	return p
+}
+
+// Release implements mm.Thread.
+func (t *Thread) Release(h arena.Handle) {
+	t.inner.Release(h)
+	t.record(KRelease, 0, h, 0)
+}
+
+// Copy implements mm.Thread.
+func (t *Thread) Copy(h arena.Handle) {
+	t.inner.Copy(h)
+	t.record(KCopy, 0, h, 0)
+}
+
+// CASLink implements mm.Thread.
+func (t *Thread) CASLink(l mm.LinkID, old, new mm.Ptr) bool {
+	ok := t.inner.CASLink(l, old, new)
+	k := KCASOk
+	if !ok {
+		k = KCASFail
+	}
+	t.record(k, l, old.Handle(), new.Handle())
+	return ok
+}
+
+// StoreLink implements mm.Thread.
+func (t *Thread) StoreLink(l mm.LinkID, p mm.Ptr) {
+	t.inner.StoreLink(l, p)
+	t.record(KStore, l, 0, p.Handle())
+}
+
+// Load implements mm.Thread.
+func (t *Thread) Load(l mm.LinkID) mm.Ptr { return t.inner.Load(l) }
+
+// Retire implements mm.Thread.
+func (t *Thread) Retire(h arena.Handle) {
+	t.inner.Retire(h)
+	t.record(KRetire, 0, h, 0)
+}
+
+// BeginOp implements mm.Thread.
+func (t *Thread) BeginOp() {
+	t.inner.BeginOp()
+	t.record(KBeginOp, 0, 0, 0)
+}
+
+// EndOp implements mm.Thread.
+func (t *Thread) EndOp() {
+	t.inner.EndOp()
+	t.record(KEndOp, 0, 0, 0)
+}
+
+// Balance folds the trace into per-node net reference deltas as seen by
+// this thread: +1 for each Alloc/DeRef/Copy of the node, -1 for each
+// Release.  At a point where the thread holds no references, every
+// entry should be zero — a quick leak finder for data-structure code.
+func (t *Thread) Balance() map[arena.Handle]int {
+	bal := make(map[arena.Handle]int)
+	for _, e := range t.Events() {
+		switch e.Kind {
+		case KAlloc:
+			bal[e.Node]++
+		case KDeRef:
+			if e.Aux != arena.Nil {
+				bal[e.Aux]++
+			}
+		case KCopy:
+			bal[e.Node]++
+		case KRelease:
+			bal[e.Node]--
+		}
+	}
+	for h, v := range bal {
+		if v == 0 {
+			delete(bal, h)
+		}
+	}
+	return bal
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/core"
+)
+
+func setup(t *testing.T, capacity int) (*Thread, *arena.Arena, arena.LinkID) {
+	t.Helper()
+	ar := arena.MustNew(arena.Config{Nodes: 8, LinksPerNode: 1, ValsPerNode: 1, RootLinks: 1})
+	s := core.MustNew(ar, core.Config{Threads: 1})
+	inner, err := s.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Wrap(inner, capacity), ar, ar.NewRoot()
+}
+
+func TestRecordsOperations(t *testing.T) {
+	th, _, root := setup(t, 64)
+	defer th.Unregister()
+
+	th.BeginOp()
+	h, err := th.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.StoreLink(root, arena.MakePtr(h, false))
+	th.Release(h)
+	p := th.DeRef(root)
+	th.Copy(p.Handle())
+	th.Release(p.Handle())
+	th.Release(p.Handle())
+	if !th.CASLink(root, p, arena.NilPtr) {
+		t.Fatal("CAS failed")
+	}
+	if th.CASLink(root, p, arena.NilPtr) {
+		t.Fatal("stale CAS succeeded")
+	}
+	th.Retire(h)
+	th.EndOp()
+
+	events := th.Events()
+	wantKinds := []Kind{KBeginOp, KAlloc, KStore, KRelease, KDeRef, KCopy,
+		KRelease, KRelease, KCASOk, KCASFail, KRetire, KEndOp}
+	if len(events) != len(wantKinds) {
+		t.Fatalf("recorded %d events, want %d:\n%s", len(events), len(wantKinds), th.Dump())
+	}
+	for i, k := range wantKinds {
+		if events[i].Kind != k {
+			t.Errorf("event %d = %v, want %v", i, events[i].Kind, k)
+		}
+		if events[i].Seq != uint64(i) {
+			t.Errorf("event %d seq = %d", i, events[i].Seq)
+		}
+	}
+}
+
+func TestRingWrapsKeepingNewest(t *testing.T) {
+	th, _, root := setup(t, 16)
+	defer th.Unregister()
+	for i := 0; i < 50; i++ {
+		p := th.DeRef(root) // nil link: deref + nothing held
+		_ = p
+	}
+	events := th.Events()
+	if len(events) != 16 {
+		t.Fatalf("ring holds %d, want 16", len(events))
+	}
+	for i, e := range events {
+		if e.Seq != uint64(50-16+i) {
+			t.Fatalf("ring order wrong at %d: seq %d", i, e.Seq)
+		}
+	}
+}
+
+func TestBalanceFlagsLeaks(t *testing.T) {
+	th, _, root := setup(t, 64)
+	defer th.Unregister()
+
+	h, _ := th.Alloc()
+	th.StoreLink(root, arena.MakePtr(h, false))
+	th.Release(h)
+	p := th.DeRef(root)
+	// Balanced so far except the live deref reference.
+	if bal := th.Balance(); bal[p.Handle()] != 1 || len(bal) != 1 {
+		t.Fatalf("balance = %v, want {%d:1}", bal, p.Handle())
+	}
+	th.Release(p.Handle())
+	if bal := th.Balance(); len(bal) != 0 {
+		t.Fatalf("balance after release = %v, want empty", bal)
+	}
+}
+
+func TestDumpRenders(t *testing.T) {
+	th, _, root := setup(t, 32)
+	defer th.Unregister()
+	h, _ := th.Alloc()
+	th.StoreLink(root, arena.MakePtr(h, false))
+	th.Release(h)
+	out := th.Dump()
+	for _, want := range []string{"trace of thread 0", "alloc", "store", "release"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+	th.CASLink(root, arena.MakePtr(h, false), arena.NilPtr)
+}
+
+func TestWrapMinimumCapacity(t *testing.T) {
+	th, _, _ := setup(t, 1)
+	defer th.Unregister()
+	if cap(th.ring) < 16 {
+		t.Fatalf("capacity %d below minimum", cap(th.ring))
+	}
+	if th.ID() != 0 || th.Stats() == nil {
+		t.Fatal("delegation broken")
+	}
+}

@@ -1,0 +1,249 @@
+// Package universal implements a wait-free universal construction
+// (Herlihy, "Wait-free synchronization", 1991 — adapted to CAS) on top
+// of the wait-free memory-management scheme: any sequential object whose
+// state fits a machine word becomes a linearizable wait-free shared
+// object.
+//
+// The paper's conclusion predicts that its memory manager "will trigger
+// and enable future developments of new algorithms of wait-free dynamic
+// data structures"; this package is that demonstration.  The
+// construction's operation log is a dynamic linked structure with an
+// unbounded, scheme-managed number of references — log nodes are pinned
+// by per-thread replay replicas, the tail pointer, announcement cells
+// and their predecessors' next links, and are reclaimed automatically as
+// the slowest replica advances (the release cascade frees the log prefix
+// node by node).  Exactly the access pattern hazard-pointer-style
+// schemes cannot express (§1 of the paper).
+//
+// # Algorithm
+//
+// Operations are threaded onto a log by consensus on each node's next
+// link (CAS from nil).  An invoker announces its prepared node, then
+// helps: read the tail t (always a threaded node with its sequence
+// number set), pick the announced node of the priority thread
+// (seq(t)+1 mod N) if it is still unthreaded — else its own node — and
+// propose it with CAS(t.next, nil, cand).  Whoever wins, every helper
+// then finishes the decided successor: set its sequence number
+// (idempotent CAS from 0) and swing the tail.  The round-robin priority
+// guarantees an announced operation is threaded within O(N) log
+// appends: wait-free.
+//
+// Double-threading is impossible without rechecks: the tail only
+// advances past a node after that node's sequence number is set, so any
+// propose of an already-threaded node targets a predecessor of its
+// threading point, whose next link is already non-nil.
+//
+// Results are computed deterministically: each thread owns a replica
+// (state word + position in the log) and replays operations up to its
+// own operation's sequence number.
+package universal
+
+import (
+	"errors"
+	"fmt"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/mm"
+)
+
+// ApplyFunc is the sequential specification: it maps (state, op) to the
+// successor state and the operation's result.  It must be deterministic
+// and total.
+type ApplyFunc func(state, op uint64) (newState, result uint64)
+
+// ErrDetached is returned by Invoke on a thread slot whose replica was
+// detached.
+var ErrDetached = errors.New("universal: thread replica detached")
+
+type replica struct {
+	pos      arena.Handle // guarded log position (last applied node)
+	seq      uint64
+	state    uint64
+	attached bool
+	_        [4]uint64
+}
+
+// Object is a wait-free linearizable shared object.  Each registered
+// thread slot owns a replica created at construction; threads that will
+// never invoke should Detach so their replicas stop pinning the log.
+type Object struct {
+	s        mm.Scheme
+	ar       *arena.Arena
+	apply    ApplyFunc
+	n        int
+	tail     mm.LinkID
+	announce []mm.LinkID
+	replicas []replica
+}
+
+// New creates a shared object with the given sequential behaviour and
+// initial state, allocating the log sentinel with t.  The arena must
+// provide ≥1 link and ≥2 value words per node, and 1+2·NR_THREADS root
+// links for the object.
+func New(s mm.Scheme, t mm.Thread, apply ApplyFunc, init uint64) (*Object, error) {
+	ar := s.Arena()
+	if c := ar.Config(); c.LinksPerNode < 1 || c.ValsPerNode < 2 {
+		return nil, fmt.Errorf("universal: arena needs ≥1 link and ≥2 values per node, have %d/%d",
+			c.LinksPerNode, c.ValsPerNode)
+	}
+	switch s.Name() {
+	case "waitfree-rc", "valois-rc", "lock-rc":
+	default:
+		// Replicas hold log references across operations — the
+		// "arbitrary number of references, including from within the
+		// data structure" access pattern that only reference counting
+		// supports (paper §1).  Hazard pointers would exhaust their
+		// slots; epochs do not pin across EndOp.
+		return nil, fmt.Errorf("universal: scheme %q cannot hold replica references; use a reference-counting scheme", s.Name())
+	}
+	o := &Object{
+		s: s, ar: ar, apply: apply, n: s.Threads(),
+		tail:     ar.NewRoot(),
+		announce: make([]mm.LinkID, s.Threads()),
+		replicas: make([]replica, s.Threads()),
+	}
+	for i := range o.announce {
+		o.announce[i] = ar.NewRoot()
+	}
+	sentinel, err := t.Alloc()
+	if err != nil {
+		return nil, fmt.Errorf("universal: allocating sentinel: %w", err)
+	}
+	ar.SetVal(sentinel, 1, 1) // sentinel sequence number; 0 means unthreaded
+	t.StoreLink(o.tail, arena.MakePtr(sentinel, false))
+	for i := range o.replicas {
+		t.Copy(sentinel) // each replica holds its own reference
+		o.replicas[i] = replica{pos: sentinel, seq: 1, state: init, attached: true}
+	}
+	t.Release(sentinel)
+	return o, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(s mm.Scheme, t mm.Thread, apply ApplyFunc, init uint64) *Object {
+	o, err := New(s, t, apply, init)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+func (o *Object) next(h arena.Handle) mm.LinkID { return o.ar.LinkOf(h, 0) }
+func (o *Object) op(h arena.Handle) uint64      { return o.ar.Val(h, 0) }
+func (o *Object) seq(h arena.Handle) uint64     { return o.ar.Val(h, 1) }
+
+// Invoke linearizes op and returns its result.  Wait-free: the loop is
+// bounded by O(N) log appends thanks to the priority helping rule.
+func (o *Object) Invoke(t mm.Thread, op uint64) (uint64, error) {
+	rep := &o.replicas[t.ID()]
+	if !rep.attached {
+		return 0, ErrDetached
+	}
+	n, err := t.Alloc()
+	if err != nil {
+		return 0, err
+	}
+	o.ar.SetVal(n, 0, op)
+	o.ar.SetVal(n, 1, 0) // value words persist across reuse: clear seq
+	t.BeginOp()
+	t.StoreLink(o.announce[t.ID()], arena.MakePtr(n, false))
+
+	for o.seq(n) == 0 {
+		o.help(t, n)
+	}
+	res := o.replayTo(t, rep, o.seq(n))
+
+	if !t.CASLink(o.announce[t.ID()], arena.MakePtr(n, false), arena.NilPtr) {
+		// Only the owner writes its announce cell.
+		panic("universal: announce cell changed by another thread")
+	}
+	t.EndOp()
+	t.Release(n)
+	return res, nil
+}
+
+// help performs one round of the threading protocol on behalf of
+// whichever operation is due: finish a half-threaded successor, or
+// propose the priority thread's announced node (falling back to my own).
+func (o *Object) help(t mm.Thread, my arena.Handle) {
+	tl := t.DeRef(o.tail)
+	th := tl.Handle()
+	nxt := t.DeRef(o.next(th))
+	if !nxt.IsNil() {
+		// Finish: the successor is decided; set its sequence number and
+		// swing the tail.  Both steps are idempotent across helpers, and
+		// the sequence number is always set before the tail advances.
+		k := o.seq(th) + 1
+		o.ar.ValCell(nxt.Handle(), 1).CompareAndSwap(0, k)
+		t.CASLink(o.tail, tl, nxt)
+		t.Release(nxt.Handle())
+		t.Release(tl.Handle())
+		return
+	}
+	// Choose a candidate: the priority thread's announcement, else mine.
+	k := o.seq(th) + 1
+	p := int(k % uint64(o.n))
+	cand := t.DeRef(o.announce[p])
+	if cand.IsNil() || o.seq(cand.Handle()) != 0 {
+		t.Release(cand.Handle())
+		t.Copy(my)
+		cand = arena.MakePtr(my, false)
+	}
+	if o.seq(cand.Handle()) == 0 {
+		// Propose.  Failure means another helper decided this node's
+		// successor; the next help round finishes it.
+		t.CASLink(o.next(th), arena.NilPtr, arena.MakePtr(cand.Handle(), false))
+	}
+	t.Release(cand.Handle())
+	t.Release(tl.Handle())
+}
+
+// replayTo advances the thread's replica to target, returning the result
+// of the operation with that sequence number.
+func (o *Object) replayTo(t mm.Thread, rep *replica, target uint64) uint64 {
+	var res uint64
+	for rep.seq < target {
+		nxt := t.DeRef(o.next(rep.pos))
+		if nxt.IsNil() {
+			panic("universal: log ends before a linearized operation")
+		}
+		h := nxt.Handle()
+		if got := o.seq(h); got != rep.seq+1 {
+			panic(fmt.Sprintf("universal: log sequence %d after %d", got, rep.seq))
+		}
+		rep.state, res = o.apply(rep.state, o.op(h))
+		t.Release(rep.pos)
+		rep.pos = h
+		rep.seq++
+	}
+	return res
+}
+
+// Detach releases the calling thread slot's replica, letting the log
+// prefix it pinned be reclaimed.  The slot cannot invoke afterwards.
+func (o *Object) Detach(t mm.Thread) {
+	rep := &o.replicas[t.ID()]
+	if !rep.attached {
+		return
+	}
+	rep.attached = false
+	t.Release(rep.pos)
+	rep.pos = arena.Nil
+}
+
+// State returns the calling thread's replica state after replaying the
+// whole threaded log — a linearizable read (it reflects every operation
+// threaded before the replay reached the tail's sequence number).
+func (o *Object) State(t mm.Thread) (uint64, error) {
+	rep := &o.replicas[t.ID()]
+	if !rep.attached {
+		return 0, ErrDetached
+	}
+	t.BeginOp()
+	tl := t.DeRef(o.tail)
+	target := o.seq(tl.Handle())
+	t.Release(tl.Handle())
+	o.replayTo(t, rep, target)
+	t.EndOp()
+	return rep.state, nil
+}

@@ -1,0 +1,214 @@
+package universal
+
+import (
+	"sync"
+	"testing"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/mm"
+	"wfrc/internal/schemes"
+)
+
+// fetchAdd is the sequential spec of a fetch-and-add counter: the result
+// is the pre-increment value.
+func fetchAdd(state, op uint64) (uint64, uint64) { return state + op, state }
+
+// maxWrite keeps the maximum of all operands; result is the new maximum.
+func maxWrite(state, op uint64) (uint64, uint64) {
+	if op > state {
+		state = op
+	}
+	return state, state
+}
+
+func newRC(t testing.TB, name string, nodes, threads, roots int) mm.Scheme {
+	t.Helper()
+	f, err := schemes.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := f.New(arena.Config{
+		Nodes: nodes, LinksPerNode: 1, ValsPerNode: 2, RootLinks: roots,
+	}, schemes.Options{Threads: threads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRejectsNonRCSchemes(t *testing.T) {
+	for _, name := range []string{"hazard", "epoch"} {
+		f, _ := schemes.ByName(name)
+		s, _ := f.New(arena.Config{Nodes: 8, LinksPerNode: 1, ValsPerNode: 2, RootLinks: 8},
+			schemes.Options{Threads: 2})
+		th, _ := s.Register()
+		if _, err := New(s, th, fetchAdd, 0); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+		th.Unregister()
+	}
+}
+
+func TestSequentialCounter(t *testing.T) {
+	s := newRC(t, "waitfree", 64, 2, 8)
+	th, _ := s.Register()
+	defer th.Unregister()
+	o := MustNew(s, th, fetchAdd, 0)
+	for i := uint64(0); i < 20; i++ {
+		got, err := o.Invoke(th, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != i {
+			t.Fatalf("fetch-add %d returned %d", i, got)
+		}
+	}
+	if st, _ := o.State(th); st != 20 {
+		t.Fatalf("State = %d, want 20", st)
+	}
+}
+
+// TestConcurrentCounterPermutation is the linearizability property of
+// fetch-and-add: across all threads, the returned pre-values must be a
+// permutation of 0..total-1.
+func TestConcurrentCounterPermutation(t *testing.T) {
+	for _, name := range []string{"waitfree", "valois", "lockrc"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			const threads = 4
+			perThread := 2000
+			if testing.Short() {
+				perThread = 200
+			}
+			// The whole log stays pinned here: the spare slot's replica
+			// (used by `fin` below) never advances until the end, so the
+			// arena must hold every operation.  TestLogPrefixReclaims
+			// covers the reclamation story.
+			s := newRC(t, name, threads*perThread+64, threads+1, 2*(threads+1)+4)
+			setup, _ := s.Register()
+			o := MustNew(s, setup, fetchAdd, 0)
+			setup.Unregister()
+
+			results := make([][]uint64, threads)
+			var wg sync.WaitGroup
+			for i := 0; i < threads; i++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					th, err := s.Register()
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					defer th.Unregister()
+					for k := 0; k < perThread; k++ {
+						v, err := o.Invoke(th, 1)
+						if err != nil {
+							t.Errorf("thread %d: %v", id, err)
+							return
+						}
+						results[id] = append(results[id], v)
+					}
+				}(i)
+			}
+			wg.Wait()
+
+			total := threads * perThread
+			seen := make([]bool, total)
+			for id, rs := range results {
+				last := int64(-1)
+				for _, v := range rs {
+					if v >= uint64(total) {
+						t.Fatalf("thread %d: result %d out of range", id, v)
+					}
+					if seen[v] {
+						t.Fatalf("result %d returned twice", v)
+					}
+					seen[v] = true
+					// Per-thread results must increase (program order).
+					if int64(v) <= last {
+						t.Fatalf("thread %d: results not increasing: %d after %d", id, v, last)
+					}
+					last = int64(v)
+				}
+			}
+			for v, ok := range seen {
+				if !ok {
+					t.Fatalf("result %d never returned", v)
+				}
+			}
+
+			// The log must reclaim once replicas detach: run the audit.
+			fin, _ := s.Register()
+			if st, err := o.State(fin); err != nil || st != uint64(total) {
+				t.Fatalf("final state = %d,%v want %d", st, err, total)
+			}
+			fin.Unregister()
+			for i := 0; i < s.Threads(); i++ {
+				th, _ := s.Register()
+				defer th.Unregister()
+				o.Detach(th)
+			}
+			if errs := schemes.AuditRC(s, nil); len(errs) != 0 {
+				t.Fatalf("audit after detach: %v", errs)
+			}
+		})
+	}
+}
+
+// TestLogPrefixReclaims checks the memory story: as replicas advance,
+// the log prefix returns to the free-list (the release cascade follows
+// the chain), so a long-running object does not exhaust a small arena.
+func TestLogPrefixReclaims(t *testing.T) {
+	const nodes = 24
+	s := newRC(t, "waitfree", nodes, 2, 10)
+	th, _ := s.Register()
+	defer th.Unregister()
+	o := MustNew(s, th, fetchAdd, 0)
+	// Detach the unused slot so only the invoking replica pins the log.
+	other, _ := s.Register()
+	o.Detach(other)
+	other.Unregister()
+	// Far more operations than arena nodes: reclamation must keep up.
+	for i := 0; i < 10*nodes; i++ {
+		if _, err := o.Invoke(th, 1); err != nil {
+			t.Fatalf("op %d: %v (log not reclaiming)", i, err)
+		}
+	}
+	if st, _ := o.State(th); st != uint64(10*nodes) {
+		t.Fatalf("state = %d", st)
+	}
+}
+
+func TestMaxObjectAndDetachSemantics(t *testing.T) {
+	s := newRC(t, "valois", 128, 3, 12)
+	th, _ := s.Register()
+	defer th.Unregister()
+	o := MustNew(s, th, maxWrite, 0)
+	for _, v := range []uint64{3, 9, 5} {
+		if _, err := o.Invoke(th, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st, _ := o.State(th); st != 9 {
+		t.Fatalf("max = %d, want 9", st)
+	}
+	o.Detach(th)
+	if _, err := o.Invoke(th, 1); err != ErrDetached {
+		t.Fatalf("Invoke after detach: %v", err)
+	}
+	if _, err := o.State(th); err != ErrDetached {
+		t.Fatalf("State after detach: %v", err)
+	}
+	o.Detach(th) // idempotent
+}
+
+func TestArenaConfigValidation(t *testing.T) {
+	f, _ := schemes.ByName("waitfree")
+	s, _ := f.New(arena.Config{Nodes: 8, RootLinks: 8}, schemes.Options{Threads: 1})
+	th, _ := s.Register()
+	defer th.Unregister()
+	if _, err := New(s, th, fetchAdd, 0); err == nil {
+		t.Fatal("accepted arena without links/values")
+	}
+}

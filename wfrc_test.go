@@ -1,0 +1,194 @@
+package wfrc_test
+
+import (
+	"sync"
+	"testing"
+
+	"wfrc"
+)
+
+// TestPublicAPISchemes builds every scheme through the façade and runs
+// the basic reference-counting life cycle.
+func TestPublicAPISchemes(t *testing.T) {
+	mks := map[string]func(*wfrc.Arena, wfrc.SchemeConfig) (wfrc.Scheme, error){
+		"waitfree": wfrc.NewWaitFree,
+		"valois":   wfrc.NewValois,
+		"hazard":   wfrc.NewHazard,
+		"epoch":    wfrc.NewEpoch,
+		"lockrc":   wfrc.NewLockRC,
+	}
+	for name, mk := range mks {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			ar, err := wfrc.NewArena(wfrc.ArenaConfig{Nodes: 16, LinksPerNode: 1, ValsPerNode: 1, RootLinks: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := mk(ar, wfrc.SchemeConfig{Threads: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Arena() != ar || s.Threads() != 2 || s.Name() == "" {
+				t.Fatalf("malformed scheme: %q %d", s.Name(), s.Threads())
+			}
+			th, err := s.Register()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer th.Unregister()
+
+			th.BeginOp()
+			h, err := th.Alloc()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ar.SetVal(h, 0, 77)
+			root := ar.NewRoot()
+			th.StoreLink(root, wfrc.MakePtr(h, false))
+			th.Release(h)
+			p := th.DeRef(root)
+			if p.Handle() == wfrc.Nil || ar.Val(p.Handle(), 0) != 77 {
+				t.Fatalf("DeRef = %v", p)
+			}
+			th.Release(p.Handle())
+			if !th.CASLink(root, p, wfrc.NilPtr) {
+				t.Fatal("CASLink failed")
+			}
+			th.Retire(p.Handle())
+			th.EndOp()
+			if got := th.DeRef(root); !got.IsNil() {
+				t.Fatalf("link not cleared: %v", got)
+			}
+			if th.Stats() == nil || th.ID() < 0 {
+				t.Fatal("stats/id broken")
+			}
+		})
+	}
+}
+
+// TestPublicAPIStructures exercises each structure constructor and one
+// round trip through the façade types.
+func TestPublicAPIStructures(t *testing.T) {
+	ar := wfrc.MustNewArena(wfrc.ArenaConfig{
+		Nodes: 1 << 10, LinksPerNode: 8, ValsPerNode: 3, RootLinks: 80,
+	})
+	s := wfrc.MustNewWaitFree(ar, wfrc.SchemeConfig{Threads: 4})
+	th, err := s.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th.Unregister()
+
+	st, err := wfrc.NewStack(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Push(th, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := st.Pop(th); !ok || v != 1 {
+		t.Fatalf("stack round trip = %d,%v", v, ok)
+	}
+
+	q, err := wfrc.NewQueue(s, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue(th, 2); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := q.Dequeue(th); !ok || v != 2 {
+		t.Fatalf("queue round trip = %d,%v", v, ok)
+	}
+
+	l, err := wfrc.NewList(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := l.Insert(th, 3, 33); err != nil || !ok {
+		t.Fatalf("list insert = %v,%v", ok, err)
+	}
+	if v, ok := l.Get(th, 3); !ok || v != 33 {
+		t.Fatalf("list get = %d,%v", v, ok)
+	}
+	if !l.Delete(th, 3) {
+		t.Fatal("list delete failed")
+	}
+
+	pq, err := wfrc.NewPQueue(s, wfrc.PQueueConfig{MaxLevel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pq.Insert(th, 5, 55); err != nil {
+		t.Fatal(err)
+	}
+	if k, v, ok := pq.DeleteMin(th); !ok || k != 5 || v != 55 {
+		t.Fatalf("pqueue round trip = %d,%d,%v", k, v, ok)
+	}
+
+	m, err := wfrc.NewHashMap(s, wfrc.HashMapConfig{Buckets: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := m.Insert(th, 9, 99); err != nil || !ok {
+		t.Fatalf("map insert = %v,%v", ok, err)
+	}
+	if v, ok := m.Get(th, 9); !ok || v != 99 {
+		t.Fatalf("map get = %d,%v", v, ok)
+	}
+}
+
+// TestPublicAPIConcurrent runs a small cross-structure workload through
+// the façade under concurrency, as a user program would.
+func TestPublicAPIConcurrent(t *testing.T) {
+	const threads = 4
+	ar := wfrc.MustNewArena(wfrc.ArenaConfig{
+		Nodes: 1 << 12, LinksPerNode: 1, ValsPerNode: 2, RootLinks: 80,
+	})
+	s := wfrc.MustNewWaitFree(ar, wfrc.SchemeConfig{Threads: threads})
+	m := func() *wfrc.HashMap {
+		mm, err := wfrc.NewHashMap(s, wfrc.HashMapConfig{Buckets: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mm
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th, err := s.Register()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer th.Unregister()
+			base := uint64(id) * 1000
+			for k := uint64(0); k < 200; k++ {
+				if _, err := m.Insert(th, base+k, k); err != nil {
+					t.Errorf("thread %d: %v", id, err)
+					return
+				}
+				if k%2 == 0 {
+					m.Delete(th, base+k)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := m.Len(); got != threads*100 {
+		t.Fatalf("Len = %d, want %d", got, threads*100)
+	}
+}
+
+func TestMakePtrFacade(t *testing.T) {
+	p := wfrc.MakePtr(5, true)
+	if p.Handle() != 5 || !p.Marked() {
+		t.Fatalf("MakePtr round trip = %v", p)
+	}
+	if !wfrc.NilPtr.IsNil() {
+		t.Fatal("NilPtr not nil")
+	}
+}
