@@ -1,0 +1,482 @@
+// Package chaos is a fault-injection and schedule-perturbation torture
+// layer over any mm.Scheme.  It exists to make the paper's central claim
+// — wait-freedom, i.e. every operation finishes in a bounded number of
+// its own steps no matter how other threads are scheduled or stalled —
+// testable and enforced rather than merely asserted in comments.
+//
+// The layer wraps a scheme and its threads and provides three things:
+//
+//   - Fault injection: seeded-PRNG delays and runtime.Gosched storms at
+//     every operation boundary and, for the wait-free core scheme, at
+//     every algorithm hook Point (core.PD3, core.PH4, ...).  The per-
+//     thread PRNG is seeded from Config.Seed and the thread slot, so a
+//     failing run replays with the same injected-fault schedule.
+//
+//   - Stalls/"crashes": a thread can be armed to park mid-operation at a
+//     chosen hook point (or, on schemes without hook points, at its next
+//     operation boundary) and stay parked — simulating a preempted or
+//     crashed thread — until Scheme.ReleaseStalls.
+//
+//   - A wait-freedom budget checker: after every operation the wrapper
+//     compares the thread's per-operation step maxima (mm.OpStats) with
+//     the paper's derived bounds (Budgets); a violation is recorded with
+//     the offending thread, counter, replay seed and recent hook trace.
+//
+// The budget checker is enabled automatically for the wait-free core
+// scheme (whose Lemmas 2 and 9 promise the bounds) and disabled for the
+// baselines, whose dereference/allocation loops are lock-free at best.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/core"
+	"wfrc/internal/mm"
+)
+
+// Faults configures the perturbations injected into each wrapped thread.
+// All decisions are drawn from the thread's seeded PRNG, so a fixed seed
+// yields a reproducible injection schedule for a fixed thread-local
+// execution path.
+type Faults struct {
+	// DelayProb is the probability of an injected busy-spin delay at
+	// each fault point (operation boundaries and hook points).
+	DelayProb float64
+	// DelaySpins is the busy-spin iteration count per injected delay
+	// (default 64).
+	DelaySpins int
+	// GoschedProb is the probability of a forced-preemption storm at
+	// each fault point.
+	GoschedProb float64
+	// GoschedBurst is the number of runtime.Gosched calls per storm
+	// (default 4).
+	GoschedBurst int
+}
+
+// Budgets holds the enforced per-operation step bounds, in the units
+// mm.OpStats counts.  The zero value disables budget checking; a zero
+// individual field disables that one check.
+type Budgets struct {
+	// DeRefSteps bounds the D1 announcement-slot probes of one DeRef
+	// (Lemma 2: at most NR_THREADS-1 slots are busy, so
+	// core.AnnScanBound probes always suffice).
+	DeRefSteps uint64
+	// AllocSteps bounds the A3 allocation-loop iterations of one Alloc
+	// (Lemma 9: the round-robin annAlloc helping hands a node to a
+	// starving allocator within the scheme's retry limit; the +1 is the
+	// iteration that detects out-of-memory).
+	AllocSteps uint64
+	// FreeSteps bounds the F7 free-list insertion attempts of one
+	// FreeNode (Lemma 9: the freeing thread alternates between its two
+	// private list heads, of which allocators work on at most one).
+	FreeSteps uint64
+}
+
+// DefaultBudgets derives the enforced bounds for the wait-free scheme
+// with n threads and the given allocation retry limit.
+func DefaultBudgets(n, allocRetryLimit int) Budgets {
+	return Budgets{
+		DeRefSteps: uint64(core.AnnScanBound(n)),
+		AllocSteps: uint64(allocRetryLimit) + 1,
+		FreeSteps:  uint64(8*n + 64),
+	}
+}
+
+// Config parameterizes a chaos wrapper.
+type Config struct {
+	// Seed seeds the per-thread fault PRNGs.  Runs with the same seed
+	// inject the same fault schedule into identical execution paths.
+	Seed int64
+	// Faults are the perturbations to inject.
+	Faults Faults
+	// Budgets overrides the enforced step bounds.  Zero value: derived
+	// automatically via DefaultBudgets when the inner scheme is the
+	// wait-free core scheme, disabled otherwise.
+	Budgets Budgets
+	// NoBudgets disables budget checking even for the core scheme.
+	NoBudgets bool
+	// TraceDepth is the per-thread ring of recent hook points kept for
+	// violation reports (default 32).
+	TraceDepth int
+}
+
+// Violation records one broken wait-freedom budget.
+type Violation struct {
+	// ThreadID is the inner scheme's thread slot.
+	ThreadID int
+	// Op names the violated counter: DeRef, Alloc, Free or AnnScan.
+	Op string
+	// Steps is the observed per-operation maximum; Budget the bound it
+	// exceeded.
+	Steps, Budget uint64
+	// Seed replays the fault schedule that provoked the violation.
+	Seed int64
+	// Trace is the thread's most recent hook points, oldest first
+	// (empty on schemes without hook points).
+	Trace []core.Point
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("thread %d: %s took %d steps, budget %d (replay seed %d, recent points %v)",
+		v.ThreadID, v.Op, v.Steps, v.Budget, v.Seed, v.Trace)
+}
+
+// FaultLog records the faults injected into one thread.  With the same
+// Config.Seed and the same thread-local execution path, the log is
+// identical across runs — the deterministic-replay contract.
+type FaultLog struct {
+	// Draws is the number of PRNG decisions taken.
+	Draws uint64
+	// Delays and Goscheds count injected faults by kind.
+	Delays, Goscheds uint64
+	// Stalls counts times the thread parked.
+	Stalls uint64
+}
+
+// Scheme wraps an inner mm.Scheme with fault injection and budget
+// enforcement.  It implements mm.Scheme.
+type Scheme struct {
+	inner   mm.Scheme
+	cfg     Config
+	budgets Budgets
+
+	release chan struct{}
+	relOnce sync.Once
+
+	mu         sync.Mutex
+	violations []Violation
+	threads    []*Thread
+}
+
+// New wraps inner.  When inner is the wait-free core scheme and no
+// explicit budgets are configured, the paper's bounds are enforced
+// automatically.
+func New(inner mm.Scheme, cfg Config) *Scheme {
+	if cfg.TraceDepth == 0 {
+		cfg.TraceDepth = 32
+	}
+	b := cfg.Budgets
+	if b == (Budgets{}) && !cfg.NoBudgets {
+		if cs, ok := inner.(*core.Scheme); ok {
+			b = DefaultBudgets(cs.Threads(), cs.AllocRetryLimit())
+		}
+	}
+	if cfg.NoBudgets {
+		b = Budgets{}
+	}
+	return &Scheme{inner: inner, cfg: cfg, budgets: b, release: make(chan struct{})}
+}
+
+// Name implements mm.Scheme.
+func (s *Scheme) Name() string { return "chaos+" + s.inner.Name() }
+
+// Arena implements mm.Scheme.
+func (s *Scheme) Arena() *arena.Arena { return s.inner.Arena() }
+
+// Threads implements mm.Scheme.
+func (s *Scheme) Threads() int { return s.inner.Threads() }
+
+// Inner returns the wrapped scheme (for audits).
+func (s *Scheme) Inner() mm.Scheme { return s.inner }
+
+// Budgets returns the bounds in effect (zero value: checking disabled).
+func (s *Scheme) Budgets() Budgets { return s.budgets }
+
+// Register implements mm.Scheme.
+func (s *Scheme) Register() (mm.Thread, error) {
+	return s.RegisterChaos()
+}
+
+// RegisterChaos is Register returning the concrete *Thread, giving
+// access to the stall controls and the fault log.
+func (s *Scheme) RegisterChaos() (*Thread, error) {
+	in, err := s.inner.Register()
+	if err != nil {
+		return nil, err
+	}
+	t := &Thread{
+		s:      s,
+		inner:  in,
+		rng:    rand.New(rand.NewSource(s.cfg.Seed*0x9E3779B9 + int64(in.ID()+1)*0x85EBCA6B)),
+		parked: make(chan struct{}),
+		trace:  make([]core.Point, s.cfg.TraceDepth),
+	}
+	if h, ok := in.(hookSetter); ok {
+		h.SetHook(t.hook)
+		t.hooked = true
+	}
+	s.mu.Lock()
+	s.threads = append(s.threads, t)
+	s.mu.Unlock()
+	return t, nil
+}
+
+// ReleaseStalls unparks every stalled thread and disarms future parks
+// (an armed stall that fires later returns immediately).
+func (s *Scheme) ReleaseStalls() { s.relOnce.Do(func() { close(s.release) }) }
+
+// Violations returns a snapshot of the recorded budget violations.
+func (s *Scheme) Violations() []Violation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Violation, len(s.violations))
+	copy(out, s.violations)
+	return out
+}
+
+// ThreadsRegistered returns every thread ever registered through the
+// wrapper, for post-run stats and fault-log aggregation.
+func (s *Scheme) ThreadsRegistered() []*Thread {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Thread, len(s.threads))
+	copy(out, s.threads)
+	return out
+}
+
+func (s *Scheme) record(v Violation) {
+	s.mu.Lock()
+	s.violations = append(s.violations, v)
+	s.mu.Unlock()
+}
+
+// hookSetter is implemented by the wait-free core scheme's threads.
+type hookSetter interface {
+	SetHook(func(core.Point))
+}
+
+// Thread wraps an inner mm.Thread.  It implements mm.Thread and must,
+// like the inner thread, be used by a single goroutine at a time —
+// except for the stall controls (StallAt, StallNextOp, Parked), which
+// the orchestrating goroutine may call concurrently.
+type Thread struct {
+	s      *Scheme
+	inner  mm.Thread
+	rng    *rand.Rand
+	flog   FaultLog
+	hooked bool
+
+	// stallPoint holds core.Point+1 when armed (0 = disarmed);
+	// stallBoundary arms a park at the next operation boundary.
+	stallPoint    atomic.Int64
+	stallBoundary atomic.Bool
+	parked        chan struct{}
+	parkOnce      sync.Once
+
+	trace     []core.Point
+	traceNext int
+
+	// high-water marks already reported, so a violated budget is
+	// recorded once per new maximum rather than once per op.
+	repDeRef, repAlloc, repFree, repScan uint64
+}
+
+// Hooked reports whether the inner scheme exposes algorithm hook points
+// (true for the wait-free core scheme).
+func (t *Thread) Hooked() bool { return t.hooked }
+
+// StallAt arms a one-shot stall: the thread parks at its next visit to
+// hook point p and stays parked until ReleaseStalls.  On schemes
+// without hook points it falls back to parking at the next operation
+// boundary.
+func (t *Thread) StallAt(p core.Point) {
+	if t.hooked {
+		t.stallPoint.Store(int64(p) + 1)
+	} else {
+		t.stallBoundary.Store(true)
+	}
+}
+
+// StallNextOp arms a one-shot stall at the thread's next operation
+// boundary, whatever the scheme.
+func (t *Thread) StallNextOp() { t.stallBoundary.Store(true) }
+
+// Parked returns a channel closed the first time the thread parks.
+func (t *Thread) Parked() <-chan struct{} { return t.parked }
+
+// FaultLog returns the faults injected so far.  Read it only after the
+// owning goroutine is done (or from the owning goroutine).
+func (t *Thread) FaultLog() FaultLog { return t.flog }
+
+// Trace returns the thread's recent hook points, oldest first.
+func (t *Thread) Trace() []core.Point {
+	n := t.traceNext
+	depth := len(t.trace)
+	if depth == 0 || n == 0 {
+		return nil
+	}
+	if n < depth {
+		out := make([]core.Point, n)
+		copy(out, t.trace[:n])
+		return out
+	}
+	out := make([]core.Point, 0, depth)
+	for i := 0; i < depth; i++ {
+		out = append(out, t.trace[(n+i)%depth])
+	}
+	return out
+}
+
+func (t *Thread) park() {
+	t.flog.Stalls++
+	t.parkOnce.Do(func() { close(t.parked) })
+	<-t.s.release
+}
+
+// spinSink defeats dead-code elimination of the injected busy spins.
+var spinSink atomic.Uint64
+
+func (t *Thread) perturb() {
+	f := &t.s.cfg.Faults
+	if f.DelayProb > 0 {
+		t.flog.Draws++
+		if t.rng.Float64() < f.DelayProb {
+			t.flog.Delays++
+			n := f.DelaySpins
+			if n <= 0 {
+				n = 64
+			}
+			var acc uint64
+			for i := 0; i < n; i++ {
+				acc += uint64(i) * 0x9E3779B9
+			}
+			spinSink.Add(acc)
+		}
+	}
+	if f.GoschedProb > 0 {
+		t.flog.Draws++
+		if t.rng.Float64() < f.GoschedProb {
+			t.flog.Goscheds++
+			n := f.GoschedBurst
+			if n <= 0 {
+				n = 4
+			}
+			for i := 0; i < n; i++ {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// hook runs at the inner scheme's algorithm points: record the trace,
+// honor an armed stall, perturb.
+func (t *Thread) hook(p core.Point) {
+	if len(t.trace) > 0 {
+		t.trace[t.traceNext%len(t.trace)] = p
+		t.traceNext++
+	}
+	if sp := t.stallPoint.Load(); sp != 0 && core.Point(sp-1) == p {
+		if t.stallPoint.CompareAndSwap(sp, 0) {
+			t.park()
+		}
+	}
+	t.perturb()
+}
+
+// boundary runs before each wrapped operation.
+func (t *Thread) boundary() {
+	if t.stallBoundary.CompareAndSwap(true, false) {
+		t.park()
+	}
+	t.perturb()
+}
+
+// afterOp enforces the budgets against the inner thread's per-operation
+// step maxima.
+func (t *Thread) afterOp() {
+	b := &t.s.budgets
+	if *b == (Budgets{}) {
+		return
+	}
+	st := t.inner.Stats()
+	t.checkMax("DeRef", st.DeRefMaxSteps, b.DeRefSteps, &t.repDeRef)
+	t.checkMax("Alloc", st.AllocMaxSteps, b.AllocSteps, &t.repAlloc)
+	t.checkMax("Free", st.FreeMaxSteps, b.FreeSteps, &t.repFree)
+	if st.AnnScanViolations > t.repScan {
+		t.repScan = st.AnnScanViolations
+		t.s.record(Violation{
+			ThreadID: t.inner.ID(), Op: "AnnScan",
+			Steps: st.AnnScanViolations, Budget: 0,
+			Seed: t.s.cfg.Seed, Trace: t.Trace(),
+		})
+	}
+}
+
+func (t *Thread) checkMax(op string, max, budget uint64, reported *uint64) {
+	if budget > 0 && max > budget && max > *reported {
+		*reported = max
+		t.s.record(Violation{
+			ThreadID: t.inner.ID(), Op: op, Steps: max, Budget: budget,
+			Seed: t.s.cfg.Seed, Trace: t.Trace(),
+		})
+	}
+}
+
+// ID implements mm.Thread.
+func (t *Thread) ID() int { return t.inner.ID() }
+
+// Stats implements mm.Thread (the inner thread's counters).
+func (t *Thread) Stats() *mm.OpStats { return t.inner.Stats() }
+
+// Alloc implements mm.Thread.
+func (t *Thread) Alloc() (mm.Handle, error) {
+	t.boundary()
+	h, err := t.inner.Alloc()
+	t.afterOp()
+	return h, err
+}
+
+// DeRef implements mm.Thread.
+func (t *Thread) DeRef(l mm.LinkID) mm.Ptr {
+	t.boundary()
+	p := t.inner.DeRef(l)
+	t.afterOp()
+	return p
+}
+
+// Release implements mm.Thread.
+func (t *Thread) Release(h mm.Handle) {
+	t.boundary()
+	t.inner.Release(h)
+	t.afterOp()
+}
+
+// Copy implements mm.Thread.
+func (t *Thread) Copy(h mm.Handle) { t.inner.Copy(h) }
+
+// CASLink implements mm.Thread.
+func (t *Thread) CASLink(l mm.LinkID, old, new mm.Ptr) bool {
+	t.boundary()
+	ok := t.inner.CASLink(l, old, new)
+	t.afterOp()
+	return ok
+}
+
+// StoreLink implements mm.Thread.
+func (t *Thread) StoreLink(l mm.LinkID, p mm.Ptr) { t.inner.StoreLink(l, p) }
+
+// Load implements mm.Thread.
+func (t *Thread) Load(l mm.LinkID) mm.Ptr { return t.inner.Load(l) }
+
+// Retire implements mm.Thread.
+func (t *Thread) Retire(h mm.Handle) { t.inner.Retire(h) }
+
+// BeginOp implements mm.Thread.
+func (t *Thread) BeginOp() { t.inner.BeginOp() }
+
+// EndOp implements mm.Thread.
+func (t *Thread) EndOp() { t.inner.EndOp() }
+
+// Unregister implements mm.Thread.  It detaches the chaos hook first so
+// a reused slot does not fire into a dead wrapper.
+func (t *Thread) Unregister() {
+	if h, ok := t.inner.(hookSetter); ok {
+		h.SetHook(nil)
+	}
+	t.inner.Unregister()
+}

@@ -1,0 +1,382 @@
+package chaos
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/core"
+	"wfrc/internal/ds/stack"
+	"wfrc/internal/mm"
+	"wfrc/internal/schemes"
+)
+
+// ScenarioNames lists the torture scenarios in canonical order.
+//
+//   - preempt-storm: every thread churns under heavy injected delays and
+//     runtime.Gosched storms; no stalls.  Baseline perturbation smoke.
+//   - stall-one: one thread parks mid-dereference (core: at PD3, with a
+//     pending announcement) while the rest churn, then resumes.
+//   - stall-all-but-one: every thread but one parks on its first
+//     operation; the survivor must finish its whole workload — the
+//     paper's wait-freedom claim in its starkest form.
+//   - crash-during-help: a thread parks at PH4, holding a busy pin on
+//     another thread's announcement slot, while the rest churn — the
+//     wedged-helper case the bounded D1 scan defends against.
+//   - oom-under-stall: a thread drains the arena, parks holding every
+//     node; the others must detect out-of-memory within the bounded
+//     retry rule (footnote 4), and allocation must recover after the
+//     stalled thread resumes and frees.
+func ScenarioNames() []string {
+	return []string{
+		"preempt-storm",
+		"stall-one",
+		"stall-all-but-one",
+		"crash-during-help",
+		"oom-under-stall",
+	}
+}
+
+// SuiteConfig parameterizes a scenario run.
+type SuiteConfig struct {
+	// Threads is the number of worker goroutines (default 8, min 2).
+	Threads int
+	// Ops is the operation count per worker (default 2000).
+	Ops int
+	// Nodes overrides the arena size (0 = scenario default).
+	Nodes int
+	// Seed seeds the fault PRNGs (default 1).
+	Seed int64
+}
+
+func (c SuiteConfig) withDefaults() SuiteConfig {
+	if c.Threads < 2 {
+		if c.Threads == 0 {
+			c.Threads = 8
+		} else {
+			c.Threads = 2
+		}
+	}
+	if c.Ops <= 0 {
+		c.Ops = 2000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Report is the outcome of one scenario on one scheme.
+type Report struct {
+	Scenario string
+	Scheme   string
+	Threads  int
+	Seed     int64
+
+	// Ops counts completed data-structure operations; OOMs counts
+	// operations that failed on arena exhaustion (expected under stalls
+	// for non-robust schemes — informational, not a failure); Stalls
+	// counts threads that actually parked.
+	Ops, OOMs, Stalls uint64
+
+	// Stats aggregates the workers' per-thread counters.
+	Stats mm.OpStats
+	// FaultLogs holds each registered thread's injected-fault record.
+	FaultLogs []FaultLog
+
+	// Violations are broken wait-freedom budgets (enforced on the
+	// wait-free scheme); AuditErrs are post-scenario leak-audit
+	// failures; Errs are scenario-level assertion failures (e.g. failed
+	// recovery).  Any of them makes the run a failure.
+	Violations []Violation
+	AuditErrs  []error
+	Errs       []string
+
+	Elapsed time.Duration
+}
+
+// Failed reports whether the scenario found a defect.
+func (r Report) Failed() bool {
+	return len(r.Violations) > 0 || len(r.AuditErrs) > 0 || len(r.Errs) > 0
+}
+
+// RunScenario runs one named scenario against one named scheme and
+// returns the report.  The error return is for infrastructure problems
+// (unknown scenario/scheme); detected defects live in the Report.
+func RunScenario(scenario, scheme string, sc SuiteConfig) (Report, error) {
+	sc = sc.withDefaults()
+	f, err := schemes.ByName(scheme)
+	if err != nil {
+		return Report{}, err
+	}
+
+	nodes := sc.Nodes
+	oom := scenario == "oom-under-stall"
+	if nodes == 0 {
+		if oom {
+			nodes = 2*sc.Threads + 8
+		} else {
+			// Generous for the deferred-reclamation baselines, which
+			// retain up to threads*threshold retired nodes.
+			nodes = 96*sc.Threads + 512
+		}
+	}
+	acfg := arena.Config{Nodes: nodes, LinksPerNode: 1, ValsPerNode: 1, RootLinks: 1}
+	hazardSlots := 8
+	if oom {
+		// The drainer holds the whole arena; hazard claims one slot per
+		// held node.
+		hazardSlots = nodes + 8
+	}
+	inner, err := f.New(acfg, schemes.Options{
+		Threads: sc.Threads + 1, HazardSlots: hazardSlots, RetireThreshold: 16,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+
+	var faults Faults
+	stalls := map[int]core.Point{}
+	switch scenario {
+	case "preempt-storm":
+		faults = Faults{DelayProb: 0.05, DelaySpins: 200, GoschedProb: 0.1, GoschedBurst: 8}
+	case "stall-one":
+		faults = Faults{GoschedProb: 0.02}
+		stalls[0] = core.PD3
+	case "stall-all-but-one":
+		faults = Faults{GoschedProb: 0.02}
+		for i := 1; i < sc.Threads; i++ {
+			stalls[i] = core.PD3
+		}
+	case "crash-during-help":
+		faults = Faults{GoschedProb: 0.02}
+		stalls[1] = core.PH4
+	case "oom-under-stall":
+		faults = Faults{GoschedProb: 0.02}
+	default:
+		return Report{}, fmt.Errorf("chaos: unknown scenario %q (have %v)", scenario, ScenarioNames())
+	}
+
+	cs := New(inner, Config{Seed: sc.Seed, Faults: faults})
+	rep := Report{Scenario: scenario, Scheme: scheme, Threads: sc.Threads, Seed: sc.Seed}
+	t0 := time.Now()
+	if oom {
+		err = runOOMUnderStall(cs, sc, &rep)
+	} else {
+		err = runStackChurn(cs, sc, stalls, &rep)
+	}
+	if err != nil {
+		return rep, err
+	}
+	rep.Elapsed = time.Since(t0)
+
+	rep.Violations = cs.Violations()
+	rep.AuditErrs = schemes.AuditRC(cs.Inner(), nil)
+	for _, th := range cs.ThreadsRegistered() {
+		fl := th.FaultLog()
+		rep.FaultLogs = append(rep.FaultLogs, fl)
+		rep.Stalls += fl.Stalls
+		rep.Stats.Add(th.Stats())
+	}
+	return rep, nil
+}
+
+// runStackChurn drives push/pop pairs on a shared Treiber stack, parking
+// the threads named in stalls at their hook point (or first operation
+// boundary on hookless schemes).  Once every non-stalled worker is done,
+// the stalls are released, the parked workers finish their remaining
+// operations, and the stack is drained for the leak audit.
+func runStackChurn(cs *Scheme, sc SuiteConfig, stalls map[int]core.Point, rep *Report) error {
+	st, err := stack.New(cs)
+	if err != nil {
+		return err
+	}
+	var wgAll, wgFree sync.WaitGroup
+	ops := make([]uint64, sc.Threads)
+	ooms := make([]uint64, sc.Threads)
+	errs := make([]error, sc.Threads)
+	for i := 0; i < sc.Threads; i++ {
+		wgAll.Add(1)
+		_, stalled := stalls[i]
+		if !stalled {
+			wgFree.Add(1)
+		}
+		go func(i int, stalled bool) {
+			defer wgAll.Done()
+			if !stalled {
+				defer wgFree.Done()
+			}
+			th, err := cs.RegisterChaos()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer th.Unregister()
+			if p, ok := stalls[i]; ok {
+				th.StallAt(p)
+			}
+			for k := 0; k < sc.Ops; k++ {
+				if err := st.Push(th, uint64(i)<<32|uint64(k)); err != nil {
+					ooms[i]++
+					continue
+				}
+				st.Pop(th)
+				ops[i] += 2
+			}
+		}(i, stalled)
+	}
+	wgFree.Wait()
+	cs.ReleaseStalls()
+	wgAll.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			rep.Errs = append(rep.Errs, fmt.Sprintf("worker %d: %v", i, errs[i]))
+		}
+		rep.Ops += ops[i]
+		rep.OOMs += ooms[i]
+	}
+
+	td, err := cs.RegisterChaos()
+	if err != nil {
+		return err
+	}
+	st.Drain(td)
+	td.Unregister()
+	return nil
+}
+
+// runOOMUnderStall has worker 0 drain the arena and park holding every
+// node; the other workers must each observe bounded out-of-memory
+// detection, and allocation must recover for everyone once the drainer
+// resumes and frees.
+func runOOMUnderStall(cs *Scheme, sc SuiteConfig, rep *Report) error {
+	var wgAll, wgFree sync.WaitGroup
+	drained := make(chan struct{})
+	var barrier sync.WaitGroup // every worker has seen OOM before anyone frees
+	barrier.Add(sc.Threads - 1)
+	ooms := make([]uint64, sc.Threads)
+	allocs := make([]uint64, sc.Threads)
+	errs := make([]string, sc.Threads)
+	nodes := cs.Arena().Nodes()
+
+	wgAll.Add(1)
+	go func() { // worker 0: the drainer
+		defer wgAll.Done()
+		th, err := cs.RegisterChaos()
+		if err != nil {
+			errs[0] = err.Error()
+			close(drained)
+			return
+		}
+		defer th.Unregister()
+		var held []mm.Handle
+		for {
+			h, err := th.Alloc()
+			if err != nil {
+				break
+			}
+			held = append(held, h)
+			if len(held) > nodes {
+				errs[0] = "drainer allocated more nodes than the arena holds"
+				break
+			}
+		}
+		allocs[0] = uint64(len(held))
+		close(drained)
+		th.StallNextOp()
+		// Parks here; resumes on release.  By then the other workers may
+		// have freed their nodes, so the allocation can succeed — give it
+		// back.
+		if h, err := th.Alloc(); err == nil {
+			th.Release(h)
+			th.Retire(h)
+		}
+		for _, h := range held {
+			th.Release(h)
+			th.Retire(h)
+		}
+		if !recoverAlloc(th) {
+			errs[0] = "drainer: allocation did not recover after freeing"
+		}
+	}()
+
+	for i := 1; i < sc.Threads; i++ {
+		wgAll.Add(1)
+		wgFree.Add(1)
+		go func(i int) {
+			defer wgAll.Done()
+			defer wgFree.Done()
+			th, err := cs.RegisterChaos()
+			if err != nil {
+				errs[i] = err.Error()
+				barrier.Done()
+				return
+			}
+			defer th.Unregister()
+			<-drained
+			var mine []mm.Handle
+			for {
+				h, err := th.Alloc()
+				if err != nil {
+					ooms[i]++ // bounded detection: the budget checker
+					break     // verifies AllocMaxSteps on the wait-free scheme
+				}
+				mine = append(mine, h)
+				if len(mine) > nodes {
+					errs[i] = "worker allocated more nodes than the arena holds"
+					break
+				}
+			}
+			allocs[i] = uint64(len(mine))
+			barrier.Done()
+			barrier.Wait()
+			for _, h := range mine {
+				th.Release(h)
+				th.Retire(h)
+			}
+		}(i)
+	}
+
+	wgFree.Wait()
+	cs.ReleaseStalls()
+	wgAll.Wait()
+
+	for i := range errs {
+		if errs[i] != "" {
+			rep.Errs = append(rep.Errs, fmt.Sprintf("worker %d: %s", i, errs[i]))
+		}
+		rep.OOMs += ooms[i]
+		rep.Ops += allocs[i]
+	}
+	if int(rep.OOMs) < sc.Threads-1 {
+		rep.Errs = append(rep.Errs, fmt.Sprintf(
+			"only %d of %d non-drainer workers observed out-of-memory", rep.OOMs, sc.Threads-1))
+	}
+
+	// Global recovery probe on a fresh thread.
+	th, err := cs.RegisterChaos()
+	if err != nil {
+		return err
+	}
+	if !recoverAlloc(th) {
+		rep.Errs = append(rep.Errs, "allocation did not recover after the stalled thread freed its nodes")
+	}
+	th.Unregister()
+	return nil
+}
+
+// recoverAlloc retries a single alloc/release a few times — the deferred
+// schemes may need extra passes for their reclamation to drain.
+func recoverAlloc(th mm.Thread) bool {
+	for i := 0; i < 8; i++ {
+		if h, err := th.Alloc(); err == nil {
+			th.Release(h)
+			th.Retire(h)
+			return true
+		}
+		runtime.Gosched()
+	}
+	return false
+}

@@ -1,6 +1,10 @@
 package core
 
-import "wfrc/internal/arena"
+import (
+	"fmt"
+
+	"wfrc/internal/arena"
+)
 
 // FreeNodes walks the scheme's free structures (all 2·NR_THREADS
 // free-lists and every annAlloc cell) and returns each node found with
@@ -51,5 +55,20 @@ func (s *Scheme) Audit(extraRefs map[arena.Handle]int) []error {
 	for _, h := range granted {
 		s.ar.Ref(h).Add(2)
 	}
+	if v := s.annScanViolations.Load(); v > 0 {
+		errs = append(errs, fmt.Errorf(
+			"core: %d DeRefLink slot scans exceeded the wait-freedom bound AnnScanBound(%d)=%d",
+			v, s.n, AnnScanBound(s.n)))
+	}
 	return errs
 }
+
+// AnnScanViolations returns how many DeRefLink calls have exceeded the
+// D1 scan bound since the scheme was created.  Zero is the wait-freedom
+// guarantee; tests that deliberately wedge helpers can read and reset
+// the counter with ResetAnnScanViolations.
+func (s *Scheme) AnnScanViolations() uint64 { return s.annScanViolations.Load() }
+
+// ResetAnnScanViolations clears the scan-violation counter, for harness
+// scenarios that deliberately break the bound and then verify recovery.
+func (s *Scheme) ResetAnnScanViolations() { s.annScanViolations.Store(0) }

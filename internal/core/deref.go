@@ -1,32 +1,56 @@
 package core
 
 import (
+	"runtime"
+
 	"wfrc/internal/arena"
 	"wfrc/internal/mm"
 )
+
+// AnnScanBound is the wait-freedom bound on D1 announcement-slot probes
+// for n registered threads (the Lemma 2 analogue): a row has n slots and
+// at most n-1 helpers can hold busy pins on it at any instant; a pin can
+// only be created while the row's owner has a matching announcement
+// posted, which it does not while scanning, so at most n-1 pre-existing
+// pins can move under the scan and 2n probes always cover a free slot.
+func AnnScanBound(n int) int { return 2 * n }
 
 // DeRefLink dereferences link l and returns its value with a guarded
 // reference on the target node (paper Figure 4, lines D1–D10).  The
 // returned Ptr may carry a data-structure deletion mark; the reference
 // applies to its Handle.  A nil-handle result carries no reference.
 //
-// The operation is wait-free: the slot scan in D1 terminates because at
-// most NR_THREADS-1 helpers can hold busy claims on this thread's row at
-// any instant, and the remainder is straight-line code.
+// The operation is wait-free: the slot scan in D1 is capped at
+// AnnScanBound probes (at most NR_THREADS-1 helpers can hold busy claims
+// on this thread's row at any instant), and the remainder is
+// straight-line code.
 func (t *Thread) DeRefLink(l mm.LinkID) mm.Ptr {
 	s := t.s
 	row := &s.ann[t.id]
 
-	// D1: choose an announcement slot with no pending helper CAS.  The
-	// scan may lap if helpers transiently pin slots, but the pin count is
-	// bounded by NR_THREADS-1, so a free slot is always found within a
-	// bounded number of probes.
+	// D1: choose an announcement slot with no pending helper CAS.  At
+	// most NR_THREADS-1 helpers can hold busy pins on this row at any
+	// instant, so a free slot is found within AnnScanBound probes; more
+	// probes than that means the wait-freedom bound is broken (a wedged
+	// helper, or a scheme bug).  The violation is surfaced through the
+	// scheme's audit counter and per-thread stats rather than silently
+	// spinning, and the over-bound scan yields the processor so a wedged
+	// run degrades instead of burning a core.
 	index := -1
-	for probes := 0; ; probes++ {
-		i := probes % s.n
-		if row.slots[i].busy.Load() == 0 {
-			index = i
+	bound := AnnScanBound(s.n)
+	var probes uint64
+	for i := 0; ; i++ {
+		probes++
+		if row.slots[i%s.n].busy.Load() == 0 {
+			index = i % s.n
 			break
+		}
+		if int(probes) == bound {
+			t.stats.AnnScanViolations++
+			s.annScanViolations.Add(1)
+		}
+		if int(probes) >= bound {
+			runtime.Gosched()
 		}
 	}
 	slot := &row.slots[index]
@@ -48,7 +72,7 @@ func (t *Thread) DeRefLink(l mm.LinkID) mm.Ptr {
 		node = mm.Ptr(n1)                  // D9
 		t.stats.HelpsReceived++
 	}
-	t.stats.NoteDeRef(1)
+	t.stats.NoteDeRef(probes)
 	return node                            // D10
 }
 
@@ -108,17 +132,23 @@ func (t *Thread) HelpDeRef(l mm.LinkID) {
 			continue
 		}
 		slot.busy.Add(1) // H4
-		t.at(PH4)
-		node := t.DeRefLink(l) // H5
-		t.at(PH6)
-		if !slot.readAddr.CompareAndSwap(encodeLink(l), uint64(node)) { // H6
-			if node.Handle() != arena.Nil {
-				t.ReleaseRef(node.Handle()) // H7
+		func() {
+			// H8 runs via defer: if the hook or the helper dereference
+			// panics, the pin must still be released — a slot pinned
+			// forever would wedge the announcer's row (and, before the
+			// D1 scan was bounded, the announcer itself).
+			defer slot.busy.Add(-1) // H8
+			t.at(PH4)
+			node := t.DeRefLink(l) // H5
+			t.at(PH6)
+			if !slot.readAddr.CompareAndSwap(encodeLink(l), uint64(node)) { // H6
+				if node.Handle() != arena.Nil {
+					t.ReleaseRef(node.Handle()) // H7
+				}
+			} else {
+				t.stats.HelpsGiven++
 			}
-		} else {
-			t.stats.HelpsGiven++
-		}
-		slot.busy.Add(-1) // H8
+		}()
 	}
 }
 

@@ -116,6 +116,11 @@ type Scheme struct {
 
 	regMu   sync.Mutex
 	regUsed []bool
+
+	// annScanViolations counts DeRefLink calls whose D1 slot scan
+	// exceeded AnnScanBound — the audit-visible record of broken
+	// wait-freedom (see Audit).
+	annScanViolations atomic.Uint64
 }
 
 // New creates a wait-free reference-counting scheme over ar.  All of the
@@ -143,6 +148,11 @@ func New(ar *arena.Arena, cfg Config) (*Scheme, error) {
 	}
 	for i := range s.ann {
 		s.ann[i].slots = make([]annSlot, n)
+		// -1 marks "no announcement ever posted".  The zero value 0 is a
+		// valid slot index, so leaving it would make helpers scan rows of
+		// threads that never registered (the deref.go H2 guard would
+		// never fire for them).
+		s.ann[i].index.Store(-1)
 	}
 	// Chain all nodes onto freeList[0]: 1 -> 2 -> ... -> Nodes -> nil.
 	nodes := ar.Nodes()
@@ -174,6 +184,10 @@ func (s *Scheme) Arena() *arena.Arena { return s.ar }
 // Threads implements mm.Scheme.
 func (s *Scheme) Threads() int { return s.n }
 
+// AllocRetryLimit returns the allocation retry bound in effect (the
+// paper's footnote-4 out-of-memory detection rule), after defaulting.
+func (s *Scheme) AllocRetryLimit() int { return s.lim }
+
 // Register implements mm.Scheme.  It binds the caller to a free thread
 // slot.
 func (s *Scheme) Register() (mm.Thread, error) {
@@ -202,6 +216,9 @@ func (s *Scheme) unregister(id int) {
 	s.regMu.Lock()
 	defer s.regMu.Unlock()
 	s.regUsed[id] = false
+	// Stop helpers from scanning the departed thread's row: its last
+	// announcement index would otherwise stay valid-looking forever.
+	s.ann[id].index.Store(-1)
 }
 
 // Thread is a per-goroutine context on the wait-free scheme.  It
@@ -253,6 +270,19 @@ const (
 	PF9              // mm_next written, free-list insertion CAS not yet tried
 	PR2              // mm_ref decremented, reclamation CAS not yet tried
 )
+
+var pointNames = [...]string{
+	PD3: "PD3", PD4: "PD4", PD6: "PD6", PH4: "PH4", PH6: "PH6",
+	PA9: "PA9", PA12: "PA12", PF3: "PF3", PF9: "PF9", PR2: "PR2",
+}
+
+// String returns the paper line label of the hook point.
+func (p Point) String() string {
+	if p >= 0 && int(p) < len(pointNames) {
+		return pointNames[p]
+	}
+	return fmt.Sprintf("Point(%d)", int(p))
+}
 
 func (t *Thread) at(p Point) {
 	if t.hook != nil {

@@ -23,6 +23,12 @@ type OpStats struct {
 	// HelpScans counts HelpDeRef invocations (one full announcement-table
 	// scan each).
 	HelpScans uint64
+	// AnnScanViolations counts DeRef calls whose announcement-slot scan
+	// exceeded the wait-freedom bound (wait-free scheme only; see
+	// core.AnnScanBound).  Nonzero at quiescence means the D1 bound of the
+	// paper's Lemma 2 was broken — either a scheme bug or a deliberately
+	// wedged helper.
+	AnnScanViolations uint64
 	// Allocs is the number of Alloc calls.
 	Allocs uint64
 	// AllocSteps is the total number of allocation-loop iterations.
@@ -57,6 +63,7 @@ func (s *OpStats) Add(o *OpStats) {
 	s.HelpsGiven += o.HelpsGiven
 	s.HelpsReceived += o.HelpsReceived
 	s.HelpScans += o.HelpScans
+	s.AnnScanViolations += o.AnnScanViolations
 	s.Allocs += o.Allocs
 	s.AllocSteps += o.AllocSteps
 	s.AllocMaxSteps = maxU64(s.AllocMaxSteps, o.AllocMaxSteps)
