@@ -4,9 +4,15 @@
 // Usage:
 //
 //	wfrc-bench [-exp e1,e2,...] [-threads N] [-ops N] [-schemes a,b] [-quick] [-list]
+//	wfrc-bench -validate BENCH_results.json
 //
 // With no flags it runs every experiment at default size, which takes a
-// few minutes on a laptop-class machine.
+// few minutes on a laptop-class machine, and writes the machine-readable
+// data points to BENCH_results.json (-json "" disables).  -validate
+// checks an existing results file against the schema and fails if any
+// data point recorded an announcement-scan violation — the CI gate.
+// -obs-addr serves /metrics, /trace and /debug/pprof live during the
+// run; -trace N keeps the last N help events for /trace.
 package main
 
 import (
@@ -17,7 +23,10 @@ import (
 	"strings"
 	"time"
 
+	"wfrc/internal/core"
 	"wfrc/internal/experiments"
+	"wfrc/internal/harness"
+	"wfrc/internal/obs"
 	"wfrc/internal/schemes"
 )
 
@@ -30,8 +39,16 @@ func main() {
 		quick      = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 		list       = flag.Bool("list", false, "list experiments and schemes, then exit")
 		csvOut     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut    = flag.String("json", "BENCH_results.json", "write machine-readable results here ('' disables)")
+		validate   = flag.String("validate", "", "validate an existing results file and exit")
+		obsAddr    = flag.String("obs-addr", "", "serve /metrics, /trace and /debug/pprof on this address during the run")
+		traceN     = flag.Int("trace", 0, "ring-buffer the most recent N help events for /trace (0 disables)")
 	)
 	flag.Parse()
+
+	if *validate != "" {
+		os.Exit(validateFile(*validate))
+	}
 
 	if *list {
 		fmt.Println("experiments:")
@@ -49,6 +66,31 @@ func main() {
 	}
 	if *schemeList != "" {
 		p.Schemes = strings.Split(*schemeList, ",")
+	}
+
+	report := obs.NewBenchReport(*quick)
+	if *jsonOut != "" {
+		p.Sink = func(r obs.BenchResult) { report.Results = append(report.Results, r) }
+	}
+
+	var ring *obs.TraceRing
+	if *traceN > 0 {
+		ring = obs.NewTraceRing(*traceN)
+		schemes.OnNewWaitFree = func(s *core.Scheme) { s.SetHelpTracer(ring.CoreTracer()) }
+		if *obsAddr == "" {
+			fmt.Fprintln(os.Stderr, "note: -trace without -obs-addr records events nobody can read")
+		}
+	}
+	if *obsAddr != "" {
+		collector := obs.NewCollector()
+		harness.SetObserver(collector)
+		srv, err := obs.Serve(*obsAddr, collector, ring)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obs: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("observability: http://%s/metrics (also /trace, /debug/vars, /debug/pprof)\n", srv.Addr())
 	}
 
 	var run []experiments.Experiment
@@ -84,4 +126,39 @@ func main() {
 		}
 		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
 	}
+
+	if *jsonOut != "" {
+		if len(report.Results) == 0 {
+			fmt.Fprintf(os.Stderr, "note: no machine-readable data points (selected experiments emit none); skipping %s\n", *jsonOut)
+			return
+		}
+		if err := report.WriteFile(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d data points)\n", *jsonOut, len(report.Results))
+	}
+}
+
+// validateFile implements -validate: schema-check a results file and
+// gate on announcement-scan violations.  Returns the exit code.
+func validateFile(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	rep, err := obs.ValidateBenchJSON(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+		return 1
+	}
+	if n := rep.TotalAnnScanViolations(); n > 0 {
+		fmt.Fprintf(os.Stderr, "%s: %d announcement-scan violation(s) — the Lemma 2 bound broke during the bench run\n", path, n)
+		return 1
+	}
+	fmt.Printf("%s: schema v%d, %d data points, generated %s on %s/%s (go %s), 0 violations\n",
+		path, rep.SchemaVersion, len(rep.Results), rep.GeneratedAt,
+		rep.Host.GOOS, rep.Host.GOARCH, rep.Host.GoVersion)
+	return 0
 }

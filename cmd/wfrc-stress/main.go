@@ -17,12 +17,14 @@ import (
 	"time"
 
 	"wfrc/internal/arena"
+	"wfrc/internal/core"
 	"wfrc/internal/ds/hashmap"
 	"wfrc/internal/ds/list"
 	"wfrc/internal/ds/pqueue"
 	"wfrc/internal/ds/queue"
 	"wfrc/internal/ds/stack"
 	"wfrc/internal/mm"
+	"wfrc/internal/obs"
 	"wfrc/internal/schemes"
 )
 
@@ -37,8 +39,26 @@ func main() {
 		nodes      = flag.Int("nodes", 1<<15, "arena size in nodes")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		keys       = flag.Int("keys", 512, "key space for keyed structures")
+		obsAddr    = flag.String("obs-addr", "", "serve /metrics, /trace and /debug/pprof on this address during the run")
+		traceN     = flag.Int("trace", 0, "ring-buffer the most recent N help events for /trace (0 disables)")
 	)
 	flag.Parse()
+
+	var collector *obs.Collector
+	var ring *obs.TraceRing
+	if *traceN > 0 {
+		ring = obs.NewTraceRing(*traceN)
+	}
+	if *obsAddr != "" {
+		collector = obs.NewCollector()
+		srv, err := obs.Serve(*obsAddr, collector, ring)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obs: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("observability: http://%s/metrics (also /trace, /debug/vars, /debug/pprof)\n", srv.Addr())
+	}
 
 	schemeNames := schemes.Names()
 	if *schemeFlag != "all" {
@@ -52,7 +72,7 @@ func main() {
 	failed := false
 	for _, sn := range structNames {
 		for _, mn := range schemeNames {
-			if err := run(sn, mn, *threads, *ops, *nodes, *keys, *seed); err != nil {
+			if err := run(sn, mn, *threads, *ops, *nodes, *keys, *seed, collector, ring); err != nil {
 				fmt.Fprintf(os.Stderr, "FAIL %-8s %-9s %v\n", sn, mn, err)
 				failed = true
 			}
@@ -63,7 +83,7 @@ func main() {
 	}
 }
 
-func run(structure, scheme string, threads, ops, nodes, keys int, seed int64) error {
+func run(structure, scheme string, threads, ops, nodes, keys int, seed int64, collector *obs.Collector, ring *obs.TraceRing) error {
 	f, err := schemes.ByName(scheme)
 	if err != nil {
 		return err
@@ -86,6 +106,14 @@ func run(structure, scheme string, threads, ops, nodes, keys int, seed int64) er
 	})
 	if err != nil {
 		return err
+	}
+	if cs, ok := s.(*core.Scheme); ok {
+		if ring != nil {
+			cs.SetHelpTracer(ring.CoreTracer())
+		}
+		if collector != nil {
+			defer collector.AttachGauge("wfrc_core_ann_scan_violations", scheme, cs.AnnScanViolations)()
+		}
 	}
 
 	setup, err := s.Register()
@@ -204,6 +232,9 @@ func run(structure, scheme string, threads, ops, nodes, keys int, seed int64) er
 				return
 			}
 			defer t.Unregister()
+			if collector != nil {
+				defer collector.Attach(scheme, t.ID(), t.Stats())()
+			}
 			rng := rand.New(rand.NewSource(seed + int64(id)))
 			for k := 0; k < ops; k++ {
 				if err := worker(t, rng); err != nil {

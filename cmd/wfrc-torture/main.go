@@ -18,7 +18,9 @@ import (
 	"strings"
 
 	"wfrc/internal/chaos"
+	"wfrc/internal/core"
 	"wfrc/internal/harness"
+	"wfrc/internal/obs"
 	"wfrc/internal/schemes"
 )
 
@@ -31,8 +33,27 @@ func main() {
 		nodes        = flag.Int("nodes", 0, "arena size in nodes (0 = scenario default)")
 		seed         = flag.Int64("seed", 1, "fault-injection seed (reports carry it for replay)")
 		list         = flag.Bool("list", false, "list scenarios and schemes, then exit")
+		obsAddr      = flag.String("obs-addr", "", "serve /metrics, /trace and /debug/pprof on this address during the run")
+		traceN       = flag.Int("trace", 0, "ring-buffer the most recent N help events for /trace (0 disables)")
 	)
 	flag.Parse()
+
+	var collector *obs.Collector
+	var ring *obs.TraceRing
+	if *traceN > 0 {
+		ring = obs.NewTraceRing(*traceN)
+		schemes.OnNewWaitFree = func(s *core.Scheme) { s.SetHelpTracer(ring.CoreTracer()) }
+	}
+	if *obsAddr != "" {
+		collector = obs.NewCollector()
+		srv, err := obs.Serve(*obsAddr, collector, ring)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obs: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("observability: http://%s/metrics (also /trace, /debug/vars, /debug/pprof)\n", srv.Addr())
+	}
 
 	if *list {
 		fmt.Println("scenarios:", strings.Join(chaos.ScenarioNames(), " "))
@@ -57,7 +78,14 @@ func main() {
 	failed := false
 	for _, scen := range scenarios {
 		for _, scheme := range schemeNames {
-			rep, err := chaos.RunScenario(scen, scheme, sc)
+			scSc := sc
+			if collector != nil {
+				label := scheme // capture per scheme for the live /metrics label
+				scSc.OnRegister = func(t *chaos.Thread) func() {
+					return collector.Attach(label, t.ID(), t.Stats())
+				}
+			}
+			rep, err := chaos.RunScenario(scen, scheme, scSc)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "FAIL %s/%s: %v\n", scen, scheme, err)
 				failed = true

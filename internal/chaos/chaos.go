@@ -103,6 +103,11 @@ type Config struct {
 	// TraceDepth is the per-thread ring of recent hook points kept for
 	// violation reports (default 32).
 	TraceDepth int
+	// OnRegister, when set, is called with every thread registered
+	// through the wrapper; the function it returns (may be nil) is
+	// called at Unregister.  The torture binary uses it to attach
+	// threads to a live obs.Collector.
+	OnRegister func(*Thread) func()
 }
 
 // Violation records one broken wait-freedom budget.
@@ -121,6 +126,8 @@ type Violation struct {
 	Trace []core.Point
 }
 
+// String formats the violation as a one-line report with the replay
+// seed, suitable for test failures and the torture binary's output.
 func (v Violation) String() string {
 	return fmt.Sprintf("thread %d: %s took %d steps, budget %d (replay seed %d, recent points %v)",
 		v.ThreadID, v.Op, v.Steps, v.Budget, v.Seed, v.Trace)
@@ -210,6 +217,9 @@ func (s *Scheme) RegisterChaos() (*Thread, error) {
 		h.SetHook(t.hook)
 		t.hooked = true
 	}
+	if s.cfg.OnRegister != nil {
+		t.onUnregister = s.cfg.OnRegister(t)
+	}
 	s.mu.Lock()
 	s.threads = append(s.threads, t)
 	s.mu.Unlock()
@@ -274,6 +284,9 @@ type Thread struct {
 	// high-water marks already reported, so a violated budget is
 	// recorded once per new maximum rather than once per op.
 	repDeRef, repAlloc, repFree, repScan uint64
+
+	// onUnregister is Config.OnRegister's detach callback (may be nil).
+	onUnregister func()
 }
 
 // Hooked reports whether the inner scheme exposes algorithm hook points
@@ -477,6 +490,10 @@ func (t *Thread) EndOp() { t.inner.EndOp() }
 func (t *Thread) Unregister() {
 	if h, ok := t.inner.(hookSetter); ok {
 		h.SetHook(nil)
+	}
+	if t.onUnregister != nil {
+		t.onUnregister()
+		t.onUnregister = nil
 	}
 	t.inner.Unregister()
 }

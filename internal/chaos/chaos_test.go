@@ -241,3 +241,30 @@ func TestScenarioOOMUnderStallReplaySeed(t *testing.T) {
 		t.Errorf("OOMs = %d, want ≥ 2 (every non-drainer worker)", rep.OOMs)
 	}
 }
+
+// TestOnRegisterHookFires checks the observability attach point: every
+// thread registered through the wrapper reaches Config.OnRegister, and
+// the detach it returns runs at that thread's Unregister.
+func TestOnRegisterHookFires(t *testing.T) {
+	s := newCore(t, 32, 2)
+	var attached, detached []int
+	cs := New(s, Config{Seed: 1, OnRegister: func(th *Thread) func() {
+		id := th.ID()
+		attached = append(attached, id)
+		return func() { detached = append(detached, id) }
+	}})
+	th, err := cs.RegisterChaos()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attached) != 1 || attached[0] != th.ID() {
+		t.Fatalf("attached = %v", attached)
+	}
+	if len(detached) != 0 {
+		t.Fatalf("detached before Unregister: %v", detached)
+	}
+	th.Unregister()
+	if len(detached) != 1 || detached[0] != attached[0] {
+		t.Fatalf("detached = %v", detached)
+	}
+}

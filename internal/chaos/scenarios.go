@@ -49,6 +49,11 @@ type SuiteConfig struct {
 	Nodes int
 	// Seed seeds the fault PRNGs (default 1).
 	Seed int64
+	// OnRegister is forwarded to Config.OnRegister: it sees every
+	// thread the scenario registers and its return value (may be nil)
+	// runs at that thread's Unregister.  Lets the torture binary attach
+	// scenario threads to a live obs.Collector.
+	OnRegister func(*Thread) func()
 }
 
 func (c SuiteConfig) withDefaults() SuiteConfig {
@@ -159,7 +164,7 @@ func RunScenario(scenario, scheme string, sc SuiteConfig) (Report, error) {
 		return Report{}, fmt.Errorf("chaos: unknown scenario %q (have %v)", scenario, ScenarioNames())
 	}
 
-	cs := New(inner, Config{Seed: sc.Seed, Faults: faults})
+	cs := New(inner, Config{Seed: sc.Seed, Faults: faults, OnRegister: sc.OnRegister})
 	rep := Report{Scenario: scenario, Scheme: scheme, Threads: sc.Threads, Seed: sc.Seed}
 	t0 := time.Now()
 	if oom {
@@ -178,7 +183,7 @@ func RunScenario(scenario, scheme string, sc SuiteConfig) (Report, error) {
 		fl := th.FaultLog()
 		rep.FaultLogs = append(rep.FaultLogs, fl)
 		rep.Stalls += fl.Stalls
-		rep.Stats.Add(th.Stats())
+		rep.Stats.AddTagged(th.Stats(), th.ID())
 	}
 	return rep, nil
 }

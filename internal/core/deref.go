@@ -147,6 +147,9 @@ func (t *Thread) HelpDeRef(l mm.LinkID) {
 				}
 			} else {
 				t.stats.HelpsGiven++
+				if fn := s.helpTracer.Load(); fn != nil {
+					(*fn)(HelpEvent{Helper: t.id, Helpee: id, Slot: int(index), Link: l})
+				}
 			}
 		}()
 	}

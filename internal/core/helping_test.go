@@ -35,6 +35,10 @@ func TestHelpDeRefProvidesAnswer(t *testing.T) {
 		}
 	})
 
+	var events []HelpEvent
+	s.SetHelpTracer(func(ev HelpEvent) { events = append(events, ev) })
+	defer s.SetHelpTracer(nil)
+
 	got := make(chan arena.Ptr)
 	go func() { got <- tA.DeRefLink(root) }()
 
@@ -44,6 +48,16 @@ func TestHelpDeRefProvidesAnswer(t *testing.T) {
 		t.Fatal("B's CASLink failed")
 	}
 	close(goOn)
+
+	// The help tracer must attribute the answered announcement: B helped
+	// A at the slot A announced in, for the swung link.
+	if len(events) != 1 {
+		t.Fatalf("help tracer recorded %d events, want 1", len(events))
+	}
+	if ev := events[0]; ev.Helper != tB.ID() || ev.Helpee != tA.ID() || ev.Link != root {
+		t.Errorf("help event = %+v, want helper %d, helpee %d, link %d",
+			ev, tB.ID(), tA.ID(), root)
+	}
 
 	p := <-got
 	if p.Handle() != y {

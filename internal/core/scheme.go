@@ -121,6 +121,43 @@ type Scheme struct {
 	// exceeded AnnScanBound — the audit-visible record of broken
 	// wait-freedom (see Audit).
 	annScanViolations atomic.Uint64
+
+	// helpTracer, when set, observes every successful H6 answer CAS
+	// (see SetHelpTracer).
+	helpTracer atomic.Pointer[func(HelpEvent)]
+}
+
+// HelpEvent describes one successfully answered dereference
+// announcement: thread Helper, running HelpDeRef for link Link (paper
+// Figure 4, lines H1–H8), won the H6 answer CAS into slot Slot of
+// thread Helpee's announcement row.  The helpee's DeRefLink adopts the
+// answer at line D7.
+type HelpEvent struct {
+	// Helper is the thread slot that provided the answer.
+	Helper int
+	// Helpee is the thread slot whose announcement was answered.
+	Helpee int
+	// Slot is the announcement slot index within the helpee's row (the
+	// paper's annIndex value at the time of the help).
+	Slot int
+	// Link is the announced link that was dereferenced on the helpee's
+	// behalf.
+	Link mm.LinkID
+}
+
+// SetHelpTracer installs fn to be invoked after every successful H6
+// answer CAS, identifying who helped whom at which announcement slot.
+// It may be installed or cleared (fn == nil) while threads run; fn must
+// be safe for concurrent calls and cheap — it executes inside the
+// helper's CompareAndSwapLink obligation, which Lemma 3's accounting
+// already prices at O(NR_THREADS).  Production code leaves it unset:
+// the only cost is then one atomic pointer load per help given.
+func (s *Scheme) SetHelpTracer(fn func(HelpEvent)) {
+	if fn == nil {
+		s.helpTracer.Store(nil)
+		return
+	}
+	s.helpTracer.Store(&fn)
 }
 
 // New creates a wait-free reference-counting scheme over ar.  All of the

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wfrc/internal/obs"
+)
+
+// TestQuickRunWritesSchemaValidJSON is the wfrc-bench smoke test: a
+// quick E1 run through the Sink pipeline must produce a
+// BENCH_results.json that the schema validator accepts with zero
+// announcement-scan violations — the exact sequence CI performs.
+func TestQuickRunWritesSchemaValidJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are not short")
+	}
+	report := obs.NewBenchReport(true)
+	p := quickParams()
+	p.MaxThreads = 2
+	p.OpsPerThread = 500
+	p.Schemes = []string{"waitfree", "valois"}
+	p.Sink = func(r obs.BenchResult) { report.Results = append(report.Results, r) }
+
+	e, err := ByID("e1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	// One data point per (thread count, scheme): threads sweep {1, 2}.
+	if len(report.Results) != 4 {
+		t.Fatalf("got %d data points, want 4", len(report.Results))
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_results.json")
+	if err := report.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := obs.ValidateBenchJSON(data)
+	if err != nil {
+		t.Fatalf("quick run produced schema-invalid JSON: %v", err)
+	}
+	if n := rep.TotalAnnScanViolations(); n != 0 {
+		t.Errorf("quick run recorded %d announcement-scan violations", n)
+	}
+	for _, r := range rep.Results {
+		if r.Experiment != "e1" || r.Ops == 0 || r.OpsPerSec <= 0 {
+			t.Errorf("implausible data point: %+v", r)
+		}
+	}
+}

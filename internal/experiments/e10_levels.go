@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"math/rand"
 
 	"wfrc/internal/arena"
@@ -31,7 +32,7 @@ func E10LevelAblation(p Params) ([]harness.Table, error) {
 	for _, prefill := range []int{100, 10000} {
 		for _, ml := range []int{2, 4, 8, 12} {
 			acfg := arena.Config{
-				Nodes: 2*prefill + 64*threads + 4096,
+				Nodes:        2*prefill + 64*threads + 4096,
 				LinksPerNode: ml, ValsPerNode: 3, RootLinks: ml + 2,
 			}
 			s, err := f.New(acfg, schemes.Options{Threads: threads + 1})
@@ -71,6 +72,7 @@ func E10LevelAblation(p Params) ([]harness.Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			p.emit(fmt.Sprintf("e10-n%d-l%d", prefill, ml), "waitfree", threads, res)
 			tbl.AddRow(prefill, ml, fmtMops(res.MopsPerSec()))
 		}
 	}

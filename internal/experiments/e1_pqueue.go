@@ -79,6 +79,7 @@ func E1PQueueThroughput(p Params) ([]harness.Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			p.emit("e1", f.Name, threads, res)
 			row = append(row, fmtMops(res.MopsPerSec()))
 		}
 		tbl.AddRow(row...)

@@ -57,6 +57,7 @@ func E3AllocFree(p Params) ([]harness.Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			p.emit("e3", f.Name, threads, res)
 			row = append(row, fmtMops(res.MopsPerSec()))
 			if threads == maxT {
 				mean := float64(res.Stats.AllocSteps) / float64(res.Stats.Allocs)

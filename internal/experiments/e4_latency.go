@@ -70,6 +70,7 @@ func E4LatencyTail(p Params) ([]harness.Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		p.emit("e4", f.Name, threads, res)
 		h := &res.Hist
 		tbl.AddRow(f.Name, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Quantile(0.999), h.Max())
 	}

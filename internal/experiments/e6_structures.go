@@ -57,6 +57,7 @@ func E6Structures(p Params) ([]harness.Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			p.emit("e6-stack", f.Name, threads, res)
 			srow = append(srow, fmtMops(res.MopsPerSec()))
 
 			// Queue.
@@ -84,6 +85,7 @@ func E6Structures(p Params) ([]harness.Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			p.emit("e6-queue", f.Name, threads, res2)
 			qrow = append(qrow, fmtMops(res2.MopsPerSec()))
 		}
 		stackTbl.AddRow(srow...)

@@ -60,6 +60,7 @@ func E8ReclamationAudit(p Params) ([]harness.Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		p.emit("e8", f.Name, threads, res)
 		// Quiesce: empty the list so the audit's expected state is trivial.
 		t, err := s.Register()
 		if err != nil {

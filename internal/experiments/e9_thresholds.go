@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"math/rand"
 
 	"wfrc/internal/arena"
@@ -56,6 +57,7 @@ func E9ThresholdAblation(p Params) ([]harness.Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			p.emit(fmt.Sprintf("e9-t%d", threshold), name, threads, res)
 			retention := res.Stats.Retired - res.Stats.Frees // retired but not yet reclaimed
 			_ = retention
 			tbl.AddRow(name, threshold, fmtMops(res.MopsPerSec()), res.Stats.Scans,
@@ -84,6 +86,7 @@ func E9ThresholdAblation(p Params) ([]harness.Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		p.emit("e9-eager", name, threads, res)
 		tbl.AddRow(name, "(eager)", fmtMops(res.MopsPerSec()), 0, 0)
 	}
 	return []harness.Table{tbl}, nil

@@ -10,7 +10,9 @@ import (
 	"runtime"
 
 	"wfrc/internal/arena"
+	"wfrc/internal/harness"
 	"wfrc/internal/mm"
+	"wfrc/internal/obs"
 	"wfrc/internal/schemes"
 )
 
@@ -25,6 +27,19 @@ type Params struct {
 	Schemes []string
 	// Quick shrinks workloads for smoke tests.
 	Quick bool
+	// Sink, when set, receives one machine-readable data point per
+	// harness run (the BENCH_results.json trajectory); nil discards
+	// them and experiments render tables only.
+	Sink func(obs.BenchResult)
+}
+
+// emit reports one harness run to p.Sink, if set.  experiment is the
+// data point's id — the registry id, optionally suffixed for
+// experiments that run several workloads (e.g. "e6-stack").
+func (p Params) emit(experiment, scheme string, threads int, res harness.Result) {
+	if p.Sink != nil {
+		p.Sink(obs.BenchResultFrom(experiment, scheme, threads, res.Ops, res.Elapsed, &res.Stats))
+	}
 }
 
 func (p Params) maxThreads() int {

@@ -4,10 +4,34 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wfrc/internal/mm"
 )
+
+// Observer is notified of every Run's registered threads before the
+// workload starts; the returned function is called once the run is
+// over.  obs.(*Collector).ObserveRun satisfies it structurally, so the
+// harness stays free of an obs dependency.
+type Observer interface {
+	ObserveRun(scheme string, ths []mm.Thread) func()
+}
+
+// observer holds the process-wide observer (nil when observation is
+// off — the default, which adds no work to Run).
+var observer atomic.Pointer[Observer]
+
+// SetObserver installs o as the process-wide run observer; nil removes
+// it.  Intended for the binaries' -obs-addr wiring, not for tests that
+// run in parallel.
+func SetObserver(o Observer) {
+	if o == nil {
+		observer.Store(nil)
+		return
+	}
+	observer.Store(&o)
+}
 
 // Result is the outcome of one concurrent run.
 type Result struct {
@@ -56,6 +80,10 @@ func Run(s mm.Scheme, threads int, body Body) (Result, error) {
 		}
 		ths[i] = t
 	}
+	if p := observer.Load(); p != nil {
+		done := (*p).ObserveRun(s.Name(), ths)
+		defer done()
+	}
 
 	start := make(chan struct{})
 	var wg sync.WaitGroup
@@ -81,7 +109,7 @@ func Run(s mm.Scheme, threads int, body Body) (Result, error) {
 	for i := range outs {
 		res.Ops += outs[i].ops
 		res.Hist.Merge(&outs[i].hist)
-		res.Stats.Add(&outs[i].st)
+		res.Stats.AddTagged(&outs[i].st, ths[i].ID())
 		if outs[i].err != nil && firstErr == nil {
 			firstErr = outs[i].err
 		}

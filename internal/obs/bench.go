@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"wfrc/internal/mm"
+)
+
+// BenchSchemaVersion identifies the BENCH_results.json layout.  Bump it
+// on any incompatible change and teach ValidateBenchJSON both versions
+// for one release so the CI trajectory stays readable.
+const BenchSchemaVersion = 1
+
+// BenchStepStats summarizes one per-operation step distribution (the
+// quantity Lemmas 2 and 9 bound) for one data point: quantiles read off
+// the mm.StepHist factor-of-two buckets, the exact observed maximum,
+// and the thread that observed it (-1 unknown).
+type BenchStepStats struct {
+	P50       uint64 `json:"p50"`
+	P99       uint64 `json:"p99"`
+	Max       uint64 `json:"max"`
+	MaxThread int    `json:"max_thread"`
+}
+
+// BenchResult is one (experiment, scheme, threads) data point.
+type BenchResult struct {
+	Experiment string  `json:"experiment"`
+	Scheme     string  `json:"scheme"`
+	Threads    int     `json:"threads"`
+	Ops        uint64  `json:"ops"`
+	ElapsedNS  int64   `json:"elapsed_ns"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+
+	DeRefSteps BenchStepStats `json:"deref_steps"`
+	AllocSteps BenchStepStats `json:"alloc_steps"`
+	FreeSteps  BenchStepStats `json:"free_steps"`
+
+	HelpsGiven        uint64 `json:"helps_given"`
+	HelpsReceived     uint64 `json:"helps_received"`
+	AllocHelped       uint64 `json:"alloc_helped"`
+	AnnScanViolations uint64 `json:"ann_scan_violations"`
+	CASFailures       uint64 `json:"cas_failures"`
+}
+
+// BenchHost records the machine a report was generated on, so
+// trajectory points are only compared like for like.
+type BenchHost struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// BenchReport is the top-level BENCH_results.json document: one
+// wfrc-bench invocation's data points plus provenance.  CI regenerates
+// it every run, validates it (ValidateBenchJSON) and uploads it as an
+// artifact, so the performance trajectory is tracked across PRs.
+type BenchReport struct {
+	SchemaVersion int           `json:"schema_version"`
+	GeneratedAt   string        `json:"generated_at"` // RFC 3339
+	Host          BenchHost     `json:"host"`
+	Quick         bool          `json:"quick"`
+	Results       []BenchResult `json:"results"`
+}
+
+// NewBenchReport returns an empty report stamped with the current time
+// and host.
+func NewBenchReport(quick bool) *BenchReport {
+	return &BenchReport{
+		SchemaVersion: BenchSchemaVersion,
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		Host: BenchHost{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+		},
+		Quick: quick,
+	}
+}
+
+// BenchResultFrom builds one data point from a run's merged stats.
+func BenchResultFrom(experiment, scheme string, threads int, ops uint64, elapsed time.Duration, st *mm.OpStats) BenchResult {
+	opsPerSec := 0.0
+	if elapsed > 0 {
+		opsPerSec = float64(ops) / elapsed.Seconds()
+	}
+	return BenchResult{
+		Experiment: experiment,
+		Scheme:     scheme,
+		Threads:    threads,
+		Ops:        ops,
+		ElapsedNS:  elapsed.Nanoseconds(),
+		OpsPerSec:  opsPerSec,
+		DeRefSteps: BenchStepStats{
+			P50: st.DeRefHist.Quantile(0.50), P99: st.DeRefHist.Quantile(0.99),
+			Max: st.DeRefMaxSteps, MaxThread: st.DeRefMaxThread(),
+		},
+		AllocSteps: BenchStepStats{
+			P50: st.AllocHist.Quantile(0.50), P99: st.AllocHist.Quantile(0.99),
+			Max: st.AllocMaxSteps, MaxThread: st.AllocMaxThread(),
+		},
+		FreeSteps: BenchStepStats{
+			P50: st.FreeHist.Quantile(0.50), P99: st.FreeHist.Quantile(0.99),
+			Max: st.FreeMaxSteps, MaxThread: st.FreeMaxThread(),
+		},
+		HelpsGiven:        st.HelpsGiven,
+		HelpsReceived:     st.HelpsReceived,
+		AllocHelped:       st.AllocHelped,
+		AnnScanViolations: st.AnnScanViolations,
+		CASFailures:       st.CASFailures,
+	}
+}
+
+// TotalAnnScanViolations sums the violation counter over every data
+// point — the number CI gates on (nonzero means a Lemma 2 bound broke
+// during the bench run).
+func (r *BenchReport) TotalAnnScanViolations() uint64 {
+	var n uint64
+	for _, res := range r.Results {
+		n += res.AnnScanViolations
+	}
+	return n
+}
+
+// WriteFile writes the report as indented JSON to path.
+func (r *BenchReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// requiredResultKeys are the per-result JSON keys the schema promises.
+var requiredResultKeys = []string{
+	"experiment", "scheme", "threads", "ops", "elapsed_ns", "ops_per_sec",
+	"deref_steps", "alloc_steps", "free_steps",
+	"helps_given", "helps_received", "alloc_helped", "ann_scan_violations", "cas_failures",
+}
+
+// requiredStepKeys are the keys of each step-stats object.
+var requiredStepKeys = []string{"p50", "p99", "max", "max_thread"}
+
+// ValidateBenchJSON checks that data is a schema-valid BENCH_results
+// document — correct schema version, host provenance present, at least
+// one result, and every required key present with the right JSON type —
+// and returns the decoded report.  It validates the raw JSON rather
+// than trusting Go defaults, so a field silently dropped by a future
+// edit fails CI instead of reading as zero.
+func ValidateBenchJSON(data []byte) (*BenchReport, error) {
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("bench json: not an object: %w", err)
+	}
+	for _, key := range []string{"schema_version", "generated_at", "host", "quick", "results"} {
+		if _, ok := raw[key]; !ok {
+			return nil, fmt.Errorf("bench json: missing top-level key %q", key)
+		}
+	}
+	var version int
+	if err := json.Unmarshal(raw["schema_version"], &version); err != nil {
+		return nil, fmt.Errorf("bench json: schema_version: %w", err)
+	}
+	if version != BenchSchemaVersion {
+		return nil, fmt.Errorf("bench json: schema_version %d, want %d", version, BenchSchemaVersion)
+	}
+	var generated string
+	if err := json.Unmarshal(raw["generated_at"], &generated); err != nil {
+		return nil, fmt.Errorf("bench json: generated_at: %w", err)
+	}
+	if _, err := time.Parse(time.RFC3339, generated); err != nil {
+		return nil, fmt.Errorf("bench json: generated_at %q is not RFC 3339: %w", generated, err)
+	}
+
+	var results []map[string]json.RawMessage
+	if err := json.Unmarshal(raw["results"], &results); err != nil {
+		return nil, fmt.Errorf("bench json: results: %w", err)
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("bench json: results is empty")
+	}
+	for i, res := range results {
+		for _, key := range requiredResultKeys {
+			v, ok := res[key]
+			if !ok {
+				return nil, fmt.Errorf("bench json: results[%d]: missing key %q", i, key)
+			}
+			switch key {
+			case "experiment", "scheme":
+				var s string
+				if err := json.Unmarshal(v, &s); err != nil || s == "" {
+					return nil, fmt.Errorf("bench json: results[%d].%s: want non-empty string", i, key)
+				}
+			case "deref_steps", "alloc_steps", "free_steps":
+				var step map[string]json.RawMessage
+				if err := json.Unmarshal(v, &step); err != nil {
+					return nil, fmt.Errorf("bench json: results[%d].%s: %w", i, key, err)
+				}
+				for _, sk := range requiredStepKeys {
+					sv, ok := step[sk]
+					if !ok {
+						return nil, fmt.Errorf("bench json: results[%d].%s: missing key %q", i, key, sk)
+					}
+					var n float64
+					if err := json.Unmarshal(sv, &n); err != nil {
+						return nil, fmt.Errorf("bench json: results[%d].%s.%s: want number", i, key, sk)
+					}
+				}
+			default:
+				var n float64
+				if err := json.Unmarshal(v, &n); err != nil {
+					return nil, fmt.Errorf("bench json: results[%d].%s: want number", i, key)
+				}
+			}
+		}
+	}
+
+	var report BenchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		return nil, fmt.Errorf("bench json: %w", err)
+	}
+	return &report, nil
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"wfrc/internal/mm"
+)
+
+// sampleReport builds a small valid report for round-trip tests.
+func sampleReport() *BenchReport {
+	var st mm.OpStats
+	st.NoteDeRef(2)
+	st.NoteDeRef(6)
+	st.NoteAlloc(1)
+	st.NoteFree(1)
+	st.HelpsGiven = 3
+	var merged mm.OpStats
+	merged.AddTagged(&st, 1)
+
+	rep := NewBenchReport(true)
+	rep.Results = append(rep.Results,
+		BenchResultFrom("e1-pqueue", "waitfree-rc", 4, 1000, 250*time.Millisecond, &merged))
+	return rep
+}
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	rep := sampleReport()
+	path := filepath.Join(t.TempDir(), "BENCH_results.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ValidateBenchJSON(data)
+	if err != nil {
+		t.Fatalf("ValidateBenchJSON: %v", err)
+	}
+	if got.SchemaVersion != BenchSchemaVersion || !got.Quick || len(got.Results) != 1 {
+		t.Fatalf("decoded report = %+v", got)
+	}
+	res := got.Results[0]
+	if res.Experiment != "e1-pqueue" || res.Scheme != "waitfree-rc" || res.Threads != 4 {
+		t.Errorf("result identity = %+v", res)
+	}
+	if res.Ops != 1000 || res.OpsPerSec != 4000 {
+		t.Errorf("ops=%d ops/sec=%v", res.Ops, res.OpsPerSec)
+	}
+	if res.DeRefSteps.Max != 6 || res.DeRefSteps.MaxThread != 1 {
+		t.Errorf("deref steps = %+v (arg-max thread should survive the round trip)", res.DeRefSteps)
+	}
+	if res.HelpsGiven != 3 || res.AnnScanViolations != 0 {
+		t.Errorf("helps=%d violations=%d", res.HelpsGiven, res.AnnScanViolations)
+	}
+	if got.Host.GoVersion == "" || got.Host.GOMAXPROCS == 0 {
+		t.Errorf("host provenance missing: %+v", got.Host)
+	}
+}
+
+func TestTotalAnnScanViolations(t *testing.T) {
+	rep := sampleReport()
+	if got := rep.TotalAnnScanViolations(); got != 0 {
+		t.Fatalf("violations = %d", got)
+	}
+	rep.Results[0].AnnScanViolations = 2
+	rep.Results = append(rep.Results, rep.Results[0])
+	if got := rep.TotalAnnScanViolations(); got != 4 {
+		t.Fatalf("violations = %d, want 4", got)
+	}
+}
+
+// mutateJSON round-trips the sample report through a generic map, applies
+// fn, and re-marshals — used to build near-valid documents.
+func mutateJSON(t *testing.T, fn func(doc map[string]interface{})) []byte {
+	t.Helper()
+	data, err := json.Marshal(sampleReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	fn(doc)
+	out, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestValidateBenchJSONRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		data    []byte
+		wantErr string
+	}{
+		{"not json", []byte("nope"), "not an object"},
+		{"missing top-level key", mutateJSON(t, func(d map[string]interface{}) { delete(d, "host") }), `missing top-level key "host"`},
+		{"wrong schema version", mutateJSON(t, func(d map[string]interface{}) { d["schema_version"] = 999 }), "schema_version 999"},
+		{"bad timestamp", mutateJSON(t, func(d map[string]interface{}) { d["generated_at"] = "yesterday" }), "not RFC 3339"},
+		{"empty results", mutateJSON(t, func(d map[string]interface{}) { d["results"] = []interface{}{} }), "results is empty"},
+		{"missing result key", mutateJSON(t, func(d map[string]interface{}) {
+			res := d["results"].([]interface{})[0].(map[string]interface{})
+			delete(res, "ann_scan_violations")
+		}), `missing key "ann_scan_violations"`},
+		{"empty scheme", mutateJSON(t, func(d map[string]interface{}) {
+			res := d["results"].([]interface{})[0].(map[string]interface{})
+			res["scheme"] = ""
+		}), "non-empty string"},
+		{"step stats not object", mutateJSON(t, func(d map[string]interface{}) {
+			res := d["results"].([]interface{})[0].(map[string]interface{})
+			res["deref_steps"] = 5
+		}), "deref_steps"},
+		{"step stats missing key", mutateJSON(t, func(d map[string]interface{}) {
+			res := d["results"].([]interface{})[0].(map[string]interface{})
+			res["alloc_steps"].(map[string]interface{})["max_thread"] = nil
+			delete(res["alloc_steps"].(map[string]interface{}), "max_thread")
+		}), `missing key "max_thread"`},
+		{"counter not number", mutateJSON(t, func(d map[string]interface{}) {
+			res := d["results"].([]interface{})[0].(map[string]interface{})
+			res["helps_given"] = "three"
+		}), "want number"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ValidateBenchJSON(tc.data)
+			if err == nil {
+				t.Fatal("validation unexpectedly passed")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

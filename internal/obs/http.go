@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Server exposes a collector (and optionally a trace ring) over HTTP:
+//
+//	/metrics      Prometheus text exposition (see prom.go)
+//	/trace        JSON snapshot of the help-event ring
+//	/debug/vars   expvar (includes the "wfrc" merged snapshot)
+//	/debug/pprof  the standard pprof endpoints
+//
+// The binaries wire it behind an -obs-addr flag; with the flag unset no
+// server, collector or tracer exists and the schemes run exactly as
+// before.
+type Server struct {
+	c    *Collector
+	ring *TraceRing
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// expvarOnce guards the process-global expvar publication (expvar
+// panics on duplicate names; tests may start several Servers).
+var (
+	expvarOnce sync.Once
+	expvarC    *Collector
+	expvarMu   sync.Mutex
+)
+
+// Serve starts an observability server on addr (host:port; use port 0
+// for an ephemeral port, see Addr).  ring may be nil, in which case
+// /trace reports an empty event list.  The server runs until Close.
+func Serve(addr string, c *Collector, ring *TraceRing) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{c: c, ring: ring, ln: ln}
+
+	expvarMu.Lock()
+	expvarC = c
+	expvarMu.Unlock()
+	expvarOnce.Do(func() {
+		expvar.Publish("wfrc", expvar.Func(func() interface{} {
+			expvarMu.Lock()
+			cur := expvarC
+			expvarMu.Unlock()
+			if cur == nil {
+				return nil
+			}
+			snap := cur.Snapshot()
+			return snap.Schemes
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/trace", s.trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the server's listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = WriteProm(w, s.c.Snapshot())
+}
+
+// traceResponse is the /trace JSON payload.
+type traceResponse struct {
+	// Total counts every event ever recorded; Events holds the ring's
+	// current window, oldest first.
+	Total  uint64      `json:"total"`
+	Events []HelpEvent `json:"events"`
+}
+
+func (s *Server) trace(w http.ResponseWriter, _ *http.Request) {
+	resp := traceResponse{Events: []HelpEvent{}}
+	if s.ring != nil {
+		resp.Total = s.ring.Total()
+		resp.Events = s.ring.Snapshot()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}

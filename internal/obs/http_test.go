@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"wfrc/internal/mm"
+)
+
+func TestServerEndpoints(t *testing.T) {
+	c := NewCollector()
+	var st mm.OpStats
+	st.NoteDeRef(3)
+	defer c.Attach("waitfree-rc", 0, &st)()
+
+	ring := NewTraceRing(16)
+	ring.Record(HelpEvent{TimeNS: 5, Helper: 1, Helpee: 0, Slot: 2, Link: 11})
+
+	s, err := Serve("127.0.0.1:0", c, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ctype := get("/metrics")
+	if !strings.Contains(ctype, "version=0.0.4") {
+		t.Errorf("/metrics content type = %q", ctype)
+	}
+	if !strings.Contains(metrics, `wfrc_derefs_total{scheme="waitfree-rc"} 1`) {
+		t.Errorf("/metrics missing deref counter:\n%s", metrics)
+	}
+
+	traceBody, ctype := get("/trace")
+	if !strings.Contains(ctype, "application/json") {
+		t.Errorf("/trace content type = %q", ctype)
+	}
+	var tr struct {
+		Total  uint64      `json:"total"`
+		Events []HelpEvent `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(traceBody), &tr); err != nil {
+		t.Fatalf("/trace not JSON: %v\n%s", err, traceBody)
+	}
+	if tr.Total != 1 || len(tr.Events) != 1 || tr.Events[0].Helper != 1 || tr.Events[0].Link != 11 {
+		t.Errorf("/trace = %+v", tr)
+	}
+
+	vars, _ := get("/debug/vars")
+	if !strings.Contains(vars, `"wfrc"`) {
+		t.Errorf("/debug/vars missing wfrc var:\n%s", vars)
+	}
+
+	index, _ := get("/debug/pprof/")
+	if !strings.Contains(index, "goroutine") {
+		t.Error("/debug/pprof/ index missing profiles")
+	}
+}
+
+func TestServeNilRing(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", NewCollector(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr() + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var tr struct {
+		Total  uint64      `json:"total"`
+		Events []HelpEvent `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Total != 0 || len(tr.Events) != 0 {
+		t.Errorf("nil-ring /trace = %+v", tr)
+	}
+}

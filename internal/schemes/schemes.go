@@ -34,6 +34,13 @@ type Options struct {
 	RetireThreshold int
 }
 
+// OnNewWaitFree, when non-nil, is called with every wait-free core
+// scheme the factories construct.  The binaries set it once at startup
+// (before any experiment runs) to install observability hooks — e.g. a
+// help-event tracer — on schemes built deep inside the experiment and
+// torture suites.  Not synchronized: set it before concurrent use.
+var OnNewWaitFree func(*core.Scheme)
+
 // Factory names and constructs one memory-management scheme.
 type Factory struct {
 	// Name is the scheme identifier used in test names and benchmark
@@ -52,7 +59,14 @@ func Factories() []Factory {
 			if err != nil {
 				return nil, err
 			}
-			return core.New(ar, core.Config{Threads: o.Threads, AllocRetryLimit: o.AllocRetryLimit})
+			s, err := core.New(ar, core.Config{Threads: o.Threads, AllocRetryLimit: o.AllocRetryLimit})
+			if err != nil {
+				return nil, err
+			}
+			if OnNewWaitFree != nil {
+				OnNewWaitFree(s)
+			}
+			return s, nil
 		}},
 		{Name: "valois", New: func(acfg arena.Config, o Options) (mm.Scheme, error) {
 			ar, err := arena.New(acfg)
