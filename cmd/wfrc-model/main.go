@@ -58,7 +58,7 @@ func main() {
 				sc.Name, res.States, res.Truncated, dur)
 			failed = true
 		case res.Violation != "":
-			fmt.Printf("FAIL %-16s %s\n      schedule: %v\n", sc.Name, res.Violation, res.Trace)
+			fmt.Printf("FAIL %-16s %s\n      schedule: %v (replay encoding %s)\n", sc.Name, res.Violation, res.Trace, res.Trace.Encode())
 			failed = true
 		case res.Truncated:
 			fmt.Printf("WARN %-16s state budget exhausted at %d states (%v)\n",

@@ -1,0 +1,201 @@
+// Command wfrc-sched runs the deterministic-scheduler interleaving
+// explorer: every registered concurrency scenario over the wait-free
+// core, scheduled by PCT random priorities or bounded exhaustive DFS,
+// with byte-for-byte replayable counterexamples.
+//
+//	wfrc-sched                                # explore every scenario (PCT)
+//	wfrc-sched -list                          # list scenarios and exit
+//	wfrc-sched -scenario deref-vs-swap -schedules 200
+//	wfrc-sched -strategy dfs                  # exhaustive DFS over the DFS-sized scenarios
+//	wfrc-sched -scenario legacy-annindex -replay 7
+//	wfrc-sched -scenario legacy-annindex -trace t1:1x9,0x13,2x8
+//	wfrc-sched -out counterexamples.txt       # persist failing schedules
+//
+// Clean scenarios must pass every schedule; injected-bug scenarios
+// (marked "expect:" in -list) must fail, and their counterexample is
+// re-run from its recorded trace before being trusted.  Exit status is
+// non-zero when either expectation is violated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wfrc/internal/sched"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list scenarios and exit")
+		name      = flag.String("scenario", "", "run one scenario (default: all)")
+		strategy  = flag.String("strategy", "pct", "exploration strategy: pct or dfs")
+		schedules = flag.Int("schedules", 20, "PCT seeds (or DFS schedule bound, where 0 keeps the DFS default)")
+		depth     = flag.Int("depth", 0, "PCT priority change points (0: per-scenario default)")
+		seed      = flag.Int64("seed", 1, "base PCT seed; schedule i uses seed+i")
+		maxSteps  = flag.Int("maxsteps", 0, "per-run step budget (0: per-scenario default)")
+		out       = flag.String("out", "", "append failing schedules to this file, one per line")
+		replay    = flag.Int64("replay", -1, "replay one PCT seed of -scenario and exit")
+		trace     = flag.String("trace", "", "replay one encoded trace of -scenario and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range sched.Names() {
+			sc, _ := sched.Lookup(n)
+			marks := ""
+			if sc.DFSOK {
+				marks += " [dfs]"
+			}
+			if sc.ExpectFailure != "" {
+				marks += " [expect: " + sc.ExpectFailure + "]"
+			}
+			fmt.Printf("  %-20s %s%s\n", sc.Name, sc.About, marks)
+		}
+		return
+	}
+
+	scenarios := sched.Names()
+	if *name != "" {
+		if _, ok := sched.Lookup(*name); !ok {
+			fmt.Fprintf(os.Stderr, "unknown scenario %q; have %s\n", *name, strings.Join(sched.Names(), ", "))
+			os.Exit(2)
+		}
+		scenarios = []string{*name}
+	}
+
+	if *replay >= 0 || *trace != "" {
+		if *name == "" {
+			fmt.Fprintln(os.Stderr, "-replay/-trace need -scenario")
+			os.Exit(2)
+		}
+		sc, _ := sched.Lookup(*name)
+		var o *sched.Outcome
+		if *trace != "" {
+			tr, err := sched.DecodeTrace(*trace)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			o = sched.ReplayTrace(sc, tr, *maxSteps)
+		} else {
+			o = sched.RunPCTSeed(sc, *replay, sched.PCTOptions{Depth: *depth, MaxSteps: *maxSteps})
+		}
+		fmt.Printf("%s: trace %s\n", sc.Name, o.Trace.Encode())
+		if n := o.NotesLine(); n != "" {
+			fmt.Printf("notes: %s\n", n)
+		}
+		if !replayOK(sc, o) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	failed := false
+	for _, n := range scenarios {
+		sc, _ := sched.Lookup(n)
+		var r *sched.Report
+		switch *strategy {
+		case "pct":
+			r = sched.ExplorePCT(sc, sched.PCTOptions{
+				Seed: *seed, Schedules: *schedules, Depth: *depth, MaxSteps: *maxSteps,
+			})
+		case "dfs":
+			if !sc.DFSOK && *name == "" {
+				continue // full instrumentation: the space is out of DFS reach
+			}
+			bound := 0
+			if *schedules != 20 {
+				bound = *schedules
+			}
+			r = sched.ExploreDFS(sc, sched.DFSOptions{MaxSchedules: bound, MaxSteps: *maxSteps})
+		default:
+			fmt.Fprintf(os.Stderr, "unknown strategy %q (want pct or dfs)\n", *strategy)
+			os.Exit(2)
+		}
+		if !report(sc, r, *out) {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// report prints one scenario's verdict and returns whether it met its
+// expectation.  A counterexample is only trusted after its recorded
+// trace reproduces the same failure.
+func report(sc sched.Scenario, r *sched.Report, outPath string) bool {
+	f := r.FirstFailure()
+	suffix := ""
+	if r.Complete {
+		suffix = ", complete"
+	}
+	switch {
+	case sc.ExpectFailure == "" && f == nil:
+		fmt.Printf("PASS %-20s %d schedules%s\n", sc.Name, r.Schedules, suffix)
+		return true
+	case sc.ExpectFailure == "":
+		fmt.Printf("FAIL %-20s %s\n      trace: %s\n      replay: %s\n",
+			sc.Name, f.Failure, f.Trace.Encode(), f.Hint())
+		persist(outPath, sc.Name, f)
+		return false
+	case f == nil:
+		fmt.Printf("FAIL %-20s injected bug NOT caught in %d schedules (want %q)\n",
+			sc.Name, r.Schedules, sc.ExpectFailure)
+		return false
+	default:
+		if !strings.Contains(f.Failure, sc.ExpectFailure) {
+			fmt.Printf("FAIL %-20s wrong failure: %q (want substring %q)\n",
+				sc.Name, f.Failure, sc.ExpectFailure)
+			persist(outPath, sc.Name, f)
+			return false
+		}
+		again := sched.ReplayTrace(sc, f.Trace, sc.MaxSteps)
+		if again.Failure != f.Failure {
+			fmt.Printf("FAIL %-20s counterexample does not replay:\n      first: %q\n      again: %q\n",
+				sc.Name, f.Failure, again.Failure)
+			persist(outPath, sc.Name, f)
+			return false
+		}
+		fmt.Printf("PASS %-20s injected bug caught after %d schedules, replays\n      %s\n      replay: %s\n",
+			sc.Name, r.Schedules, f.Failure, f.Hint())
+		return true
+	}
+}
+
+// replayOK prints the verdict of a single replayed run against the
+// scenario's expectation.
+func replayOK(sc sched.Scenario, o *sched.Outcome) bool {
+	switch {
+	case sc.ExpectFailure == "" && !o.Failed():
+		fmt.Println("PASS")
+		return true
+	case sc.ExpectFailure == "":
+		fmt.Printf("FAIL %s\n", o.Failure)
+		return false
+	case o.Failed() && strings.Contains(o.Failure, sc.ExpectFailure):
+		fmt.Printf("PASS reproduced expected failure: %s\n", o.Failure)
+		return true
+	default:
+		fmt.Printf("FAIL expected failure containing %q, got %q\n", sc.ExpectFailure, o.Failure)
+		return false
+	}
+}
+
+// persist appends a counterexample line to path (CI uploads the file as
+// an artifact on failure).
+func persist(path, scenario string, o *sched.Outcome) {
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "%s strategy=%s seed=%d trace=%s failure=%q\n",
+		scenario, o.Strategy, o.Seed, o.Trace.Encode(), o.Failure)
+}

@@ -108,6 +108,15 @@ type Config struct {
 	// called at Unregister.  The torture binary uses it to attach
 	// threads to a live obs.Collector.
 	OnRegister func(*Thread) func()
+	// Park, when set, replaces the blocking receive a stalled thread
+	// performs while waiting for ReleaseStalls.  The deterministic
+	// scheduler (internal/sched) routes it to a virtual-thread block so
+	// a chaos stall is a schedulable state rather than a real park.
+	Park func(release <-chan struct{})
+	// Gosched, when set, replaces runtime.Gosched in perturbation
+	// storms (under a cooperative scheduler the real Gosched is a
+	// no-op; internal/sched substitutes a scheduling point).
+	Gosched func()
 }
 
 // Violation records one broken wait-freedom budget.
@@ -281,6 +290,10 @@ type Thread struct {
 	trace     []core.Point
 	traceNext int
 
+	// pointObs, when set, observes every hook point before chaos
+	// processes it (see SetPointObserver).
+	pointObs func(core.Point)
+
 	// high-water marks already reported, so a violated budget is
 	// recorded once per new maximum rather than once per op.
 	repDeRef, repAlloc, repFree, repScan uint64
@@ -338,6 +351,10 @@ func (t *Thread) Trace() []core.Point {
 func (t *Thread) park() {
 	t.flog.Stalls++
 	t.parkOnce.Do(func() { close(t.parked) })
+	if p := t.s.cfg.Park; p != nil {
+		p(t.s.release)
+		return
+	}
 	<-t.s.release
 }
 
@@ -370,15 +387,29 @@ func (t *Thread) perturb() {
 				n = 4
 			}
 			for i := 0; i < n; i++ {
-				runtime.Gosched()
+				if g := t.s.cfg.Gosched; g != nil {
+					g()
+				} else {
+					runtime.Gosched()
+				}
 			}
 		}
 	}
 }
 
+// SetPointObserver installs fn to run first at every inner hook point,
+// before stall and perturbation handling.  The chaos wrapper owns the
+// single core hook slot, so this is how another layer (the
+// deterministic scheduler's yield instrumentation) sees the points of a
+// chaos-wrapped thread.  Set it before the thread runs; nil clears.
+func (t *Thread) SetPointObserver(fn func(core.Point)) { t.pointObs = fn }
+
 // hook runs at the inner scheme's algorithm points: record the trace,
 // honor an armed stall, perturb.
 func (t *Thread) hook(p core.Point) {
+	if fn := t.pointObs; fn != nil {
+		fn(p)
+	}
 	if len(t.trace) > 0 {
 		t.trace[t.traceNext%len(t.trace)] = p
 		t.traceNext++

@@ -60,6 +60,51 @@ func (s *Scheme) Audit(extraRefs map[arena.Handle]int) []error {
 			"core: %d DeRefLink slot scans exceeded the wait-freedom bound AnnScanBound(%d)=%d",
 			v, s.n, AnnScanBound(s.n)))
 	}
+	errs = append(errs, s.AuditAnnRows()...)
+	return errs
+}
+
+// AuditAnnRows verifies the announcement-row hygiene invariants at
+// quiescence:
+//
+//  1. no slot holds a busy pin — every H4 pin was released by H8, so no
+//     wedged helper is left restricting future D1 scans;
+//  2. no slot holds a live announcement — every D3 publish was swapped
+//     out by D6;
+//  3. every row whose thread slot is not currently registered has
+//     announcement index -1, the lifecycle rule that makes the deref.go
+//     H2 guard skip rows of departed or never-registered threads.
+//
+// Invariant 3 is exactly what the annRow.index=-1 fix established (the
+// zero value 0 is a valid slot index); the schedule explorer's standing
+// injected-bug scenario reverts that fix via TestingSetLegacyAnnIndex
+// and relies on this audit to flag the regression.
+func (s *Scheme) AuditAnnRows() []error {
+	var errs []error
+	s.regMu.Lock()
+	registered := append([]bool(nil), s.regUsed...)
+	s.regMu.Unlock()
+	for id := 0; id < s.n; id++ {
+		idx := s.ann[id].index.Load()
+		if !registered[id] && idx != -1 {
+			errs = append(errs, fmt.Errorf(
+				"core: unregistered row %d advertises announcement slot %d, want -1 (H2 hygiene: helpers will scan a dead row)",
+				id, idx))
+		}
+		if idx < -1 || idx >= int64(s.n) {
+			errs = append(errs, fmt.Errorf("core: row %d has out-of-range announcement index %d", id, idx))
+		}
+		for j := range s.ann[id].slots {
+			if b := s.ann[id].slots[j].busy.Load(); b != 0 {
+				errs = append(errs, fmt.Errorf(
+					"core: slot [%d][%d] busy=%d at quiescence, want 0 (leaked H4 pin)", id, j, b))
+			}
+			if v := s.ann[id].slots[j].readAddr.Load(); v&annEncodeBit != 0 {
+				errs = append(errs, fmt.Errorf(
+					"core: slot [%d][%d] still holds a live announcement %#x at quiescence", id, j, v))
+			}
+		}
+	}
 	return errs
 }
 

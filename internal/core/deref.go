@@ -40,6 +40,7 @@ func (t *Thread) DeRefLink(l mm.LinkID) mm.Ptr {
 	bound := AnnScanBound(s.n)
 	var probes uint64
 	for i := 0; ; i++ {
+		t.at(PD1)
 		probes++
 		if row.slots[i%s.n].busy.Load() == 0 {
 			index = i % s.n
@@ -90,6 +91,7 @@ func (t *Thread) ReleaseRef(h arena.Handle) {
 	stack := t.relStack[:0]
 	stack = append(stack, h)
 	for len(stack) > 0 {
+		t.at(PR1)
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		ref := s.ar.Ref(n)
@@ -127,6 +129,7 @@ func (t *Thread) HelpDeRef(l mm.LinkID) {
 		if index < 0 || index >= int64(s.n) {
 			continue
 		}
+		t.at(PH2)
 		slot := &row.slots[index]
 		if slot.readAddr.Load() != encodeLink(l) { // H3
 			continue

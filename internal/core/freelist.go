@@ -24,6 +24,7 @@ func (t *Thread) AllocNode() (arena.Handle, error) {
 	helpID := s.helpCurrent.Load() // A2
 	var steps uint64
 	for { // A3
+		t.at(PA3)
 		steps++
 		if steps > uint64(s.lim) {
 			t.stats.NoteAlloc(steps)
@@ -39,7 +40,8 @@ func (t *Thread) AllocNode() (arena.Handle, error) {
 			}
 			continue
 		}
-		current := s.currentFreeList.Load()         // A5
+		current := s.currentFreeList.Load() // A5
+		t.at(PA5)
 		node := arena.Handle(s.freeList[current].v.Load()) // A6
 		if node == arena.Nil { // A7
 			s.currentFreeList.CompareAndSwap(current, (current+1)%int64(2*s.n))
@@ -96,6 +98,7 @@ func (t *Thread) freeNode(node arena.Handle) {
 	}
 	var steps uint64
 	for { // F7
+		t.at(PF7)
 		steps++
 		head := s.freeList[index].v.Load()
 		s.ar.Next(node).Store(head) // F8

@@ -125,6 +125,11 @@ type Scheme struct {
 	// helpTracer, when set, observes every successful H6 answer CAS
 	// (see SetHelpTracer).
 	helpTracer atomic.Pointer[func(HelpEvent)]
+
+	// legacyAnnIndex reverts the annRow.index lifecycle to its pre-fix
+	// behaviour for schedule-exploration tests (see
+	// TestingSetLegacyAnnIndex).  Never set in production.
+	legacyAnnIndex bool
 }
 
 // HelpEvent describes one successfully answered dereference
@@ -255,7 +260,52 @@ func (s *Scheme) unregister(id int) {
 	s.regUsed[id] = false
 	// Stop helpers from scanning the departed thread's row: its last
 	// announcement index would otherwise stay valid-looking forever.
-	s.ann[id].index.Store(-1)
+	if !s.legacyAnnIndex {
+		s.ann[id].index.Store(-1)
+	}
+}
+
+// TestingSetLegacyAnnIndex reverts the annRow.index lifecycle fix (the
+// "zero value was a valid slot index" bug): rows that have never posted
+// an announcement report index 0 — the pre-fix zero value — and
+// Unregister leaves the departed thread's last announcement index in
+// place, so helpers keep scanning rows of threads that never registered
+// or are long gone.  The deterministic schedule explorer (internal/sched)
+// uses it as the standing injected-bug target: AuditAnnRows reports the
+// resulting H2-hygiene violation on every schedule that reaches
+// quiescence with an unregistered row still advertising a slot.  Test
+// hook only; never enable in production.
+func (s *Scheme) TestingSetLegacyAnnIndex(on bool) {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	s.legacyAnnIndex = on
+	for i := range s.ann {
+		idx := s.ann[i].index.Load()
+		if on && idx == -1 {
+			s.ann[i].index.Store(0) // the pre-fix zero value
+		}
+		if !on && !s.regUsed[i] && idx != -1 {
+			s.ann[i].index.Store(-1)
+		}
+	}
+}
+
+// AnnRowIndex returns thread row id's current announcement slot index
+// (-1 = no announcement posted / row unregistered).  Audit and test
+// helper; the value is racy while the row's owner runs.
+func (s *Scheme) AnnRowIndex(id int) int64 { return s.ann[id].index.Load() }
+
+// AnnSlotBusy returns the busy pin count of announcement slot j in row
+// id.  Audit and test helper; at quiescence every count must be zero
+// (each H4 pin is released by H8).
+func (s *Scheme) AnnSlotBusy(id, j int) int64 { return s.ann[id].slots[j].busy.Load() }
+
+// RegisteredThread reports whether thread slot id is currently bound to
+// a registered thread.
+func (s *Scheme) RegisteredThread(id int) bool {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	return s.regUsed[id]
 }
 
 // Thread is a per-goroutine context on the wait-free scheme.  It
@@ -294,7 +344,12 @@ func (t *Thread) SetHook(h func(Point)) { t.hook = h }
 // Point labels the algorithm lines at which tests may interleave.
 type Point int
 
-// Hook points, named after the paper's line numbers.
+// Hook points, named after the paper's line numbers.  The first block
+// marks the states between the algorithms' shared-memory accesses that
+// the original chaos layer perturbs; the second block (PD1 onward) adds
+// the per-iteration step boundaries of every loop, so a deterministic
+// scheduler (internal/sched) regains control on each probe, retry and
+// worklist item and no instrumented operation can spin outside its view.
 const (
 	PD3 Point = iota // announcement published, link not yet read
 	PD4              // link read, mm_ref not yet increased
@@ -306,11 +361,23 @@ const (
 	PF3              // help cursor advanced, annAlloc CAS not yet tried
 	PF9              // mm_next written, free-list insertion CAS not yet tried
 	PR2              // mm_ref decremented, reclamation CAS not yet tried
+
+	PD1 // one D1 announcement-slot probe, busy counter not yet read
+	PH2 // helper read a row's announcement index, cell not yet read
+	PR1 // release worklist item popped, mm_ref not yet decremented
+	PA3 // one allocation-loop iteration, annAlloc grant not yet read
+	PA5 // currentFreeList read, list head not yet read
+	PF7 // one free-list insertion attempt, head not yet read
+
+	// NumPoints is the number of hook points (for tables indexed by
+	// Point).
+	NumPoints
 )
 
 var pointNames = [...]string{
 	PD3: "PD3", PD4: "PD4", PD6: "PD6", PH4: "PH4", PH6: "PH6",
 	PA9: "PA9", PA12: "PA12", PF3: "PF3", PF9: "PF9", PR2: "PR2",
+	PD1: "PD1", PH2: "PH2", PR1: "PR1", PA3: "PA3", PA5: "PA5", PF7: "PF7",
 }
 
 // String returns the paper line label of the hook point.

@@ -1,0 +1,82 @@
+package hashmap
+
+import (
+	"testing"
+
+	"wfrc/internal/schemes"
+)
+
+// FuzzHashmap drives the bucketed hash map with byte-encoded operation
+// sequences and checks observable equivalence against a Go map, over
+// all five memory-management schemes with a per-input audit.
+//
+// Run with `go test -fuzz FuzzHashmap ./internal/ds/hashmap` to
+// explore; the seed corpus runs in normal `go test`.
+func FuzzHashmap(f *testing.F) {
+	f.Add([]byte{0x01, 0x41, 0x81, 0x01})
+	f.Add([]byte{0x00, 0x40, 0x80, 0xc0, 0x00})
+	f.Add([]byte{0x10, 0x50, 0x90, 0x11, 0x51, 0x91})
+	const buckets = 8
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 256 {
+			return
+		}
+		for _, fac := range schemes.Factories() {
+			fac := fac
+			t.Run(fac.Name, func(t *testing.T) {
+				s, err := fac.New(arenaCfg(160, buckets), schemes.Options{Threads: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				th, err := s.Register()
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer th.Unregister()
+				audit := func() {
+					for _, err := range schemes.AuditRC(s, nil) {
+						t.Error(err)
+					}
+				}
+				m := MustNew(s, Config{Buckets: buckets})
+				model := map[uint64]uint64{}
+
+				for _, op := range ops {
+					key := uint64(op & 0x3f)
+					switch op >> 6 {
+					case 0, 2: // insert
+						ok, err := m.Insert(th, key, key*7)
+						if err != nil {
+							audit()
+							t.Skip("arena exhausted")
+						}
+						_, dup := model[key]
+						if ok == dup {
+							t.Fatalf("Insert(%d) = %v, model dup = %v", key, ok, dup)
+						}
+						if !dup {
+							model[key] = key * 7
+						}
+					case 1: // delete
+						ok := m.Delete(th, key)
+						if _, present := model[key]; ok != present {
+							t.Fatalf("Delete(%d) = %v, model = %v", key, ok, present)
+						}
+						delete(model, key)
+					default: // get
+						v, ok := m.Get(th, key)
+						mv, present := model[key]
+						if ok != present || (ok && v != mv) {
+							t.Fatalf("Get(%d) = %d,%v, model %d,%v", key, v, ok, mv, present)
+						}
+					}
+				}
+				if m.Len() != len(model) {
+					t.Fatalf("Len = %d, model %d", m.Len(), len(model))
+				}
+				audit()
+			})
+		}
+	})
+}

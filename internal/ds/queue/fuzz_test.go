@@ -1,0 +1,85 @@
+package queue
+
+import (
+	"testing"
+
+	"wfrc/internal/schemes"
+)
+
+// FuzzQueue drives the Michael–Scott queue with byte-encoded operation
+// sequences and checks FIFO equivalence against a Go slice, over all
+// five memory-management schemes with a per-input audit.
+//
+// Run with `go test -fuzz FuzzQueue ./internal/ds/queue` to explore;
+// the seed corpus runs in normal `go test`.
+func FuzzQueue(f *testing.F) {
+	f.Add([]byte{0x01, 0x02, 0x80, 0x80})
+	f.Add([]byte{0x10, 0x11, 0x12, 0x80, 0x13, 0x80, 0x80, 0x80})
+	f.Add([]byte{0x80, 0x01, 0xc0, 0x80, 0xc0})
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 256 {
+			return
+		}
+		for _, fac := range schemes.Factories() {
+			fac := fac
+			t.Run(fac.Name, func(t *testing.T) {
+				s, err := fac.New(arenaCfg(96), schemes.Options{Threads: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				th, err := s.Register()
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer th.Unregister()
+				audit := func() {
+					for _, err := range schemes.AuditRC(s, nil) {
+						t.Error(err)
+					}
+				}
+				q, err := New(s, th)
+				if err != nil {
+					t.Skip("arena exhausted at sentinel")
+				}
+				var model []uint64
+
+				for _, op := range ops {
+					v := uint64(op & 0x3f)
+					switch op >> 6 {
+					case 0, 1: // enqueue
+						if err := q.Enqueue(th, v); err != nil {
+							// Deferred-reclamation schemes legitimately hold
+							// freed nodes; treat exhaustion as end of input
+							// but still require a clean audit.
+							audit()
+							t.Skip("arena exhausted")
+						}
+						model = append(model, v)
+					case 2: // dequeue
+						got, ok := q.Dequeue(th)
+						if len(model) == 0 {
+							if ok {
+								t.Fatalf("Dequeue on empty returned %d", got)
+							}
+							continue
+						}
+						want := model[0]
+						model = model[1:]
+						if !ok || got != want {
+							t.Fatalf("Dequeue = %d,%v, want %d,true", got, ok, want)
+						}
+					default: // length probe
+						if got := q.Len(); got != len(model) {
+							t.Fatalf("Len = %d, model %d", got, len(model))
+						}
+					}
+				}
+				if got := q.Len(); got != len(model) {
+					t.Fatalf("final Len = %d, model %d", got, len(model))
+				}
+				audit()
+			})
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package stack
+
+import (
+	"testing"
+
+	"wfrc/internal/schemes"
+)
+
+// FuzzStack drives the Treiber stack with byte-encoded operation
+// sequences and checks LIFO equivalence against a Go slice, over all
+// five memory-management schemes with a per-input audit.
+//
+// Run with `go test -fuzz FuzzStack ./internal/ds/stack` to explore;
+// the seed corpus runs in normal `go test`.
+func FuzzStack(f *testing.F) {
+	f.Add([]byte{0x01, 0x02, 0x80, 0x80})
+	f.Add([]byte{0x10, 0x11, 0xc0, 0x80, 0x12, 0x80, 0x80})
+	f.Add([]byte{0x80, 0xc0, 0x01, 0xc0, 0x80, 0x80})
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 256 {
+			return
+		}
+		for _, fac := range schemes.Factories() {
+			fac := fac
+			t.Run(fac.Name, func(t *testing.T) {
+				s, err := fac.New(arenaCfg(96), schemes.Options{Threads: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				th, err := s.Register()
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer th.Unregister()
+				audit := func() {
+					for _, err := range schemes.AuditRC(s, nil) {
+						t.Error(err)
+					}
+				}
+				st := MustNew(s)
+				var model []uint64
+
+				for _, op := range ops {
+					v := uint64(op & 0x3f)
+					switch op >> 6 {
+					case 0, 1: // push
+						if err := st.Push(th, v); err != nil {
+							audit()
+							t.Skip("arena exhausted")
+						}
+						model = append(model, v)
+					case 2: // pop
+						got, ok := st.Pop(th)
+						if len(model) == 0 {
+							if ok {
+								t.Fatalf("Pop on empty returned %d", got)
+							}
+							continue
+						}
+						want := model[len(model)-1]
+						model = model[:len(model)-1]
+						if !ok || got != want {
+							t.Fatalf("Pop = %d,%v, want %d,true", got, ok, want)
+						}
+					default: // peek
+						got, ok := st.Peek(th)
+						if len(model) == 0 {
+							if ok {
+								t.Fatalf("Peek on empty returned %d", got)
+							}
+							continue
+						}
+						if !ok || got != model[len(model)-1] {
+							t.Fatalf("Peek = %d,%v, want %d,true", got, ok, model[len(model)-1])
+						}
+					}
+				}
+				if got := st.Len(); got != len(model) {
+					t.Fatalf("final Len = %d, model %d", got, len(model))
+				}
+				audit()
+			})
+		}
+	})
+}

@@ -190,6 +190,49 @@ func (s allocState) remove(b byte) string {
 	return s.held
 }
 
+// CASRegisterModel is the sequential specification of a single mutable
+// cell with compare-and-swap, matching the paper's Figure 6 link
+// operations as observed through DeRefLink/CompareAndSwapLink: "read"
+// (Ret = value), "write" (Arg = value) and "cas" (Arg packed by CASArg,
+// Ret = 1 on success, 0 on failure).  The cell starts at Start.  The
+// schedule explorer (internal/sched) checks link-operation histories of
+// the wait-free core scheme against it.
+type CASRegisterModel struct {
+	// Start is the cell's initial value.
+	Start uint64
+}
+
+// CASArg packs a cas operation's expected and replacement values (each
+// must fit in 32 bits — arena handles do) into one Op.Arg word.
+func CASArg(old, new uint64) uint64 { return old<<32 | new&0xffffffff }
+
+// Init implements Model.
+func (m CASRegisterModel) Init() State { return casRegState(m.Start) }
+
+type casRegState uint64
+
+func (s casRegState) Key() string { return fmt.Sprintf("%d", uint64(s)) }
+
+func (s casRegState) Apply(op Op) (State, bool) {
+	switch op.Name {
+	case "read":
+		return s, op.Ret == uint64(s)
+	case "write":
+		return casRegState(op.Arg), true
+	case "cas":
+		old, new := op.Arg>>32, op.Arg&0xffffffff
+		if uint64(s) == old {
+			if op.Ret != 1 {
+				return s, false // cell matched but the cas reported failure
+			}
+			return casRegState(new), true
+		}
+		return s, op.Ret == 0
+	default:
+		return s, false
+	}
+}
+
 // RegisterModel is the sequential specification of a single mutable cell
 // with "read" (Ret = value) and "write" (Arg = value) operations; the
 // cell starts at 0.

@@ -3,6 +3,8 @@ package model
 import (
 	"fmt"
 	"math/rand"
+
+	"wfrc/internal/sched"
 )
 
 // Result summarizes an exploration.
@@ -15,8 +17,11 @@ type Result struct {
 	// Violation is empty when every explored execution satisfied all
 	// invariants; otherwise it describes the first failure.
 	Violation string
-	// Trace is the thread schedule leading to the violation.
-	Trace []int
+	// Trace is the thread schedule leading to the violation, in the
+	// repository's shared schedule encoding (sched.Trace): %v prints it
+	// as a plain id list, Encode() renders the compact replayable
+	// "t1:..." form that sched.DecodeTrace parses back.
+	Trace sched.Trace
 	// Truncated reports that the state budget was exhausted before the
 	// space was covered.
 	Truncated bool
@@ -54,7 +59,7 @@ func Explore(cfg Config, held map[uint8]int, maxStates int) Result {
 			}
 			if len(errs) > 0 {
 				res.Violation = fmt.Sprintf("quiescent check: %v", errs)
-				res.Trace = append([]int(nil), trace...)
+				res.Trace = sched.Trace(append([]int(nil), trace...))
 				return true
 			}
 			return false
@@ -66,7 +71,7 @@ func Explore(cfg Config, held map[uint8]int, maxStates int) Result {
 			next := *s // states are plain values: this is a deep copy
 			if v := next.Step(cfg, t); v != "" {
 				res.Violation = v
-				res.Trace = append(append([]int(nil), trace...), t)
+				res.Trace = sched.Trace(append(append([]int(nil), trace...), t))
 				return true
 			}
 			trace = append(trace, t)
@@ -104,7 +109,7 @@ func RandomWalks(cfg Config, held map[uint8]int, n int, seed int64) Result {
 			trace = append(trace, t)
 			if v := s.Step(cfg, t); v != "" {
 				res.Violation = v
-				res.Trace = trace
+				res.Trace = sched.Trace(trace)
 				res.Schedules = walk + 1
 				return res
 			}
@@ -115,7 +120,7 @@ func RandomWalks(cfg Config, held map[uint8]int, n int, seed int64) Result {
 		}
 		if len(errs) > 0 {
 			res.Violation = fmt.Sprintf("quiescent check: %v", errs)
-			res.Trace = trace
+			res.Trace = sched.Trace(trace)
 			res.Schedules = walk + 1
 			return res
 		}

@@ -1,0 +1,36 @@
+package model
+
+import (
+	"testing"
+
+	"wfrc/internal/sched"
+)
+
+// TestViolationTraceRoundTrips checks the shared schedule encoding: a
+// counterexample trace from the micro-step explorer must survive the
+// sched.Trace Encode/Decode round trip, so a model violation can be
+// quoted, stored and replayed with the same tooling as a scheduler
+// counterexample.
+func TestViolationTraceRoundTrips(t *testing.T) {
+	res := Explore(scenarioUnlinkReclaim(Mode{NoHelp: true}), nil, 0)
+	if res.Violation == "" {
+		t.Fatal("expected a violation with helping disabled")
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("violation carries no trace")
+	}
+	enc := res.Trace.Encode()
+	back, err := sched.DecodeTrace(enc)
+	if err != nil {
+		t.Fatalf("DecodeTrace(%q): %v", enc, err)
+	}
+	if back.Encode() != enc || len(back) != len(res.Trace) {
+		t.Fatalf("round trip changed the trace: %v -> %q -> %v", res.Trace, enc, back)
+	}
+	for i := range back {
+		if back[i] != res.Trace[i] {
+			t.Fatalf("round trip changed step %d: %v vs %v", i, res.Trace, back)
+		}
+	}
+	t.Logf("violation trace %q round-trips (%d steps)", enc, len(back))
+}

@@ -1,0 +1,209 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Outcome is the result of one scheduled run of a scenario.
+type Outcome struct {
+	// Scenario is the scenario name.
+	Scenario string
+	// Strategy names how the schedule was produced: "pct", "dfs",
+	// "random" or "replay".
+	Strategy string
+	// Seed reproduces the schedule for seeded strategies (pct, random).
+	Seed int64
+	// Trace is the schedule taken; it replays byte-for-byte via
+	// ReplayTrace regardless of strategy.
+	Trace Trace
+	// Failure is the first failure, or "" if the run passed.
+	Failure string
+	// Notes are the scenario's Note counters (helps given, OOMs seen,
+	// ...), for asserting a schedule actually exercised a mechanism.
+	Notes map[string]int64
+}
+
+// Failed reports whether the run failed.
+func (o *Outcome) Failed() bool { return o.Failure != "" }
+
+// Hint renders the go test invocation that deterministically replays
+// this outcome — the line printed next to every counterexample.
+func (o *Outcome) Hint() string {
+	if o.Strategy == "pct" || o.Strategy == "random" {
+		return fmt.Sprintf("go test ./internal/sched -run 'TestSchedReplay$' -sched.scenario=%s -sched.seed=%d",
+			o.Scenario, o.Seed)
+	}
+	return fmt.Sprintf("go test ./internal/sched -run 'TestSchedReplay$' -sched.scenario=%s -sched.trace=%s",
+		o.Scenario, o.Trace.Encode())
+}
+
+// NotesLine renders the note counters deterministically (sorted keys).
+func (o *Outcome) NotesLine() string {
+	if len(o.Notes) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(o.Notes))
+	for k := range o.Notes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, o.Notes[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// Report summarizes an exploration of one scenario.
+type Report struct {
+	// Scenario is the scenario name.
+	Scenario string
+	// Schedules is how many distinct schedules ran.
+	Schedules int
+	// Complete is true when a DFS exploration exhausted the schedule
+	// space (rather than stopping at MaxSchedules).
+	Complete bool
+	// Failures holds every failing outcome, in discovery order.
+	Failures []*Outcome
+	// Notes aggregates the note counters over all runs.
+	Notes map[string]int64
+}
+
+// FirstFailure returns the first failing outcome, or nil.
+func (r *Report) FirstFailure() *Outcome {
+	if len(r.Failures) == 0 {
+		return nil
+	}
+	return r.Failures[0]
+}
+
+func (r *Report) absorb(o *Outcome) {
+	if o.Failed() {
+		r.Failures = append(r.Failures, o)
+	}
+	r.Schedules++
+	for k, v := range o.Notes {
+		r.Notes[k] += v
+	}
+}
+
+// runScenario builds a fresh world for sc, runs it under strat and
+// packages the outcome.
+func runScenario(sc Scenario, strat Strategy, maxSteps int) *Outcome {
+	if maxSteps <= 0 {
+		maxSteps = sc.MaxSteps
+	}
+	w := NewWorld(Config{Strategy: strat, MaxSteps: maxSteps})
+	sc.Build(w)
+	out := &Outcome{Scenario: sc.Name}
+	if err := w.Run(); err != nil {
+		out.Failure = err.Error()
+	}
+	out.Trace = w.Trace()
+	out.Notes = w.Notes()
+	return out
+}
+
+// PCTOptions parameterizes ExplorePCT / RunPCTSeed.
+type PCTOptions struct {
+	// Seed is the base seed; schedule i runs with Seed+i.
+	Seed int64
+	// Schedules is the number of seeds to try (default 20).
+	Schedules int
+	// Depth is the number of PCT priority change points (default: the
+	// scenario's suggested depth, then 3).
+	Depth int
+	// Horizon is the change-point placement window (default 64; see
+	// PCT.Horizon on why it must track real schedule lengths).
+	Horizon int
+	// MaxSteps overrides the per-run step budget.
+	MaxSteps int
+	// KeepGoing explores every seed even after a failure (default:
+	// stop at the first counterexample).
+	KeepGoing bool
+}
+
+func (opts *PCTOptions) depthFor(sc Scenario) int {
+	switch {
+	case opts.Depth > 0:
+		return opts.Depth
+	case sc.Depth > 0:
+		return sc.Depth
+	default:
+		return 3
+	}
+}
+
+// RunPCTSeed runs one PCT schedule of sc from the given seed.
+func RunPCTSeed(sc Scenario, seed int64, opts PCTOptions) *Outcome {
+	strat := &PCT{Seed: seed, Depth: opts.depthFor(sc), Horizon: opts.Horizon}
+	out := runScenario(sc, strat, opts.MaxSteps)
+	out.Strategy = "pct"
+	out.Seed = seed
+	return out
+}
+
+// ExplorePCT runs PCT schedules of sc over consecutive seeds.
+func ExplorePCT(sc Scenario, opts PCTOptions) *Report {
+	if opts.Schedules <= 0 {
+		opts.Schedules = 20
+	}
+	r := &Report{Scenario: sc.Name, Notes: map[string]int64{}}
+	for i := 0; i < opts.Schedules; i++ {
+		out := RunPCTSeed(sc, opts.Seed+int64(i), opts)
+		r.absorb(out)
+		if out.Failed() && !opts.KeepGoing {
+			break
+		}
+	}
+	return r
+}
+
+// DFSOptions parameterizes ExploreDFS.
+type DFSOptions struct {
+	// MaxSchedules bounds the enumeration (default 20000).
+	MaxSchedules int
+	// MaxSteps overrides the per-run step budget.
+	MaxSteps int
+	// KeepGoing explores past the first failure.
+	KeepGoing bool
+}
+
+// ExploreDFS enumerates sc's schedules exhaustively in depth-first
+// order, up to MaxSchedules.  Report.Complete tells whether the whole
+// space was covered.  Scenarios meant for DFS keep the branching down
+// with sparse instrumentation (InstrumentPoints).
+func ExploreDFS(sc Scenario, opts DFSOptions) *Report {
+	if opts.MaxSchedules <= 0 {
+		opts.MaxSchedules = 20000
+	}
+	r := &Report{Scenario: sc.Name, Notes: map[string]int64{}}
+	var prefix []int
+	for r.Schedules < opts.MaxSchedules {
+		strat := &dfs{prefix: prefix}
+		out := runScenario(sc, strat, opts.MaxSteps)
+		out.Strategy = "dfs"
+		r.absorb(out)
+		if out.Failed() && !opts.KeepGoing {
+			return r
+		}
+		prefix = nextPrefix(strat.choices)
+		if prefix == nil {
+			r.Complete = true
+			return r
+		}
+	}
+	return r
+}
+
+// ReplayTrace re-executes a recorded schedule of sc.  The outcome's
+// Trace equals tr when the replay stayed on the recorded schedule to
+// the end (World.Run stops extending the trace at the first failure,
+// so a counterexample reproduces exactly).
+func ReplayTrace(sc Scenario, tr Trace, maxSteps int) *Outcome {
+	out := runScenario(sc, ReplayStrategy(tr), maxSteps)
+	out.Strategy = "replay"
+	return out
+}

@@ -1,0 +1,22 @@
+package sched
+
+import "flag"
+
+// Replay flags, registered on the default flag set so every test binary
+// that links this package accepts them.  A counterexample's Hint()
+// prints the exact invocation:
+//
+//	go test ./internal/sched -run 'TestSchedReplay$' \
+//	    -sched.scenario=deref-vs-swap -sched.seed=42
+//
+// -sched.seed replays the PCT schedule derived from the seed;
+// -sched.trace replays an explicit recorded schedule (the Trace.Encode
+// "t1:..." format) and takes precedence when both are set.
+var (
+	// FlagScenario selects the scenario for TestSchedReplay.
+	FlagScenario = flag.String("sched.scenario", "", "sched scenario to replay (see sched.Names)")
+	// FlagSeed is the PCT seed to replay (-1 = unset).
+	FlagSeed = flag.Int64("sched.seed", -1, "PCT seed to replay for -sched.scenario")
+	// FlagTrace is an explicit schedule to replay, in Trace.Encode form.
+	FlagTrace = flag.String("sched.trace", "", "explicit schedule trace (t1:...) to replay for -sched.scenario")
+)

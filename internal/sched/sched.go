@@ -1,0 +1,445 @@
+// Package sched is a cooperative deterministic scheduler for the
+// wait-free memory management core: scenario code runs as virtual
+// threads that yield at every algorithm hook point (core.PD1, core.PH4,
+// ...), and a Strategy decides which single virtual thread runs at each
+// step.  Exactly one virtual thread executes at a time, so a run is a
+// pure function of the scenario and the schedule, and every run emits a
+// Trace that replays byte-for-byte.
+//
+// Two exploration strategies are provided: PCT (random priorities with
+// d change points, Burckhardt et al.'s probabilistic concurrency
+// testing) for probabilistic bug-depth guarantees on real-size
+// scenarios, and bounded exhaustive DFS for small ones.  Explored
+// schedules are checked three ways: scenario assertions during the run,
+// the scheme's quiescent audits (leaks, double frees, announcement-row
+// hygiene) at the end, and optionally a lincheck linearizability check
+// of the recorded operation history.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wfrc/internal/core"
+	"wfrc/internal/lincheck"
+)
+
+// DefaultMaxSteps bounds a run's scheduling steps when Config.MaxSteps
+// is zero.  Hitting the bound is reported as a failure: under a fair
+// strategy it means a livelock, i.e. a wait-freedom violation.
+const DefaultMaxSteps = 50000
+
+// Config parameterizes one deterministic run.
+type Config struct {
+	// Strategy picks the next virtual thread at each step (required).
+	Strategy Strategy
+	// MaxSteps bounds the scheduling steps (default DefaultMaxSteps).
+	MaxSteps int
+}
+
+// World owns the virtual threads of one run.  Build it, Spawn the
+// threads, register checks, then Run exactly once.  A World is not
+// reusable; exploration constructs a fresh World per schedule.
+type World struct {
+	cfg      Config
+	threads  []*T
+	ack      chan struct{}
+	trace    Trace
+	clock    int64
+	history  []lincheck.Op
+	models   []lincheck.Model
+	notes    map[string]int64
+	endFns   []func() error
+	stepFns  []func() error
+	current  *T
+	failure  string
+	started  bool
+	aborting bool
+}
+
+// NewWorld creates an empty world.
+func NewWorld(cfg Config) *World {
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = DefaultMaxSteps
+	}
+	return &World{
+		cfg:   cfg,
+		ack:   make(chan struct{}),
+		notes: map[string]int64{},
+	}
+}
+
+type tState int
+
+const (
+	tReady tState = iota
+	tRunning
+	tBlocked
+	tDone
+)
+
+// abortSignal unwinds a virtual thread when the world shuts down early;
+// the spawn wrapper recovers it.
+type abortSignal struct{}
+
+// T is one virtual thread.  Its body runs on a dedicated goroutine but
+// only while the scheduler has handed it the baton, so bodies need no
+// synchronization of their own: every instrumented yield point is a
+// potential context switch and nothing else is.
+type T struct {
+	w         *World
+	id        int
+	name      string
+	resume    chan struct{}
+	state     tState
+	cond      func() bool // runnable condition while state == tBlocked
+	body      func(*T)
+	err       error
+	lastPoint core.Point
+	hasPoint  bool
+}
+
+// ID returns the virtual thread's scheduler id (its Spawn order, also
+// the id recorded in traces).
+func (t *T) ID() int { return t.id }
+
+// Name returns the thread's scenario-chosen name.
+func (t *T) Name() string { return t.name }
+
+// Spawn adds a virtual thread before Run.  Thread ids are assigned in
+// spawn order, starting at 0; traces record these ids.
+func (w *World) Spawn(name string, body func(*T)) *T {
+	if w.started {
+		panic("sched: Spawn after Run")
+	}
+	t := &T{
+		w:      w,
+		id:     len(w.threads),
+		name:   name,
+		resume: make(chan struct{}),
+		body:   body,
+	}
+	w.threads = append(w.threads, t)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(abortSignal); !ok {
+					t.err = fmt.Errorf("%v", r)
+				}
+			}
+			t.state = tDone
+			w.ack <- struct{}{}
+		}()
+		<-t.resume
+		if w.aborting {
+			panic(abortSignal{})
+		}
+		t.body(t)
+	}()
+	return t
+}
+
+// AtEnd registers a check run after every thread finishes (quiescent
+// audits belong here).  Failures abort with the check's error text.
+func (w *World) AtEnd(fn func() error) { w.endFns = append(w.endFns, fn) }
+
+// EachStep registers an invariant checked after every scheduling step,
+// i.e. at every instrumented interleaving point.  Keep these cheap.
+func (w *World) EachStep(fn func() error) { w.stepFns = append(w.stepFns, fn) }
+
+// Lincheck registers a sequential model; after the run, the history
+// recorded via T.Record is checked for linearizability against it.
+func (w *World) Lincheck(m lincheck.Model) { w.models = append(w.models, m) }
+
+// Note adds delta to a named counter; explorers report the counters so
+// tests can assert a schedule actually exercised helping, OOM, etc.
+func (w *World) Note(key string, delta int64) { w.notes[key] = w.notes[key] + delta }
+
+// Notes returns the counters accumulated via Note.
+func (w *World) Notes() map[string]int64 { return w.notes }
+
+// Steps returns the number of scheduling steps taken so far.
+func (w *World) Steps() int { return len(w.trace) }
+
+// Trace returns the schedule taken so far (thread id per step).
+func (w *World) Trace() Trace { return append(Trace(nil), w.trace...) }
+
+// Failure returns the first failure, or "" if the run passed.
+func (w *World) Failure() string { return w.failure }
+
+// History returns the operation history recorded via T.Record.
+func (w *World) History() []lincheck.Op { return append([]lincheck.Op(nil), w.history...) }
+
+func (w *World) fail(format string, args ...any) {
+	if w.failure == "" {
+		w.failure = fmt.Sprintf(format, args...)
+	}
+}
+
+// Run executes the scenario under the configured strategy until every
+// thread finishes, a check fails, or a budget trips.  It returns an
+// error describing the first failure, or nil.  Run may be called once.
+func (w *World) Run() error {
+	if w.started {
+		panic("sched: Run called twice")
+	}
+	if w.cfg.Strategy == nil {
+		panic("sched: Config.Strategy is required")
+	}
+	w.started = true
+	runnable := make([]*T, 0, len(w.threads))
+	for w.failure == "" {
+		runnable = runnable[:0]
+		done := 0
+		for _, t := range w.threads {
+			if t.state == tBlocked && t.cond() {
+				t.state = tReady
+				t.cond = nil
+			}
+			switch t.state {
+			case tReady:
+				runnable = append(runnable, t)
+			case tDone:
+				done++
+			}
+		}
+		if len(runnable) == 0 {
+			if done != len(w.threads) {
+				w.fail("deadlock: %s", w.describeStuck())
+			}
+			break
+		}
+		if len(w.trace) >= w.cfg.MaxSteps {
+			w.fail("step budget %d exceeded with %d thread(s) unfinished (livelock / wait-freedom violation?)",
+				w.cfg.MaxSteps, len(w.threads)-done)
+			break
+		}
+		t, err := w.cfg.Strategy.Pick(w, runnable)
+		if err != nil {
+			w.fail("strategy: %v", err)
+			break
+		}
+		w.trace = append(w.trace, t.id)
+		w.step(t)
+		if t.err != nil {
+			w.fail("thread %d (%s) panicked: %v", t.id, t.name, t.err)
+			break
+		}
+		for _, fn := range w.stepFns {
+			if err := fn(); err != nil {
+				w.fail("step %d (after thread %d): %v", len(w.trace)-1, t.id, err)
+				break
+			}
+		}
+	}
+	w.shutdown()
+	if w.failure == "" {
+		for _, fn := range w.endFns {
+			if err := fn(); err != nil {
+				w.fail("end check: %v", err)
+				break
+			}
+		}
+	}
+	if w.failure == "" {
+		for _, m := range w.models {
+			if ok, expl := lincheck.Check(m, w.history); !ok {
+				w.fail("history not linearizable: %s", expl)
+				break
+			}
+		}
+	}
+	if w.failure != "" {
+		return fmt.Errorf("%s", w.failure)
+	}
+	return nil
+}
+
+// step hands the baton to t and waits for it to yield, block or finish.
+func (w *World) step(t *T) {
+	t.state = tRunning
+	w.current = t
+	t.resume <- struct{}{}
+	<-w.ack
+	w.current = nil
+}
+
+// shutdown unwinds every unfinished thread via the abort sentinel so
+// their goroutines exit before Run returns.
+func (w *World) shutdown() {
+	w.aborting = true
+	for _, t := range w.threads {
+		if t.state != tDone {
+			w.step(t)
+		}
+	}
+}
+
+func (w *World) describeStuck() string {
+	var parts []string
+	for _, t := range w.threads {
+		if t.state == tBlocked {
+			parts = append(parts, fmt.Sprintf("thread %d (%s) blocked", t.id, t.name))
+		}
+	}
+	if len(parts) == 0 {
+		return "no runnable threads"
+	}
+	return strings.Join(parts, "; ")
+}
+
+func (w *World) tick() int64 {
+	w.clock++
+	return w.clock
+}
+
+// --- virtual-thread side ----------------------------------------------------
+
+// Yield is a scheduling point: the thread offers the baton back and
+// runs again only when the strategy next picks it.
+func (t *T) Yield() {
+	t.state = tReady
+	t.w.ack <- struct{}{}
+	<-t.resume
+	if t.w.aborting {
+		panic(abortSignal{})
+	}
+}
+
+// YieldPoint is Yield at a named core hook point (recorded as the
+// thread's last position, for deadlock and failure reports).
+func (t *T) YieldPoint(p core.Point) {
+	t.lastPoint = p
+	t.hasPoint = true
+	t.Yield()
+}
+
+// BlockUntil parks the thread until cond reports true.  The scheduler
+// re-evaluates cond before every step (execution is serialized, so cond
+// may read shared scenario state without synchronization).
+func (t *T) BlockUntil(cond func() bool) {
+	if cond() {
+		t.Yield()
+		return
+	}
+	t.cond = cond
+	t.state = tBlocked
+	t.w.ack <- struct{}{}
+	<-t.resume
+	if t.w.aborting {
+		panic(abortSignal{})
+	}
+}
+
+// BlockOn parks the thread until ch is ready (closed or holding a
+// value; a pending value is consumed by the readiness probe).
+func (t *T) BlockOn(ch <-chan struct{}) {
+	t.BlockUntil(func() bool {
+		select {
+		case <-ch:
+			return true
+		default:
+			return false
+		}
+	})
+}
+
+// Record wraps one logical operation for the linearizability history:
+// it draws the Begin timestamp, runs body (which may yield), draws the
+// End timestamp and appends the completed lincheck.Op.
+func (t *T) Record(name string, arg uint64, body func() uint64) uint64 {
+	begin := t.w.tick()
+	ret := body()
+	end := t.w.tick()
+	t.w.history = append(t.w.history, lincheck.Op{
+		Thread: t.id, Name: name, Arg: arg, Ret: ret, Begin: begin, End: end,
+	})
+	return ret
+}
+
+// RecordIf is Record for operations that may not belong in the
+// history: body additionally reports whether to keep the op.  A
+// bounded-retry allocation that returns out-of-memory has no
+// counterpart in the sequential allocator spec (the nodes it failed to
+// find may be in flight at suspended threads), so such attempts are
+// audited separately instead of recorded.
+func (t *T) RecordIf(name string, arg uint64, body func() (uint64, bool)) (uint64, bool) {
+	begin := t.w.tick()
+	ret, keep := body()
+	end := t.w.tick()
+	if keep {
+		t.w.history = append(t.w.history, lincheck.Op{
+			Thread: t.id, Name: name, Arg: arg, Ret: ret, Begin: begin, End: end,
+		})
+	}
+	return ret, keep
+}
+
+// HookSetter is the instrumentation surface of the wait-free core's
+// threads (and of chaos wrappers that forward to one).
+type HookSetter interface {
+	SetHook(func(core.Point))
+}
+
+// Instrument routes every core hook point of ct through t.YieldPoint,
+// making each algorithm step boundary a scheduling point.
+func (t *T) Instrument(ct HookSetter) {
+	ct.SetHook(t.YieldPoint)
+}
+
+// InstrumentPoints is Instrument restricted to the listed points; DFS
+// scenarios use sparse instrumentation to bound the branching factor.
+func (t *T) InstrumentPoints(ct HookSetter, pts ...core.Point) {
+	var mask [core.NumPoints]bool
+	for _, p := range pts {
+		mask[p] = true
+	}
+	ct.SetHook(func(p core.Point) {
+		if mask[p] {
+			t.YieldPoint(p)
+		}
+	})
+}
+
+// --- chaos integration ------------------------------------------------------
+
+// Parker returns a park function for chaos.Config.Park: a chaos stall
+// becomes a scheduler block of the current virtual thread, released
+// when the chaos scheme's release channel is closed.  Outside a
+// scheduled step (no current thread) it degrades to a real block.
+func (w *World) Parker() func(release <-chan struct{}) {
+	return func(release <-chan struct{}) {
+		if t := w.current; t != nil {
+			t.BlockOn(release)
+			return
+		}
+		<-release
+	}
+}
+
+// GoschedFn returns a yield function for chaos.Config.Gosched: a
+// perturbation storm becomes scheduling points instead of
+// runtime.Gosched calls (which are no-ops under a cooperative world).
+func (w *World) GoschedFn() func() {
+	return func() {
+		if t := w.current; t != nil {
+			t.Yield()
+		}
+	}
+}
+
+// SortedErrors canonicalizes a quiescent-audit error list into one
+// deterministic message, so a failing schedule's report is identical on
+// replay regardless of map-iteration order inside the audits.
+func SortedErrors(errs []error) error {
+	if len(errs) == 0 {
+		return nil
+	}
+	msgs := make([]string, len(errs))
+	for i, e := range errs {
+		msgs[i] = e.Error()
+	}
+	sort.Strings(msgs)
+	return fmt.Errorf("%s", strings.Join(msgs, "; "))
+}

@@ -1,0 +1,298 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestTraceRoundTrip exercises the shared schedule encoding both ways.
+func TestTraceRoundTrip(t *testing.T) {
+	cases := []Trace{
+		{},
+		{0},
+		{1, 1, 1, 1},
+		{0, 1, 0, 1},
+		{2, 2, 0, 1, 1, 1, 2},
+		{7, 0, 0, 0, 0, 0, 5, 5, 12},
+	}
+	for _, tr := range cases {
+		enc := tr.Encode()
+		back, err := DecodeTrace(enc)
+		if err != nil {
+			t.Fatalf("DecodeTrace(%q): %v", enc, err)
+		}
+		if back.Encode() != enc || len(back) != len(tr) {
+			t.Fatalf("round trip %v -> %q -> %v", tr, enc, back)
+		}
+		for i := range tr {
+			if back[i] != tr[i] {
+				t.Fatalf("round trip %v -> %q -> %v", tr, enc, back)
+			}
+		}
+	}
+	if _, err := DecodeTrace("0,1"); err == nil {
+		t.Fatal("DecodeTrace accepted an untagged trace")
+	}
+	if _, err := DecodeTrace("t1:1x0"); err == nil {
+		t.Fatal("DecodeTrace accepted a zero run length")
+	}
+	if _, err := DecodeTrace("t1:-2"); err == nil {
+		t.Fatal("DecodeTrace accepted a negative thread id")
+	}
+}
+
+// TestEncodeRLE pins the compact format itself.
+func TestEncodeRLE(t *testing.T) {
+	got := Trace{0, 0, 0, 1, 2, 2}.Encode()
+	if got != "t1:0x3,1,2x2" {
+		t.Fatalf("Encode = %q, want %q", got, "t1:0x3,1,2x2")
+	}
+	if (Trace{}).Encode() != "t1:" {
+		t.Fatalf("empty Encode = %q", (Trace{}).Encode())
+	}
+}
+
+// TestSchedulerIsSerial checks the core contract: only one virtual
+// thread runs at a time, and yields are the only switch points.
+func TestSchedulerIsSerial(t *testing.T) {
+	w := NewWorld(Config{Strategy: &Random{Seed: 1}})
+	running := 0
+	var order []string
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("t%d", i)
+		w.Spawn(name, func(vt *T) {
+			for k := 0; k < 5; k++ {
+				running++
+				if running != 1 {
+					t.Errorf("%d virtual threads running at once", running)
+				}
+				order = append(order, name)
+				running--
+				vt.Yield()
+			}
+		})
+	}
+	if err := w.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(order) != 15 {
+		t.Fatalf("got %d segments, want 15", len(order))
+	}
+}
+
+// TestDeterminism runs the same strategy twice over a scenario and
+// requires identical traces, notes and verdicts.
+func TestDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		sc, _ := Lookup(name)
+		a := RunPCTSeed(sc, 7, PCTOptions{})
+		b := RunPCTSeed(sc, 7, PCTOptions{})
+		if a.Trace.Encode() != b.Trace.Encode() {
+			t.Fatalf("%s: seed 7 traces differ:\n  %s\n  %s", name, a.Trace.Encode(), b.Trace.Encode())
+		}
+		if a.Failure != b.Failure {
+			t.Fatalf("%s: seed 7 verdicts differ:\n  %q\n  %q", name, a.Failure, b.Failure)
+		}
+	}
+}
+
+// TestCleanScenariosPass explores every clean scenario over a spread of
+// PCT seeds; none may fail.
+func TestCleanScenariosPass(t *testing.T) {
+	for _, name := range Names() {
+		sc, _ := Lookup(name)
+		if sc.ExpectFailure != "" {
+			continue
+		}
+		r := ExplorePCT(sc, PCTOptions{Seed: 1, Schedules: 15})
+		if f := r.FirstFailure(); f != nil {
+			t.Errorf("%s failed: %s\n  replay: %s", name, f.Failure, f.Hint())
+		}
+	}
+}
+
+// TestInjectedBugFound is the acceptance check for the standing
+// injected bug: reverting the annRow.index lifecycle fix must be caught
+// by the PCT explorer within the CI seed budget, and the counterexample
+// must replay byte-for-byte from the printed seed.
+func TestInjectedBugFound(t *testing.T) {
+	sc, ok := Lookup("legacy-annindex")
+	if !ok {
+		t.Fatal("legacy-annindex scenario missing")
+	}
+	r := ExplorePCT(sc, PCTOptions{Seed: 1, Schedules: 20})
+	f := r.FirstFailure()
+	if f == nil {
+		t.Fatalf("PCT explorer missed the injected bug in %d schedules", r.Schedules)
+	}
+	if !strings.Contains(f.Failure, sc.ExpectFailure) {
+		t.Fatalf("failure %q does not mention %q", f.Failure, sc.ExpectFailure)
+	}
+	// Replay from the printed seed: identical schedule, identical verdict.
+	again := RunPCTSeed(sc, f.Seed, PCTOptions{})
+	if again.Trace.Encode() != f.Trace.Encode() {
+		t.Fatalf("seed %d replay diverged:\n  %s\n  %s", f.Seed, f.Trace.Encode(), again.Trace.Encode())
+	}
+	if again.Failure != f.Failure {
+		t.Fatalf("seed %d replay verdict differs:\n  %q\n  %q", f.Seed, f.Failure, again.Failure)
+	}
+	// Replay from the recorded trace too.
+	byTrace := ReplayTrace(sc, f.Trace, sc.MaxSteps)
+	if byTrace.Failure != f.Failure {
+		t.Fatalf("trace replay verdict differs:\n  %q\n  %q", f.Failure, byTrace.Failure)
+	}
+}
+
+// TestDFSExhaustive enumerates the schedule spaces of the DFS-suitable
+// scenarios completely; every schedule must pass and the enumeration
+// must visit more than a handful of interleavings to mean anything.
+func TestDFSExhaustive(t *testing.T) {
+	for _, name := range Names() {
+		sc, _ := Lookup(name)
+		if !sc.DFSOK {
+			continue
+		}
+		r := ExploreDFS(sc, DFSOptions{MaxSchedules: 50000})
+		if f := r.FirstFailure(); f != nil {
+			t.Fatalf("%s: schedule failed: %s\n  replay: %s", name, f.Failure, f.Hint())
+		}
+		if !r.Complete {
+			t.Fatalf("%s: DFS did not complete within 50000 schedules", name)
+		}
+		if r.Schedules < 10 {
+			t.Fatalf("%s: only %d schedules enumerated — instrumentation lost?", name, r.Schedules)
+		}
+		t.Logf("%s: %d schedules, notes: helps-given=%d", name, r.Schedules, r.Notes["helps-given"])
+	}
+}
+
+// TestDFSFindsInjectedBug runs the DFS explorer over the injected-bug
+// scenario restricted to a small prefix budget; exhaustive search must
+// also catch it (every schedule fails the end audit).
+func TestDFSFindsInjectedBug(t *testing.T) {
+	base, _ := Lookup("legacy-annindex")
+	sc := base
+	sc.DFSOK = true
+	r := ExploreDFS(sc, DFSOptions{MaxSchedules: 5})
+	if f := r.FirstFailure(); f == nil {
+		t.Fatal("DFS missed the injected bug")
+	} else if !strings.Contains(f.Failure, base.ExpectFailure) {
+		t.Fatalf("failure %q does not mention %q", f.Failure, base.ExpectFailure)
+	}
+}
+
+// TestDeadlockDetected: two threads blocked on each other's conditions
+// must be reported, not hung.
+func TestDeadlockDetected(t *testing.T) {
+	w := NewWorld(Config{Strategy: &Random{Seed: 3}})
+	aDone, bDone := false, false
+	w.Spawn("a", func(vt *T) {
+		vt.BlockUntil(func() bool { return bDone })
+		aDone = true
+	})
+	w.Spawn("b", func(vt *T) {
+		vt.BlockUntil(func() bool { return aDone })
+		bDone = true
+	})
+	err := w.Run()
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("want deadlock report, got %v", err)
+	}
+}
+
+// TestStepBudget: a spinning thread must trip the step budget rather
+// than hang the scheduler.
+func TestStepBudget(t *testing.T) {
+	w := NewWorld(Config{Strategy: &Random{Seed: 3}, MaxSteps: 100})
+	w.Spawn("spinner", func(vt *T) {
+		for {
+			vt.Yield()
+		}
+	})
+	err := w.Run()
+	if err == nil || !strings.Contains(err.Error(), "step budget") {
+		t.Fatalf("want step-budget report, got %v", err)
+	}
+}
+
+// TestThreadPanicReported: a panicking virtual thread fails the run
+// with its message instead of crashing the process.
+func TestThreadPanicReported(t *testing.T) {
+	w := NewWorld(Config{Strategy: &Random{Seed: 3}})
+	w.Spawn("boom", func(vt *T) {
+		vt.Yield()
+		panic("kaboom")
+	})
+	err := w.Run()
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("want panic report, got %v", err)
+	}
+}
+
+// TestReplayDivergenceReported: replaying a trace against the wrong
+// schedule shape errors out instead of silently exploring.
+func TestReplayDivergenceReported(t *testing.T) {
+	sc, _ := Lookup("dfs-deref-pair")
+	out := ReplayTrace(sc, Trace{9, 9, 9}, 0)
+	if !out.Failed() || !strings.Contains(out.Failure, "replay diverged") {
+		t.Fatalf("want replay divergence, got %q", out.Failure)
+	}
+}
+
+// TestAllocOOMUnderScheduler pins the out-of-memory satellite: the
+// bounded-retry path must surface ErrOutOfMemory on every schedule and
+// leave no leaked announcement slots (checked by the scenario's audit).
+func TestAllocOOMUnderScheduler(t *testing.T) {
+	sc, _ := Lookup("alloc-oom")
+	r := ExplorePCT(sc, PCTOptions{Seed: 100, Schedules: 15, KeepGoing: true})
+	if f := r.FirstFailure(); f != nil {
+		t.Fatalf("alloc-oom failed: %s\n  replay: %s", f.Failure, f.Hint())
+	}
+	if r.Notes["oom"] < int64(r.Schedules) {
+		t.Fatalf("only %d OOMs over %d schedules — the retry-exhaustion path was not exercised",
+			r.Notes["oom"], r.Schedules)
+	}
+}
+
+// TestSchedReplay is the replay entry point printed by Outcome.Hint.
+// Without -sched.scenario it is a no-op (skips); with it, it replays
+// the given seed or trace and reports the outcome, failing the test if
+// a clean scenario fails or an injected-bug scenario does not fail as
+// expected.
+func TestSchedReplay(t *testing.T) {
+	if *FlagScenario == "" {
+		t.Skip("no -sched.scenario given")
+	}
+	sc, ok := Lookup(*FlagScenario)
+	if !ok {
+		t.Fatalf("unknown scenario %q; have %v", *FlagScenario, Names())
+	}
+	var out *Outcome
+	switch {
+	case *FlagTrace != "":
+		tr, err := DecodeTrace(*FlagTrace)
+		if err != nil {
+			t.Fatalf("bad -sched.trace: %v", err)
+		}
+		out = ReplayTrace(sc, tr, sc.MaxSteps)
+	case *FlagSeed >= 0:
+		out = RunPCTSeed(sc, *FlagSeed, PCTOptions{})
+	default:
+		t.Fatal("need -sched.seed or -sched.trace with -sched.scenario")
+	}
+	t.Logf("scenario %s: trace %s", sc.Name, out.Trace.Encode())
+	if notes := out.NotesLine(); notes != "" {
+		t.Logf("notes: %s", notes)
+	}
+	if sc.ExpectFailure != "" {
+		if !out.Failed() || !strings.Contains(out.Failure, sc.ExpectFailure) {
+			t.Fatalf("expected failure containing %q, got %q", sc.ExpectFailure, out.Failure)
+		}
+		t.Logf("reproduced expected failure: %s", out.Failure)
+		return
+	}
+	if out.Failed() {
+		t.Fatalf("failure reproduced: %s", out.Failure)
+	}
+}

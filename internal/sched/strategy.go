@@ -1,0 +1,192 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Strategy picks the next virtual thread to run.  runnable is never
+// empty and is ordered by thread id; Pick is called once per scheduling
+// step.  A strategy must be deterministic given its own configuration
+// (seed, trace, prefix) — the replay contract depends on it.
+type Strategy interface {
+	Pick(w *World, runnable []*T) (*T, error)
+}
+
+// --- PCT --------------------------------------------------------------------
+
+// PCT is probabilistic concurrency testing (Burckhardt et al., ASPLOS
+// 2010): each thread gets a distinct random priority above Depth, the
+// highest-priority runnable thread always runs, and at Depth randomly
+// chosen steps the running thread's priority drops below every initial
+// priority.  A schedule of length k then exposes any bug of depth
+// Depth+1 with probability at least 1/(n·k^Depth) — the reason a small
+// fixed budget of seeds suffices in CI.
+type PCT struct {
+	// Seed determines the priorities and change points; runs with equal
+	// seeds over the same scenario produce identical schedules.
+	Seed int64
+	// Depth is the number of priority change points (d).
+	Depth int
+	// Horizon is the schedule-length estimate change points are drawn
+	// from (default 64).  It must be commensurate with the real schedule
+	// length: change points drawn beyond the last step never fire, and a
+	// PCT schedule with no live change points degenerates to a fixed
+	// strict-priority order that varies only with the initial
+	// permutation.  The scenarios here run tens of steps, hence the
+	// small default.
+	Horizon int
+
+	rng    *rand.Rand
+	prio   []int       // by thread id; larger runs first
+	change map[int]int // step -> priority to drop the running thread to
+	step   int
+}
+
+func (p *PCT) init(n int) {
+	if p.Horizon <= 0 {
+		p.Horizon = 64
+	}
+	p.rng = rand.New(rand.NewSource(p.Seed))
+	// Distinct initial priorities Depth+1 .. Depth+n, randomly permuted.
+	p.prio = make([]int, n)
+	for i, v := range p.rng.Perm(n) {
+		p.prio[i] = p.Depth + 1 + v
+	}
+	// Depth change points at distinct random steps; the i-th drops the
+	// running thread to priority i+1 (all below the initial range, and
+	// distinct from each other so the order among demoted threads is
+	// still well defined).
+	p.change = make(map[int]int, p.Depth)
+	for i := 0; i < p.Depth; i++ {
+		for {
+			s := 1 + p.rng.Intn(p.Horizon)
+			if _, dup := p.change[s]; !dup {
+				p.change[s] = i + 1
+				break
+			}
+		}
+	}
+}
+
+// Pick implements Strategy.
+func (p *PCT) Pick(w *World, runnable []*T) (*T, error) {
+	if p.rng == nil {
+		p.init(len(w.threads))
+	}
+	p.step++
+	best := p.best(runnable)
+	if drop, ok := p.change[p.step]; ok {
+		delete(p.change, p.step)
+		p.prio[best.id] = drop
+		best = p.best(runnable)
+	}
+	return best, nil
+}
+
+func (p *PCT) best(runnable []*T) *T {
+	best := runnable[0]
+	for _, t := range runnable[1:] {
+		if p.prio[t.id] > p.prio[best.id] {
+			best = t
+		}
+	}
+	return best
+}
+
+// --- uniform random ---------------------------------------------------------
+
+// Random picks uniformly among the runnable threads; a baseline
+// explorer and a quick smoke strategy.
+type Random struct {
+	// Seed determines the schedule.
+	Seed int64
+
+	rng *rand.Rand
+}
+
+// Pick implements Strategy.
+func (r *Random) Pick(w *World, runnable []*T) (*T, error) {
+	if r.rng == nil {
+		r.rng = rand.New(rand.NewSource(r.Seed))
+	}
+	return runnable[r.rng.Intn(len(runnable))], nil
+}
+
+// --- trace replay -----------------------------------------------------------
+
+// replay re-executes a recorded schedule step for step.
+type replay struct {
+	trace Trace
+	pos   int
+}
+
+// ReplayStrategy returns a strategy that follows tr exactly; it errors
+// if the scenario diverges from the recorded schedule (different thread
+// set, or the recorded thread not runnable), which indicates the
+// scenario itself is nondeterministic.
+func ReplayStrategy(tr Trace) Strategy { return &replay{trace: tr} }
+
+// Pick implements Strategy.
+func (r *replay) Pick(w *World, runnable []*T) (*T, error) {
+	if r.pos >= len(r.trace) {
+		return nil, fmt.Errorf("replay diverged: trace exhausted after %d steps but threads still runnable", r.pos)
+	}
+	id := r.trace[r.pos]
+	for _, t := range runnable {
+		if t.id == id {
+			r.pos++
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("replay diverged at step %d: recorded thread %d is not runnable", r.pos, id)
+}
+
+// --- bounded exhaustive DFS -------------------------------------------------
+
+// dfsChoice records one branch taken: the index chosen within the
+// runnable set and how many alternatives existed.
+type dfsChoice struct {
+	idx, width int
+}
+
+// dfs drives one run of an exhaustive depth-first enumeration: it
+// follows prefix (indices into each step's runnable set), then always
+// takes index 0, recording every branch for the backtracker.
+type dfs struct {
+	prefix  []int
+	choices []dfsChoice
+}
+
+// Pick implements Strategy.
+func (d *dfs) Pick(w *World, runnable []*T) (*T, error) {
+	step := len(d.choices)
+	idx := 0
+	if step < len(d.prefix) {
+		idx = d.prefix[step]
+		if idx >= len(runnable) {
+			return nil, fmt.Errorf("dfs prefix diverged at step %d: index %d of %d runnable (nondeterministic scenario?)",
+				step, idx, len(runnable))
+		}
+	}
+	d.choices = append(d.choices, dfsChoice{idx: idx, width: len(runnable)})
+	return runnable[idx], nil
+}
+
+// nextPrefix computes the successor prefix in depth-first order: the
+// deepest branch with an untaken alternative advances and everything
+// below it resets.  It returns nil when the run just recorded was the
+// last schedule.
+func nextPrefix(choices []dfsChoice) []int {
+	for i := len(choices) - 1; i >= 0; i-- {
+		if choices[i].idx+1 < choices[i].width {
+			prefix := make([]int, i+1)
+			for j := 0; j < i; j++ {
+				prefix[j] = choices[j].idx
+			}
+			prefix[i] = choices[i].idx + 1
+			return prefix
+		}
+	}
+	return nil
+}

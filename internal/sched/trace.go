@@ -1,0 +1,80 @@
+package sched
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Trace is a schedule: the sequence of thread ids chosen at each
+// scheduling step.  It is the one schedule encoding shared by the
+// deterministic scheduler's explorers and the micro-step model explorer
+// (internal/model), so a counterexample from either replays through the
+// same parser.
+type Trace []int
+
+// Encode renders the trace in the compact replay format: the version
+// tag "t1:" followed by comma-separated runs, each either a bare thread
+// id ("2") or a run-length pair ("2x5" = thread 2 scheduled five times
+// in a row).  The empty trace encodes as "t1:".
+func (tr Trace) Encode() string {
+	var b strings.Builder
+	b.WriteString("t1:")
+	for i := 0; i < len(tr); {
+		j := i
+		for j < len(tr) && tr[j] == tr[i] {
+			j++
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(tr[i]))
+		if n := j - i; n > 1 {
+			b.WriteByte('x')
+			b.WriteString(strconv.Itoa(n))
+		}
+		i = j
+	}
+	return b.String()
+}
+
+// String formats the trace like a plain int slice, so existing %v
+// call sites (the model explorer's reports) keep their output.
+func (tr Trace) String() string {
+	parts := make([]string, len(tr))
+	for i, id := range tr {
+		parts[i] = strconv.Itoa(id)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// DecodeTrace parses the Encode format back into a Trace.
+func DecodeTrace(s string) (Trace, error) {
+	const tag = "t1:"
+	if !strings.HasPrefix(s, tag) {
+		return nil, fmt.Errorf("sched: trace %q lacks the %q version tag", s, tag)
+	}
+	body := s[len(tag):]
+	if body == "" {
+		return Trace{}, nil
+	}
+	var tr Trace
+	for _, run := range strings.Split(body, ",") {
+		idStr, cntStr, hasCnt := strings.Cut(run, "x")
+		id, err := strconv.Atoi(idStr)
+		if err != nil || id < 0 {
+			return nil, fmt.Errorf("sched: bad thread id %q in trace", idStr)
+		}
+		n := 1
+		if hasCnt {
+			n, err = strconv.Atoi(cntStr)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("sched: bad run length %q in trace", cntStr)
+			}
+		}
+		for k := 0; k < n; k++ {
+			tr = append(tr, id)
+		}
+	}
+	return tr, nil
+}
