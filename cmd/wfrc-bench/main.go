@@ -157,8 +157,18 @@ func validateFile(path string) int {
 		fmt.Fprintf(os.Stderr, "%s: %d announcement-scan violation(s) — the Lemma 2 bound broke during the bench run\n", path, n)
 		return 1
 	}
-	fmt.Printf("%s: schema v%d, %d data points, generated %s on %s/%s (go %s), 0 violations\n",
-		path, rep.SchemaVersion, len(rep.Results), rep.GeneratedAt,
+	if rep.Server != nil && rep.Server.AuditViolations > 0 {
+		fmt.Fprintf(os.Stderr, "%s: %d slot-reuse audit violation(s) — a lease handed out a dirty announcement row\n",
+			path, rep.Server.AuditViolations)
+		return 1
+	}
+	serverNote := ""
+	if rep.Server != nil {
+		serverNote = fmt.Sprintf(", server section (%d conns / %d slots, %.0f ops/s)",
+			rep.Server.Connections, rep.Server.Slots, rep.Server.OpsPerSec)
+	}
+	fmt.Printf("%s: schema v%d, %d data points%s, generated %s on %s/%s (go %s), 0 violations\n",
+		path, rep.SchemaVersion, len(rep.Results), serverNote, rep.GeneratedAt,
 		rep.Host.GOOS, rep.Host.GOARCH, rep.Host.GoVersion)
 	return 0
 }

@@ -1,0 +1,137 @@
+// Command wfrc-kv serves the sharded wait-free KV store over TCP.
+// Every shard is an independent arena + wait-free scheme instance; an
+// unbounded population of client connections shares the schemes' fixed
+// thread slots through the internal/slotpool lease layer.
+//
+//	wfrc-kv -addr :7700 -shards 4 -slots 8
+//	wfrc-kv -addr :7700 -obs-addr :7701       # plus /metrics etc.
+//
+// On SIGTERM or SIGINT the server drains gracefully — in-flight
+// requests finish, leases are released, every shard scheme is audited —
+// and the process exits 0 only if the audits found zero leaks and zero
+// announcement-row violations.  CI's smoke job relies on that exit
+// code.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wfrc/internal/chaos"
+	"wfrc/internal/obs"
+	"wfrc/internal/server"
+	"wfrc/internal/slotpool"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr       = flag.String("addr", ":7700", "listen address for the KV protocol")
+		obsAddr    = flag.String("obs-addr", "", "serve /metrics and /debug/pprof on this address")
+		shards     = flag.Int("shards", 4, "shard count (power of two); each shard is its own arena + scheme")
+		slots      = flag.Int("slots", 8, "thread slots per shard scheme (NR_THREADS) = leasable connection slots")
+		nodes      = flag.Int("nodes", 1<<16, "arena size per shard, in nodes")
+		buckets    = flag.Int("buckets", 256, "hashmap buckets per shard (power of two)")
+		leaseTTL   = flag.Duration("lease-ttl", 30*time.Second, "slot lease expiry for dead connections")
+		leaseWait  = flag.Duration("lease-max-wait", 2*time.Second, "how long a connection waits for a slot before Busy")
+		drainWait  = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown budget")
+		chaosSeed  = flag.Int64("chaos-seed", 0, "seed for lease-lifecycle chaos injection")
+		chaosDelay = flag.Float64("chaos-delay-prob", 0, "probability of an injected spin delay at each lease hook point")
+		chaosYield = flag.Float64("chaos-gosched-prob", 0, "probability of an injected preemption storm at each lease hook point")
+	)
+	flag.Parse()
+
+	cfg := server.Config{
+		Store: server.StoreConfig{
+			Shards:        *shards,
+			Slots:         *slots,
+			NodesPerShard: *nodes,
+			Buckets:       *buckets,
+		},
+		LeaseTTL:     *leaseTTL,
+		LeaseMaxWait: *leaseWait,
+	}
+	var inj *chaos.Injector
+	if *chaosDelay > 0 || *chaosYield > 0 {
+		inj = chaos.NewInjector(*chaosSeed, chaos.Faults{
+			DelayProb:   *chaosDelay,
+			GoschedProb: *chaosYield,
+		})
+		cfg.Hook = func(slotpool.Point) { inj.Perturb() }
+	}
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	if *obsAddr != "" {
+		collector := obs.NewCollector()
+		for i, cs := range srv.Store().CoreSchemes() {
+			scheme := fmt.Sprintf("waitfree-shard%d", i)
+			for _, th := range srv.Pool().SlotThreads(i) {
+				collector.Attach(scheme, th.ID(), th.Stats())
+			}
+			cs := cs
+			collector.AttachGauge("wfrc_ann_scan_violations", scheme, func() uint64 { return cs.AnnScanViolations() })
+		}
+		osrv, err := obs.Serve(*obsAddr, collector, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obs: %v\n", err)
+			return 1
+		}
+		defer osrv.Close()
+		osrv.AddProm(srv.Pool().WriteProm)
+		osrv.AddProm(srv.Store().WriteProm)
+		fmt.Printf("observability: http://%s/metrics\n", osrv.Addr())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("wfrc-kv: %d shards × %d slots, %d nodes/shard, listening on %s\n",
+		*shards, *slots, *nodes, ln.Addr())
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	case sig := <-sigs:
+		fmt.Printf("wfrc-kv: %v, draining\n", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "wfrc-kv: shutdown audit FAILED: %v\n", err)
+		return 1
+	}
+	st := srv.Stats()
+	fmt.Printf("wfrc-kv: drained clean — %d conns served, %d busy rejects, %d lease expiries, 0 leaks, 0 hygiene violations\n",
+		st.ConnsTotal, st.Busy, st.Pool.Expiries)
+	if inj != nil {
+		log := inj.Log()
+		fmt.Printf("wfrc-kv: chaos injected %d delays, %d preemption storms\n", log.Delays, log.Goscheds)
+	}
+	return 0
+}

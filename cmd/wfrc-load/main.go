@@ -1,0 +1,225 @@
+// Command wfrc-load is a closed-loop load generator for wfrc-kv.  It
+// opens more concurrent connections than the server has thread slots
+// (that is the point: the slotpool must multiplex them), churns
+// connections so slot leases cycle through many lessees, applies a
+// configurable key skew, and reports client-side latency plus the
+// server-side lease and shard counters it reads back through the STATS
+// protocol op.
+//
+//	wfrc-load -addr 127.0.0.1:7700 -conns 32 -duration 10s
+//	wfrc-load -addr 127.0.0.1:7700 -out BENCH_results.json   # schema-v2 report
+//
+// The exit code is nonzero if the server reported any slot-reuse audit
+// violations, so CI can gate on it directly.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"wfrc/internal/harness"
+	"wfrc/internal/obs"
+	"wfrc/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7700", "wfrc-kv address")
+		conns    = flag.Int("conns", 16, "concurrent connections (set this above the server's -slots)")
+		duration = flag.Duration("duration", 10*time.Second, "run length")
+		keys     = flag.Uint64("keys", 4096, "key space size")
+		skew     = flag.Float64("skew", 1.2, "zipf skew exponent (>1; <=1 selects uniform keys)")
+		reads    = flag.Float64("reads", 0.6, "fraction of GET requests; the rest split SET/DEL/CAS")
+		perConn  = flag.Int("reqs-per-conn", 200, "requests before a connection is churned (lease handed back)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		out      = flag.String("out", "", "write a schema-v2 BENCH_results.json here")
+	)
+	flag.Parse()
+
+	type workerResult struct {
+		hist      harness.Histogram
+		ops       uint64
+		busy      uint64
+		errs      uint64
+		lastErr   error
+		redialNil bool
+	}
+	results := make([]workerResult, *conns)
+	deadline := time.Now().Add(*duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < *conns; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			res := &results[wkr]
+			rng := rand.New(rand.NewSource(*seed + int64(wkr)*0x9E3779B9))
+			var zipf *rand.Zipf
+			if *skew > 1 {
+				zipf = rand.NewZipf(rng, *skew, 1, *keys-1)
+			}
+			pick := func() uint64 {
+				if zipf != nil {
+					return zipf.Uint64()
+				}
+				return rng.Uint64() % *keys
+			}
+			var c *server.Client
+			defer func() {
+				if c != nil {
+					c.Close()
+				}
+			}()
+			for time.Now().Before(deadline) {
+				if c == nil {
+					var err error
+					c, err = server.Dial(*addr)
+					if err != nil {
+						res.errs++
+						res.lastErr = err
+						time.Sleep(5 * time.Millisecond)
+						continue
+					}
+				}
+				for i := 0; i < *perConn && time.Now().Before(deadline); i++ {
+					k := pick()
+					var err error
+					t0 := time.Now()
+					switch p := rng.Float64(); {
+					case p < *reads:
+						_, _, err = c.Get(k)
+					case p < *reads+(1-*reads)*0.6:
+						_, err = c.Set(k, k^0xdead)
+					case p < *reads+(1-*reads)*0.85:
+						_, err = c.Delete(k)
+					default:
+						_, _, err = c.CompareAndSet(k, k^0xdead, k^0xbeef)
+					}
+					if err != nil {
+						if errors.Is(err, server.ErrBusy) {
+							res.busy++
+							time.Sleep(time.Duration(1+rng.Intn(4)) * time.Millisecond)
+						} else {
+							res.errs++
+							res.lastErr = err
+						}
+						c.Close()
+						c = nil
+						break
+					}
+					res.hist.Record(time.Since(t0))
+					res.ops++
+				}
+				// Churn: hand the slot lease back so another connection
+				// (and audit pass) gets it.
+				if c != nil {
+					c.Close()
+					c = nil
+				}
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var merged harness.Histogram
+	var ops, busy, errCount uint64
+	var lastErr error
+	for i := range results {
+		merged.Merge(&results[i].hist)
+		ops += results[i].ops
+		busy += results[i].busy
+		errCount += results[i].errs
+		if results[i].lastErr != nil {
+			lastErr = results[i].lastErr
+		}
+	}
+	if ops == 0 {
+		fmt.Fprintf(os.Stderr, "wfrc-load: no request succeeded (last error: %v)\n", lastErr)
+		return 1
+	}
+
+	stats, err := fetchStats(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wfrc-load: reading server stats: %v\n", err)
+		return 1
+	}
+
+	sec := &obs.BenchServer{
+		Connections:    *conns,
+		Slots:          int(stats.Pool.Slots),
+		Ops:            ops,
+		ElapsedNS:      elapsed.Nanoseconds(),
+		OpsPerSec:      float64(ops) / elapsed.Seconds(),
+		LatencyP50NS:   uint64(merged.Quantile(0.50)),
+		LatencyP99NS:   uint64(merged.Quantile(0.99)),
+		LatencyMaxNS:   uint64(merged.Max()),
+		LeaseWaitP50NS: stats.Pool.WaitP50Ns,
+		LeaseWaitP99NS: stats.Pool.WaitP99Ns,
+		BusyRejects:    busy + stats.Busy,
+		Expiries:       stats.Pool.Expiries,
+
+		AuditViolations: stats.Pool.Violations,
+	}
+	sec.SetShardOps(stats.ShardOps)
+
+	fmt.Printf("wfrc-load: %d conns over %d slots, %.0f ops/s (%d ops in %v)\n",
+		sec.Connections, sec.Slots, sec.OpsPerSec, ops, elapsed.Round(time.Millisecond))
+	fmt.Printf("  latency p50=%v p99=%v max=%v\n",
+		time.Duration(sec.LatencyP50NS), time.Duration(sec.LatencyP99NS), time.Duration(sec.LatencyMaxNS))
+	fmt.Printf("  lease wait p50=%v p99=%v; busy rejects=%d, expiries=%d, client errors=%d\n",
+		time.Duration(sec.LeaseWaitP50NS), time.Duration(sec.LeaseWaitP99NS), sec.BusyRejects, sec.Expiries, errCount)
+	fmt.Printf("  shard ops=%v balance=%.3f; audit violations=%d\n",
+		sec.ShardOps, sec.ShardBalance, sec.AuditViolations)
+	if errCount > 0 && lastErr != nil {
+		fmt.Printf("  last client error: %v\n", lastErr)
+	}
+
+	if *out != "" {
+		rep := obs.NewBenchReport(false)
+		rep.Server = sec
+		if err := rep.WriteFile(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "wfrc-load: %v\n", err)
+			return 1
+		}
+		fmt.Printf("  wrote %s (schema v%d)\n", *out, rep.SchemaVersion)
+	}
+	if sec.AuditViolations > 0 {
+		fmt.Fprintf(os.Stderr, "wfrc-load: server reported %d slot-reuse audit violations\n", sec.AuditViolations)
+		return 1
+	}
+	return 0
+}
+
+// fetchStats reads the server-side counters over a fresh connection,
+// retrying through transient Busy responses (the load just stopped;
+// slots free up as lingering leases release or expire).
+func fetchStats(addr string) (server.StatsReply, error) {
+	var lastErr error
+	for attempt := 0; attempt < 50; attempt++ {
+		c, err := server.Dial(addr)
+		if err != nil {
+			return server.StatsReply{}, err
+		}
+		st, err := c.Stats()
+		c.Close()
+		if err == nil {
+			return st, nil
+		}
+		lastErr = err
+		if !errors.Is(err, server.ErrBusy) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return server.StatsReply{}, lastErr
+}

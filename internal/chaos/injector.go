@@ -1,0 +1,78 @@
+package chaos
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Injector drives the Faults perturbation machinery at arbitrary
+// caller-chosen points, for layers that are not mm.Scheme wrappers and
+// therefore cannot be wrapped by chaos.New — the slot-lease lifecycle
+// points of internal/slotpool being the motivating case.  Unlike the
+// per-thread fault PRNGs of a wrapped scheme, one Injector is shared by
+// every goroutine that passes its hook point, so its decisions are
+// serialized behind a mutex; the injected schedule is reproducible for
+// a fixed seed and a fixed arrival order, which is the strongest
+// guarantee a multi-goroutine lease path admits.
+type Injector struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	f   Faults
+	log FaultLog
+}
+
+// NewInjector returns a fault injector seeded like a chaos thread.
+func NewInjector(seed int64, f Faults) *Injector {
+	return &Injector{
+		rng: rand.New(rand.NewSource(seed*0x9E3779B9 + 0x85EBCA6B)),
+		f:   f,
+	}
+}
+
+// Perturb runs one fault point: an injected busy-spin delay and/or a
+// forced-preemption storm, each drawn from the injector's PRNG with the
+// configured probabilities.  Safe for concurrent use.
+func (i *Injector) Perturb() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.f.DelayProb > 0 {
+		i.log.Draws++
+		if i.rng.Float64() < i.f.DelayProb {
+			i.log.Delays++
+			n := i.f.DelaySpins
+			if n <= 0 {
+				n = 64
+			}
+			var acc uint64
+			for k := 0; k < n; k++ {
+				acc += uint64(k) * 0x9E3779B9
+			}
+			spinSink.Add(acc)
+		}
+	}
+	if i.f.GoschedProb > 0 {
+		i.log.Draws++
+		if i.rng.Float64() < i.f.GoschedProb {
+			i.log.Goscheds++
+			n := i.f.GoschedBurst
+			if n <= 0 {
+				n = 4
+			}
+			// Unlock across the yield storm so other goroutines can draw
+			// faults while this one is descheduled.
+			i.mu.Unlock()
+			for k := 0; k < n; k++ {
+				runtime.Gosched()
+			}
+			i.mu.Lock()
+		}
+	}
+}
+
+// Log returns the faults injected so far.
+func (i *Injector) Log() FaultLog {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.log
+}

@@ -1,0 +1,52 @@
+package chaos
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestInjectorDeterministicWhenSerial(t *testing.T) {
+	run := func() FaultLog {
+		inj := NewInjector(7, Faults{DelayProb: 0.5, DelaySpins: 8, GoschedProb: 0.25, GoschedBurst: 1})
+		for i := 0; i < 200; i++ {
+			inj.Perturb()
+		}
+		return inj.Log()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("serial injection not reproducible: %+v vs %+v", a, b)
+	}
+	if a.Delays == 0 || a.Goscheds == 0 {
+		t.Fatalf("expected both fault kinds to fire: %+v", a)
+	}
+	if a.Draws != 400 {
+		t.Fatalf("draws = %d, want 400 (two per Perturb)", a.Draws)
+	}
+}
+
+func TestInjectorConcurrentSafety(t *testing.T) {
+	inj := NewInjector(1, Faults{DelayProb: 0.3, GoschedProb: 0.3})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				inj.Perturb()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := inj.Log().Draws; got != 1600 {
+		t.Fatalf("draws = %d, want 1600", got)
+	}
+}
+
+func TestInjectorZeroFaultsIsNoop(t *testing.T) {
+	inj := NewInjector(1, Faults{})
+	inj.Perturb()
+	if log := inj.Log(); log != (FaultLog{}) {
+		t.Fatalf("zero-config injector recorded %+v", log)
+	}
+}

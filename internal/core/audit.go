@@ -108,6 +108,21 @@ func (s *Scheme) AuditAnnRows() []error {
 	return errs
 }
 
+// AnnRowLive reports whether any announcement slot of row id currently
+// holds a live (encoded, un-answered) announcement.  A registered
+// thread that returned from its last DeRefLink leaves none (D6 swaps
+// the announcement out), so a live cell on a supposedly idle row means
+// its goroutine died inside D3..D6 — the per-slot reuse audit of
+// internal/slotpool keys off this.
+func (s *Scheme) AnnRowLive(id int) bool {
+	for j := range s.ann[id].slots {
+		if s.ann[id].slots[j].readAddr.Load()&annEncodeBit != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // AnnScanViolations returns how many DeRefLink calls have exceeded the
 // D1 scan bound since the scheme was created.  Zero is the wait-freedom
 // guarantee; tests that deliberately wedge helpers can read and reset

@@ -72,6 +72,20 @@ func (m *Map) Insert(t mm.Thread, key, value uint64) (bool, error) {
 	return m.bucket(key).Insert(t, key, value)
 }
 
+// Set stores key→value, overwriting an existing entry in place.  It
+// returns whether a new entry was inserted, and an error on arena
+// exhaustion (updates never allocate).
+func (m *Map) Set(t mm.Thread, key, value uint64) (bool, error) {
+	return m.bucket(key).Set(t, key, value)
+}
+
+// CompareAndSet replaces key's value with new iff it currently equals
+// old.  It reports whether the swap happened and whether the key was
+// present at all.
+func (m *Map) CompareAndSet(t mm.Thread, key, old, new uint64) (swapped, found bool) {
+	return m.bucket(key).CompareAndSet(t, key, old, new)
+}
+
 // Delete removes key, reporting whether it was present.
 func (m *Map) Delete(t mm.Thread, key uint64) bool {
 	return m.bucket(key).Delete(t, key)

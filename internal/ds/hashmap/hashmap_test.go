@@ -212,3 +212,42 @@ func TestBucketSpread(t *testing.T) {
 		}
 	}
 }
+
+func TestSetAndCompareAndSet(t *testing.T) {
+	forEachScheme(t, 128, 1, 8, func(t *testing.T, s mm.Scheme, m *Map) {
+		th, _ := s.Register()
+		defer th.Unregister()
+		for k := uint64(0); k < 20; k++ {
+			if ins, err := m.Set(th, k, k); err != nil || !ins {
+				t.Fatalf("Set(%d) = %v,%v, want insert", k, ins, err)
+			}
+		}
+		for k := uint64(0); k < 20; k++ {
+			if ins, err := m.Set(th, k, k*2); err != nil || ins {
+				t.Fatalf("Set(%d) update = %v,%v, want in-place", k, ins, err)
+			}
+		}
+		if n := m.Len(); n != 20 {
+			t.Fatalf("Len = %d, want 20 after upserts", n)
+		}
+		for k := uint64(0); k < 20; k++ {
+			if v, ok := m.Get(th, k); !ok || v != k*2 {
+				t.Fatalf("Get(%d) = %d,%v", k, v, ok)
+			}
+		}
+		if sw, found := m.CompareAndSet(th, 3, 6, 7); !sw || !found {
+			t.Fatalf("CAS(3,6,7) = %v,%v", sw, found)
+		}
+		if sw, found := m.CompareAndSet(th, 3, 6, 8); sw || !found {
+			t.Fatalf("CAS stale old = %v,%v", sw, found)
+		}
+		if sw, found := m.CompareAndSet(th, 99, 0, 1); sw || found {
+			t.Fatalf("CAS absent = %v,%v", sw, found)
+		}
+		for k := uint64(0); k < 20; k++ {
+			if !m.Delete(th, k) {
+				t.Fatalf("Delete(%d) failed", k)
+			}
+		}
+	})
+}

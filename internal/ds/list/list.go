@@ -161,6 +161,81 @@ func (l *List) Insert(t mm.Thread, key, value uint64) (bool, error) {
 	}
 }
 
+// Set stores key→value, overwriting the value of an existing entry in
+// place (the node's value word is an atomic cell, so the overwrite
+// linearizes at its store).  It returns whether a new entry was
+// inserted, and an error on arena exhaustion — updates of existing keys
+// never allocate and never fail.
+//
+// An update racing a Delete of the same key linearizes before the
+// delete: the value write lands in a node that is (or is about to be)
+// unlinked, and the key reads as absent afterwards — the same contract
+// as every in-node-value Harris list.
+func (l *List) Set(t mm.Thread, key, value uint64) (inserted bool, err error) {
+	// Update pass: no allocation when the key is present.
+	t.BeginOp()
+	p := l.find(t, key)
+	if p.found {
+		l.ar.SetVal(p.cur.Handle(), 1, value)
+		p.release(t)
+		t.EndOp()
+		return false, nil
+	}
+	p.release(t)
+	t.EndOp()
+
+	// Insert pass, mirroring Insert; a racing insert of the same key is
+	// resolved by updating that winner's node in place.
+	n, err := t.Alloc() // outside the pinned section (see Insert)
+	if err != nil {
+		return false, err
+	}
+	l.ar.SetVal(n, 0, key)
+	l.ar.SetVal(n, 1, value)
+	t.BeginOp()
+	defer t.EndOp()
+	var hooked mm.Ptr // current target of n's private next link
+	for {
+		p := l.find(t, key)
+		if p.found {
+			l.ar.SetVal(p.cur.Handle(), 1, value)
+			p.release(t)
+			t.Retire(n)
+			t.Release(n)
+			return false, nil
+		}
+		curp := arena.MakePtr(p.cur.Handle(), false)
+		// n is private: this CAS cannot fail, it only moves references.
+		if !t.CASLink(l.next(n), hooked, curp) {
+			panic("list: private link CAS failed")
+		}
+		hooked = curp
+		if t.CASLink(p.prev, curp, arena.MakePtr(n, false)) {
+			p.release(t)
+			t.Release(n)
+			return true, nil
+		}
+		p.release(t)
+	}
+}
+
+// CompareAndSet replaces key's value with new iff it currently equals
+// old, via CAS on the node's value word.  It reports whether the swap
+// happened and whether the key was present at all; (false, true) means
+// the key exists but held a different value.
+func (l *List) CompareAndSet(t mm.Thread, key, old, new uint64) (swapped, found bool) {
+	t.BeginOp()
+	defer t.EndOp()
+	p := l.find(t, key)
+	if !p.found {
+		p.release(t)
+		return false, false
+	}
+	swapped = l.ar.ValCell(p.cur.Handle(), 1).CompareAndSwap(old, new)
+	p.release(t)
+	return swapped, true
+}
+
 // Delete removes key.  It returns false if the key is not present.
 func (l *List) Delete(t mm.Thread, key uint64) bool {
 	t.BeginOp()

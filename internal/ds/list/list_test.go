@@ -306,3 +306,99 @@ func TestConcurrentSameKeys(t *testing.T) {
 		th.Unregister()
 	})
 }
+
+func TestUpsertAndCompareAndSet(t *testing.T) {
+	forEachScheme(t, 64, 1, func(t *testing.T, s mm.Scheme) {
+		th, _ := s.Register()
+		defer th.Unregister()
+		l := MustNew(s)
+
+		// Set on a missing key inserts.
+		ins, err := l.Set(th, 4, 40)
+		if err != nil || !ins {
+			t.Fatalf("Set(4) = %v,%v, want insert", ins, err)
+		}
+		// Set on a present key updates in place, no allocation growth.
+		ins, err = l.Set(th, 4, 44)
+		if err != nil || ins {
+			t.Fatalf("Set(4) update = %v,%v, want in-place", ins, err)
+		}
+		if v, ok := l.Get(th, 4); !ok || v != 44 {
+			t.Fatalf("Get(4) = %d,%v, want 44", v, ok)
+		}
+		if n := l.Len(); n != 1 {
+			t.Fatalf("Len = %d after upsert of one key", n)
+		}
+
+		// CompareAndSet with wrong expected value fails but finds the key.
+		if sw, found := l.CompareAndSet(th, 4, 40, 99); sw || !found {
+			t.Fatalf("CAS wrong-old = swapped=%v found=%v", sw, found)
+		}
+		if sw, found := l.CompareAndSet(th, 4, 44, 55); !sw || !found {
+			t.Fatalf("CAS right-old = swapped=%v found=%v", sw, found)
+		}
+		if v, _ := l.Get(th, 4); v != 55 {
+			t.Fatalf("value after CAS = %d, want 55", v)
+		}
+		// CAS on an absent key reports not found.
+		if sw, found := l.CompareAndSet(th, 8, 0, 1); sw || found {
+			t.Fatalf("CAS absent = swapped=%v found=%v", sw, found)
+		}
+
+		// Delete for the audit.
+		if !l.Delete(th, 4) {
+			t.Fatal("Delete(4) failed")
+		}
+	})
+}
+
+func TestConcurrentUpsertSameKeys(t *testing.T) {
+	const threads, iters, keys = 4, 400, 8
+	forEachScheme(t, 256, threads, func(t *testing.T, s mm.Scheme) {
+		l := MustNew(s)
+		var wg sync.WaitGroup
+		for i := 0; i < threads; i++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				th, err := s.Register()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer th.Unregister()
+				rng := rand.New(rand.NewSource(int64(id) * 271))
+				for k := 0; k < iters; k++ {
+					key := uint64(rng.Intn(keys))
+					switch rng.Intn(4) {
+					case 0:
+						if _, err := l.Set(th, key, uint64(id)<<32|uint64(k)); err != nil {
+							t.Errorf("thread %d: %v", id, err)
+							return
+						}
+					case 1:
+						l.CompareAndSet(th, key, uint64(id), uint64(k))
+					case 2:
+						l.Delete(th, key)
+					default:
+						l.Get(th, key)
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		ks := l.Keys()
+		seen := map[uint64]bool{}
+		for _, k := range ks {
+			if k >= keys || seen[k] {
+				t.Fatalf("bad key set %v", ks)
+			}
+			seen[k] = true
+		}
+		th, _ := s.Register()
+		for _, k := range ks {
+			l.Delete(th, k)
+		}
+		th.Unregister()
+	})
+}

@@ -13,7 +13,12 @@ import (
 // BenchSchemaVersion identifies the BENCH_results.json layout.  Bump it
 // on any incompatible change and teach ValidateBenchJSON both versions
 // for one release so the CI trajectory stays readable.
-const BenchSchemaVersion = 1
+//
+// Version 2 adds the optional "server" section (BenchServer) emitted by
+// wfrc-load, and permits "results" to be empty when "server" is present
+// (a pure load-generator report has no per-scheme experiment results).
+// Version 1 documents remain valid.
+const BenchSchemaVersion = 2
 
 // BenchStepStats summarizes one per-operation step distribution (the
 // quantity Lemmas 2 and 9 bound) for one data point: quantiles read off
@@ -46,6 +51,57 @@ type BenchResult struct {
 	CASFailures       uint64 `json:"cas_failures"`
 }
 
+// BenchServer is the schema-v2 "server" section: one wfrc-load run
+// against a wfrc-kv server.  Client-side latency quantiles come from
+// the load generator's own histogram; lease-wait quantiles, per-shard
+// op counts and audit counters come from the server's STATS response,
+// so the report captures both ends of the backpressure story.
+type BenchServer struct {
+	Connections int `json:"connections"`
+	Slots       int `json:"slots"`
+	Shards      int `json:"shards"`
+
+	Ops       uint64  `json:"ops"`
+	ElapsedNS int64   `json:"elapsed_ns"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+
+	LatencyP50NS uint64 `json:"latency_p50_ns"`
+	LatencyP99NS uint64 `json:"latency_p99_ns"`
+	LatencyMaxNS uint64 `json:"latency_max_ns"`
+
+	LeaseWaitP50NS float64 `json:"lease_wait_p50_ns"`
+	LeaseWaitP99NS float64 `json:"lease_wait_p99_ns"`
+
+	BusyRejects uint64 `json:"busy_rejects"`
+	Expiries    uint64 `json:"lease_expiries"`
+
+	ShardOps []uint64 `json:"shard_ops"`
+	// ShardBalance is max(shard_ops)/mean(shard_ops); 1.0 is perfect
+	// balance, and CI treats a large skew as a hashing regression.
+	ShardBalance float64 `json:"shard_balance"`
+
+	AuditViolations uint64 `json:"audit_violations"`
+}
+
+// SetShardOps stores the per-shard op counts and derives ShardBalance.
+func (b *BenchServer) SetShardOps(ops []uint64) {
+	b.ShardOps = ops
+	b.Shards = len(ops)
+	if len(ops) == 0 {
+		return
+	}
+	var sum, max uint64
+	for _, n := range ops {
+		sum += n
+		if n > max {
+			max = n
+		}
+	}
+	if sum > 0 {
+		b.ShardBalance = float64(max) * float64(len(ops)) / float64(sum)
+	}
+}
+
 // BenchHost records the machine a report was generated on, so
 // trajectory points are only compared like for like.
 type BenchHost struct {
@@ -66,6 +122,9 @@ type BenchReport struct {
 	Host          BenchHost     `json:"host"`
 	Quick         bool          `json:"quick"`
 	Results       []BenchResult `json:"results"`
+	// Server is the schema-v2 load-test section; nil for pure
+	// wfrc-bench reports.
+	Server *BenchServer `json:"server,omitempty"`
 }
 
 // NewBenchReport returns an empty report stamped with the current time
@@ -148,6 +207,15 @@ var requiredResultKeys = []string{
 // requiredStepKeys are the keys of each step-stats object.
 var requiredStepKeys = []string{"p50", "p99", "max", "max_thread"}
 
+// requiredServerKeys are the numeric keys of the v2 server section
+// ("shard_ops", an array, is checked separately).
+var requiredServerKeys = []string{
+	"connections", "slots", "shards", "ops", "elapsed_ns", "ops_per_sec",
+	"latency_p50_ns", "latency_p99_ns", "latency_max_ns",
+	"lease_wait_p50_ns", "lease_wait_p99_ns",
+	"busy_rejects", "lease_expiries", "shard_balance", "audit_violations",
+}
+
 // ValidateBenchJSON checks that data is a schema-valid BENCH_results
 // document — correct schema version, host provenance present, at least
 // one result, and every required key present with the right JSON type —
@@ -168,8 +236,12 @@ func ValidateBenchJSON(data []byte) (*BenchReport, error) {
 	if err := json.Unmarshal(raw["schema_version"], &version); err != nil {
 		return nil, fmt.Errorf("bench json: schema_version: %w", err)
 	}
-	if version != BenchSchemaVersion {
-		return nil, fmt.Errorf("bench json: schema_version %d, want %d", version, BenchSchemaVersion)
+	if version != 1 && version != BenchSchemaVersion {
+		return nil, fmt.Errorf("bench json: schema_version %d, want 1 or %d", version, BenchSchemaVersion)
+	}
+	serverRaw, hasServer := raw["server"]
+	if hasServer && version < 2 {
+		return nil, fmt.Errorf("bench json: \"server\" section requires schema_version 2, document has %d", version)
 	}
 	var generated string
 	if err := json.Unmarshal(raw["generated_at"], &generated); err != nil {
@@ -183,7 +255,7 @@ func ValidateBenchJSON(data []byte) (*BenchReport, error) {
 	if err := json.Unmarshal(raw["results"], &results); err != nil {
 		return nil, fmt.Errorf("bench json: results: %w", err)
 	}
-	if len(results) == 0 {
+	if len(results) == 0 && !hasServer {
 		return nil, fmt.Errorf("bench json: results is empty")
 	}
 	for i, res := range results {
@@ -219,6 +291,31 @@ func ValidateBenchJSON(data []byte) (*BenchReport, error) {
 					return nil, fmt.Errorf("bench json: results[%d].%s: want number", i, key)
 				}
 			}
+		}
+	}
+
+	if hasServer {
+		var server map[string]json.RawMessage
+		if err := json.Unmarshal(serverRaw, &server); err != nil {
+			return nil, fmt.Errorf("bench json: server: %w", err)
+		}
+		for _, key := range requiredServerKeys {
+			v, ok := server[key]
+			if !ok {
+				return nil, fmt.Errorf("bench json: server: missing key %q", key)
+			}
+			var n float64
+			if err := json.Unmarshal(v, &n); err != nil {
+				return nil, fmt.Errorf("bench json: server.%s: want number", key)
+			}
+		}
+		ops, ok := server["shard_ops"]
+		if !ok {
+			return nil, fmt.Errorf("bench json: server: missing key \"shard_ops\"")
+		}
+		var shardOps []uint64
+		if err := json.Unmarshal(ops, &shardOps); err != nil {
+			return nil, fmt.Errorf("bench json: server.shard_ops: want array of numbers")
 		}
 	}
 

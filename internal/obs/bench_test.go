@@ -95,6 +95,63 @@ func mutateJSON(t *testing.T, fn func(doc map[string]interface{})) []byte {
 	return out
 }
 
+// sampleServerSection builds a plausible v2 server section.
+func sampleServerSection() *BenchServer {
+	srv := &BenchServer{
+		Connections: 16, Slots: 4,
+		Ops: 5000, ElapsedNS: int64(time.Second), OpsPerSec: 5000,
+		LatencyP50NS: 40_000, LatencyP99NS: 900_000, LatencyMaxNS: 2_000_000,
+		LeaseWaitP50NS: 1000, LeaseWaitP99NS: 64_000,
+		BusyRejects: 3,
+	}
+	srv.SetShardOps([]uint64{1300, 1200, 1250, 1250})
+	return srv
+}
+
+func TestValidateBenchJSONServerSection(t *testing.T) {
+	rep := NewBenchReport(false)
+	rep.Server = sampleServerSection()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty results is legal when the server section is present.
+	got, err := ValidateBenchJSON(data)
+	if err != nil {
+		t.Fatalf("v2 server-only report rejected: %v", err)
+	}
+	if got.Server == nil || got.Server.Connections != 16 {
+		t.Fatalf("server section lost in round trip: %+v", got.Server)
+	}
+	if got.Server.ShardBalance < 1.0 || got.Server.ShardBalance > 1.1 {
+		t.Errorf("shard balance = %v, want ~1.04", got.Server.ShardBalance)
+	}
+
+	// Both sections together validate too.
+	rep.Results = sampleReport().Results
+	data, _ = json.Marshal(rep)
+	if _, err := ValidateBenchJSON(data); err != nil {
+		t.Fatalf("combined report rejected: %v", err)
+	}
+}
+
+// TestValidateBenchJSONAcceptsV1 pins backward compatibility: a
+// pre-server document that declares schema_version 1 must keep
+// validating, and must not be allowed to smuggle a server section.
+func TestValidateBenchJSONAcceptsV1(t *testing.T) {
+	v1 := mutateJSON(t, func(d map[string]interface{}) { d["schema_version"] = 1 })
+	if _, err := ValidateBenchJSON(v1); err != nil {
+		t.Fatalf("v1 document rejected: %v", err)
+	}
+	bad := mutateJSON(t, func(d map[string]interface{}) {
+		d["schema_version"] = 1
+		d["server"] = map[string]interface{}{}
+	})
+	if _, err := ValidateBenchJSON(bad); err == nil {
+		t.Fatal("v1 document with server section accepted")
+	}
+}
+
 func TestValidateBenchJSONRejects(t *testing.T) {
 	cases := []struct {
 		name    string
@@ -127,6 +184,23 @@ func TestValidateBenchJSONRejects(t *testing.T) {
 			res := d["results"].([]interface{})[0].(map[string]interface{})
 			res["helps_given"] = "three"
 		}), "want number"},
+		{"empty results without server", mutateJSON(t, func(d map[string]interface{}) {
+			d["results"] = []interface{}{}
+		}), "results is empty"},
+		{"server missing key", mutateJSON(t, func(d map[string]interface{}) {
+			data, _ := json.Marshal(sampleServerSection())
+			var srv map[string]interface{}
+			json.Unmarshal(data, &srv)
+			delete(srv, "audit_violations")
+			d["server"] = srv
+		}), `server: missing key "audit_violations"`},
+		{"server shard_ops not array", mutateJSON(t, func(d map[string]interface{}) {
+			data, _ := json.Marshal(sampleServerSection())
+			var srv map[string]interface{}
+			json.Unmarshal(data, &srv)
+			srv["shard_ops"] = "lots"
+			d["server"] = srv
+		}), "shard_ops: want array"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

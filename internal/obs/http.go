@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"expvar"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -25,6 +26,9 @@ type Server struct {
 	ring *TraceRing
 	ln   net.Listener
 	srv  *http.Server
+
+	promMu    sync.Mutex
+	promExtra []func(io.Writer) error
 }
 
 // expvarOnce guards the process-global expvar publication (expvar
@@ -82,9 +86,27 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // Close shuts the server down.
 func (s *Server) Close() error { return s.srv.Close() }
 
+// AddProm registers an extra Prometheus exposition writer appended to
+// every /metrics response after the collector's own families.  Layers
+// with their own metric families — the slot pool's lease gauges and
+// wait histogram, the KV store's per-shard op counters — plug in here
+// instead of running a second scrape endpoint.  The writer must emit
+// well-formed text exposition and be safe for concurrent calls.
+func (s *Server) AddProm(f func(io.Writer) error) {
+	s.promMu.Lock()
+	defer s.promMu.Unlock()
+	s.promExtra = append(s.promExtra, f)
+}
+
 func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = WriteProm(w, s.c.Snapshot())
+	s.promMu.Lock()
+	extra := append([]func(io.Writer) error(nil), s.promExtra...)
+	s.promMu.Unlock()
+	for _, f := range extra {
+		_ = f(w)
+	}
 }
 
 // traceResponse is the /trace JSON payload.

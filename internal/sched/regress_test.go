@@ -72,6 +72,18 @@ var regressionSeeds = []struct {
 		minNotes: map[string]int64{"helps-given": 1, "cas-failures": 1},
 	},
 	{
+		scenario: "slot-lease-churn",
+		seed:     11,
+		about:    "writer's CAS helps a lessee's announcement across a lease release boundary",
+		minNotes: map[string]int64{"helps-given": 1, "leases": 4, "recycles": 4},
+	},
+	{
+		scenario: "slot-lease-churn",
+		seed:     69,
+		about:    "release-time reuse audit sees the suspended writer's helper pin; slot quarantined then re-audited clean",
+		minNotes: map[string]int64{"quarantines": 1, "leases": 4, "recycles": 4},
+	},
+	{
 		scenario:    "legacy-annindex",
 		seed:        7,
 		about:       "the announcement-answer schedule with the annRow.index fix reverted",

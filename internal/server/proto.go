@@ -1,0 +1,174 @@
+// Package server is the network face of the repository: a KV service
+// whose every shard is a wait-free hashmap over its own arena and
+// scheme instance, fronted by internal/slotpool so an unbounded
+// population of TCP connections shares the schemes' fixed thread
+// slots.
+//
+// Wire protocol (all integers big-endian):
+//
+//	frame    := len(uint32) payload
+//	request  := op(uint8) args
+//	  OpGet   args := key(uint64)
+//	  OpSet   args := key(uint64) value(uint64)
+//	  OpDel   args := key(uint64)
+//	  OpCAS   args := key(uint64) old(uint64) new(uint64)
+//	  OpStats args := (none)
+//	response := status(uint8) body
+//	  StatusOK       body := value(uint64) for Get; 1/0 inserted for Set;
+//	                         (none) for Del; (none) for CAS
+//	  StatusNotFound body := (none)
+//	  StatusCASFail  body := (none)      // key present, value != old
+//	  StatusBusy     body := (none)      // no slot free: backpressure, retry later
+//	  StatusErr      body := utf8 message
+//	  OpStats responds StatusOK with a JSON body (server.StatsReply).
+//
+// A frame larger than MaxFrame is a protocol error and closes the
+// connection.
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Ops.
+const (
+	OpGet   = 1
+	OpSet   = 2
+	OpDel   = 3
+	OpCAS   = 4
+	OpStats = 5
+)
+
+// Response statuses.
+const (
+	StatusOK       = 0
+	StatusNotFound = 1
+	StatusCASFail  = 2
+	StatusBusy     = 3
+	StatusErr      = 4
+)
+
+// MaxFrame bounds a frame payload; requests are tiny and stats replies
+// are small JSON, so anything bigger is garbage or an attack.
+const MaxFrame = 1 << 16
+
+// ReadFrame reads one length-prefixed frame payload from r.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("server: frame of %d bytes exceeds MaxFrame %d", n, MaxFrame)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// WriteFrame writes payload as one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// Request is a decoded client request.
+type Request struct {
+	Op    uint8
+	Key   uint64
+	Value uint64 // Set value / CAS new
+	Old   uint64 // CAS old
+}
+
+// argLens maps op → required argument byte count.
+var argLens = map[uint8]int{OpGet: 8, OpSet: 16, OpDel: 8, OpCAS: 24, OpStats: 0}
+
+// DecodeRequest parses a request payload.
+func DecodeRequest(p []byte) (Request, error) {
+	if len(p) < 1 {
+		return Request{}, fmt.Errorf("server: empty request")
+	}
+	req := Request{Op: p[0]}
+	want, ok := argLens[req.Op]
+	if !ok {
+		return Request{}, fmt.Errorf("server: unknown op %d", req.Op)
+	}
+	if len(p)-1 != want {
+		return Request{}, fmt.Errorf("server: op %d wants %d arg bytes, got %d", req.Op, want, len(p)-1)
+	}
+	a := p[1:]
+	switch req.Op {
+	case OpGet, OpDel:
+		req.Key = binary.BigEndian.Uint64(a)
+	case OpSet:
+		req.Key = binary.BigEndian.Uint64(a)
+		req.Value = binary.BigEndian.Uint64(a[8:])
+	case OpCAS:
+		req.Key = binary.BigEndian.Uint64(a)
+		req.Old = binary.BigEndian.Uint64(a[8:])
+		req.Value = binary.BigEndian.Uint64(a[16:])
+	}
+	return req, nil
+}
+
+// EncodeRequest appends the wire form of req to dst.
+func EncodeRequest(dst []byte, req Request) []byte {
+	dst = append(dst, req.Op)
+	var b [8]byte
+	put := func(v uint64) {
+		binary.BigEndian.PutUint64(b[:], v)
+		dst = append(dst, b[:]...)
+	}
+	switch req.Op {
+	case OpGet, OpDel:
+		put(req.Key)
+	case OpSet:
+		put(req.Key)
+		put(req.Value)
+	case OpCAS:
+		put(req.Key)
+		put(req.Old)
+		put(req.Value)
+	}
+	return dst
+}
+
+// Response is a decoded server response.
+type Response struct {
+	Status uint8
+	Value  uint64 // valid for StatusOK Get/Set
+	Body   []byte // StatusErr message or OpStats JSON
+}
+
+// DecodeResponse parses a response payload.  Whether Value or Body is
+// meaningful depends on the request op, which the client knows.
+func DecodeResponse(p []byte) (Response, error) {
+	if len(p) < 1 {
+		return Response{}, fmt.Errorf("server: empty response")
+	}
+	resp := Response{Status: p[0]}
+	rest := p[1:]
+	if resp.Status == StatusErr || len(rest) > 8 {
+		resp.Body = append([]byte(nil), rest...)
+		return resp, nil
+	}
+	if len(rest) == 8 {
+		resp.Value = binary.BigEndian.Uint64(rest)
+	} else if len(rest) != 0 {
+		return Response{}, fmt.Errorf("server: response body of %d bytes", len(rest))
+	}
+	return resp, nil
+}

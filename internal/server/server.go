@@ -1,0 +1,294 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wfrc/internal/slotpool"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Store configures the sharded KV store.
+	Store StoreConfig
+	// LeaseTTL bounds how long a connection may hold its slot lease
+	// without completing a request (default 30s; the lease renews on
+	// every request, so only a dead or wedged connection expires).
+	LeaseTTL time.Duration
+	// LeaseMaxWait bounds how long a new connection waits for a free
+	// slot before being turned away with StatusBusy (default 2s).
+	LeaseMaxWait time.Duration
+	// Hook is forwarded to the slotpool for chaos injection.
+	Hook func(slotpool.Point)
+}
+
+// StatsReply is the JSON body of an OpStats response: the server-side
+// counters a load generator folds into its report without scraping the
+// Prometheus endpoint.
+type StatsReply struct {
+	Pool        slotpool.Stats `json:"pool"`
+	ShardOps    []uint64       `json:"shard_ops"`
+	Conns       int64          `json:"conns"`
+	ConnsTotal  uint64         `json:"conns_total"`
+	Busy        uint64         `json:"busy_rejects"`
+	ProtoErrors uint64         `json:"proto_errors"`
+}
+
+// Server serves the KV protocol over TCP.  One slot lease per
+// connection: the lease is taken after accept, renewed on every
+// request, and released when the connection ends — the TTL reaper
+// reclaims the slot of a connection that died without cleanup.
+type Server struct {
+	cfg   Config
+	store *Store
+	pool  *slotpool.Pool
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+
+	draining atomic.Bool
+
+	curConns    atomic.Int64
+	connsTotal  atomic.Uint64
+	busy        atomic.Uint64
+	protoErrors atomic.Uint64
+}
+
+// New builds the store and its slot pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.LeaseTTL == 0 {
+		cfg.LeaseTTL = 30 * time.Second
+	}
+	if cfg.LeaseMaxWait == 0 {
+		cfg.LeaseMaxWait = 2 * time.Second
+	}
+	store, err := NewStore(cfg.Store)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := slotpool.New(slotpool.Config{
+		Slots:    store.cfg.Slots,
+		LeaseTTL: cfg.LeaseTTL,
+		MaxWait:  cfg.LeaseMaxWait,
+		Hook:     cfg.Hook,
+	}, store.Schemes()...)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{cfg: cfg, store: store, pool: pool, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Store returns the sharded store, for observability attachment.
+func (s *Server) Store() *Store { return s.store }
+
+// Pool returns the slot pool, for observability attachment.
+func (s *Server) Pool() *slotpool.Pool { return s.pool }
+
+// Serve accepts connections on ln until Shutdown closes it.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	conn.Close()
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	s.curConns.Add(-1)
+	s.wg.Done()
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	s.curConns.Add(1)
+	s.connsTotal.Add(1)
+	defer s.dropConn(conn)
+
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+
+	lease, err := s.pool.Lease(context.Background())
+	if err != nil {
+		// Backpressure: tell the client to retry rather than hanging it.
+		s.busy.Add(1)
+		WriteFrame(w, []byte{StatusBusy})
+		w.Flush()
+		return
+	}
+	defer lease.Release()
+
+	var buf []byte
+	resp := make([]byte, 0, 64)
+	for {
+		buf, err = ReadFrame(r, buf)
+		if err != nil {
+			return // EOF, death, or drain deadline: the deferred Release cleans up
+		}
+		req, err := DecodeRequest(buf)
+		if err != nil {
+			s.protoErrors.Add(1)
+			resp = appendErr(resp[:0], err)
+			WriteFrame(w, resp)
+			w.Flush()
+			return
+		}
+		// A long-idle connection's lease may have been reaped; do not
+		// touch the slot bundle through a dead lease.
+		if !lease.Renew() {
+			s.busy.Add(1)
+			WriteFrame(w, []byte{StatusBusy})
+			w.Flush()
+			return
+		}
+		resp = s.serveRequest(resp[:0], lease, req)
+		if err := WriteFrame(w, resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+		if s.draining.Load() {
+			return // finish the in-flight request, then part cleanly
+		}
+	}
+}
+
+func (s *Server) serveRequest(dst []byte, l *slotpool.Lease, req Request) []byte {
+	switch req.Op {
+	case OpGet:
+		if v, ok := s.store.Get(l, req.Key); ok {
+			return appendU64(append(dst, StatusOK), v)
+		}
+		return append(dst, StatusNotFound)
+	case OpSet:
+		inserted, err := s.store.Set(l, req.Key, req.Value)
+		if err != nil {
+			return appendErr(dst, err)
+		}
+		var ins uint64
+		if inserted {
+			ins = 1
+		}
+		return appendU64(append(dst, StatusOK), ins)
+	case OpDel:
+		if s.store.Delete(l, req.Key) {
+			return append(dst, StatusOK)
+		}
+		return append(dst, StatusNotFound)
+	case OpCAS:
+		swapped, found := s.store.CompareAndSet(l, req.Key, req.Old, req.Value)
+		switch {
+		case !found:
+			return append(dst, StatusNotFound)
+		case !swapped:
+			return append(dst, StatusCASFail)
+		default:
+			return append(dst, StatusOK)
+		}
+	case OpStats:
+		body, err := json.Marshal(s.Stats())
+		if err != nil {
+			return appendErr(dst, err)
+		}
+		return append(append(dst, StatusOK), body...)
+	default:
+		return appendErr(dst, fmt.Errorf("unknown op %d", req.Op))
+	}
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return append(dst, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendErr(dst []byte, err error) []byte {
+	return append(append(dst, StatusErr), err.Error()...)
+}
+
+// Stats snapshots the server-side counters.
+func (s *Server) Stats() StatsReply {
+	return StatsReply{
+		Pool:        s.pool.Stats(),
+		ShardOps:    s.store.OpCounts(),
+		Conns:       s.curConns.Load(),
+		ConnsTotal:  s.connsTotal.Load(),
+		Busy:        s.busy.Load(),
+		ProtoErrors: s.protoErrors.Load(),
+	}
+}
+
+// Shutdown drains the server: stop accepting, nudge every connection
+// to finish its in-flight request and part, wait for handlers, drain
+// and close the slot pool, then audit every shard scheme.  The
+// returned error joins any audit violations — a clean shutdown is the
+// zero-leak proof the acceptance criteria ask for.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	// Connections blocked in ReadFrame wake up via the read deadline;
+	// handlers already mid-request notice the draining flag after
+	// responding.
+	deadline := time.Now().Add(50 * time.Millisecond)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	for conn := range s.conns {
+		conn.SetReadDeadline(deadline)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("server: handlers still running: %w", ctx.Err())
+	}
+
+	if err := s.pool.Drain(ctx); err != nil {
+		return err
+	}
+	s.pool.Close()
+
+	var errs []error
+	if v := s.pool.Stats().Violations; v > 0 {
+		errs = append(errs, fmt.Errorf("server: %d slot-reuse hygiene violations", v))
+	}
+	errs = append(errs, s.store.Audit()...)
+	return errors.Join(errs...)
+}

@@ -1,0 +1,203 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/core"
+	"wfrc/internal/ds/hashmap"
+	"wfrc/internal/mm"
+	"wfrc/internal/slotpool"
+)
+
+// StoreConfig parameterizes a sharded store.
+type StoreConfig struct {
+	// Shards is the number of independent shards (power of two, default
+	// 4).  Each shard owns its own arena and wait-free scheme instance,
+	// so shards never contend on announcement rows or free-lists.
+	Shards int
+	// Slots is the thread-slot count of every shard scheme — the
+	// paper's NR_THREADS, and the slotpool lease capacity (default 8).
+	Slots int
+	// NodesPerShard sizes each shard's arena (default 1<<16).
+	NodesPerShard int
+	// Buckets is each shard's hashmap bucket count (power of two,
+	// default 256).
+	Buckets int
+}
+
+func (c *StoreConfig) defaults() {
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.Slots == 0 {
+		c.Slots = 8
+	}
+	if c.NodesPerShard == 0 {
+		c.NodesPerShard = 1 << 16
+	}
+	if c.Buckets == 0 {
+		c.Buckets = 256
+	}
+}
+
+// Store is a sharded wait-free KV store.  Every operation runs on the
+// scheme thread that the caller's slotpool lease holds for the target
+// shard, so the store itself has no thread bookkeeping.
+type Store struct {
+	cfg    StoreConfig
+	shards []storeShard
+	mask   uint64
+}
+
+type storeShard struct {
+	scheme *core.Scheme
+	m      *hashmap.Map
+	ops    *atomic.Uint64 // pointer so storeShard stays copyable pre-start
+}
+
+// NewStore builds the shards.
+func NewStore(cfg StoreConfig) (*Store, error) {
+	cfg.defaults()
+	if cfg.Shards&(cfg.Shards-1) != 0 || cfg.Shards < 1 {
+		return nil, fmt.Errorf("server: Shards must be a power of two, got %d", cfg.Shards)
+	}
+	st := &Store{cfg: cfg, mask: uint64(cfg.Shards - 1)}
+	for i := 0; i < cfg.Shards; i++ {
+		ar, err := arena.New(arena.Config{
+			Nodes:        cfg.NodesPerShard,
+			LinksPerNode: 1,
+			ValsPerNode:  2,
+			RootLinks:    cfg.Buckets + 2,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: shard %d arena: %w", i, err)
+		}
+		s, err := core.New(ar, core.Config{Threads: cfg.Slots})
+		if err != nil {
+			return nil, fmt.Errorf("server: shard %d scheme: %w", i, err)
+		}
+		m, err := hashmap.New(s, hashmap.Config{Buckets: cfg.Buckets})
+		if err != nil {
+			return nil, fmt.Errorf("server: shard %d map: %w", i, err)
+		}
+		st.shards = append(st.shards, storeShard{scheme: s, m: m, ops: new(atomic.Uint64)})
+	}
+	return st, nil
+}
+
+// Schemes returns the shard schemes in shard order — exactly the
+// bundle a slotpool over this store must be built from.
+func (st *Store) Schemes() []mm.Scheme {
+	out := make([]mm.Scheme, len(st.shards))
+	for i := range st.shards {
+		out[i] = st.shards[i].scheme
+	}
+	return out
+}
+
+// CoreSchemes returns the shard schemes with their concrete type, for
+// audits and observability attachment.
+func (st *Store) CoreSchemes() []*core.Scheme {
+	out := make([]*core.Scheme, len(st.shards))
+	for i := range st.shards {
+		out[i] = st.shards[i].scheme
+	}
+	return out
+}
+
+// Shards returns the shard count.
+func (st *Store) Shards() int { return len(st.shards) }
+
+// Shard maps a key to its shard index.  The mix constant differs from
+// the hashmap's Fibonacci multiplier so shard and bucket selection stay
+// decorrelated (otherwise each shard would only ever populate a
+// 1/Shards slice of its buckets).
+func (st *Store) Shard(key uint64) int {
+	key ^= key >> 33
+	key *= 0xff51afd7ed558ccd
+	return int((key >> 33) & st.mask)
+}
+
+// Get reads key using the lease's thread for its shard.
+func (st *Store) Get(l *slotpool.Lease, key uint64) (uint64, bool) {
+	sh := st.Shard(key)
+	st.shards[sh].ops.Add(1)
+	return st.shards[sh].m.Get(l.Thread(sh), key)
+}
+
+// Set upserts key→value; it reports whether a new entry was inserted.
+func (st *Store) Set(l *slotpool.Lease, key, value uint64) (bool, error) {
+	sh := st.Shard(key)
+	st.shards[sh].ops.Add(1)
+	return st.shards[sh].m.Set(l.Thread(sh), key, value)
+}
+
+// Delete removes key, reporting whether it was present.
+func (st *Store) Delete(l *slotpool.Lease, key uint64) bool {
+	sh := st.Shard(key)
+	st.shards[sh].ops.Add(1)
+	return st.shards[sh].m.Delete(l.Thread(sh), key)
+}
+
+// CompareAndSet replaces key's value with new iff it equals old.
+func (st *Store) CompareAndSet(l *slotpool.Lease, key, old, new uint64) (swapped, found bool) {
+	sh := st.Shard(key)
+	st.shards[sh].ops.Add(1)
+	return st.shards[sh].m.CompareAndSet(l.Thread(sh), key, old, new)
+}
+
+// OpCounts returns the per-shard operation counters.
+func (st *Store) OpCounts() []uint64 {
+	out := make([]uint64, len(st.shards))
+	for i := range st.shards {
+		out[i] = st.shards[i].ops.Load()
+	}
+	return out
+}
+
+// Len counts live entries across shards.  Quiescence only.
+func (st *Store) Len() int {
+	total := 0
+	for i := range st.shards {
+		n := st.shards[i].m.Len()
+		if n < 0 {
+			return -1
+		}
+		total += n
+	}
+	return total
+}
+
+// Audit runs every shard scheme's reference-counting and
+// announcement-row audit.  Quiescence only: the slotpool over this
+// store must be drained and closed first, so live entries are the only
+// legitimately referenced nodes (they are link-held, which the arena
+// audit accounts for by itself — extraRefs stays nil).
+func (st *Store) Audit() []error {
+	var errs []error
+	for i := range st.shards {
+		for _, err := range st.shards[i].scheme.Audit(nil) {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	return errs
+}
+
+// WriteProm writes the per-shard op counters in Prometheus text
+// format.
+func (st *Store) WriteProm(w io.Writer) error {
+	const name = "wfrc_server_shard_ops_total"
+	if _, err := fmt.Fprintf(w, "# HELP %s Store operations routed to each shard.\n# TYPE %s counter\n",
+		name, name); err != nil {
+		return err
+	}
+	for i, n := range st.OpCounts() {
+		if _, err := fmt.Fprintf(w, "%s{shard=\"%d\"} %d\n", name, i, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package slotpool
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// waitHistBuckets is the bucket count of the lease-wait histogram:
+// factor-of-two microsecond buckets from 1µs up, last bucket +Inf.
+const waitHistBuckets = 24
+
+// waitHist is a concurrent log2 histogram of lease-wait durations.
+// Unlike harness.Histogram it is built from atomics, because leases are
+// granted from many goroutines at once.
+type waitHist struct {
+	buckets [waitHistBuckets]atomic.Uint64
+	sumNs   atomic.Int64
+}
+
+func (h *waitHist) record(d time.Duration) {
+	us := d.Microseconds()
+	b := 0
+	for b < waitHistBuckets-1 && us >= int64(1)<<b {
+		b++
+	}
+	h.buckets[b].Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// Record adds one observation.
+func (h *waitHist) Record(d time.Duration) { h.record(d) }
+
+// snapshot copies the bucket counts.
+func (h *waitHist) snapshot() (buckets [waitHistBuckets]uint64, sumNs int64) {
+	for i := range h.buckets {
+		buckets[i] = h.buckets[i].Load()
+	}
+	return buckets, h.sumNs.Load()
+}
+
+// quantile returns an upper bound on the q-quantile wait (the upper
+// edge of the bucket containing it), in nanoseconds.
+func quantile(buckets [waitHistBuckets]uint64, q float64) float64 {
+	var total uint64
+	for _, c := range buckets {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range buckets {
+		cum += c
+		if cum >= rank {
+			if i == waitHistBuckets-1 {
+				return math.Inf(1)
+			}
+			return float64(int64(1)<<i) * 1e3 // bucket upper edge, µs→ns
+		}
+	}
+	return math.Inf(1)
+}
+
+// poolMetrics is the pool's internal counter block.
+type poolMetrics struct {
+	slots       atomic.Int64 // configured slot count (constant gauge)
+	leased      atomic.Int64 // currently leased slots (gauge)
+	leases      atomic.Uint64
+	releases    atomic.Uint64
+	expiries    atomic.Uint64
+	timeouts    atomic.Uint64
+	cancels     atomic.Uint64
+	dirty       atomic.Uint64 // audits that saw a transiently dirty row
+	violations  atomic.Uint64 // audits that saw a live announcement (hygiene violation)
+	quarantined atomic.Int64  // slots currently quarantined (gauge)
+	waits       waitHist
+}
+
+// Stats is a point-in-time snapshot of the pool's counters, shaped for
+// JSON (the server's STATS protocol op returns it verbatim).
+type Stats struct {
+	Slots       int64   `json:"slots"`
+	Leased      int64   `json:"leased"`
+	Leases      uint64  `json:"leases"`
+	Releases    uint64  `json:"releases"`
+	Expiries    uint64  `json:"expiries"`
+	Timeouts    uint64  `json:"timeouts"`
+	Cancels     uint64  `json:"cancels"`
+	AuditDirty  uint64  `json:"audit_dirty"`
+	Violations  uint64  `json:"audit_violations"`
+	Quarantined int64   `json:"quarantined"`
+	WaitP50Ns   float64 `json:"wait_p50_ns"`
+	WaitP99Ns   float64 `json:"wait_p99_ns"`
+	WaitMeanNs  float64 `json:"wait_mean_ns"`
+}
+
+// Stats snapshots the pool's counters.
+func (p *Pool) Stats() Stats {
+	buckets, sumNs := p.m.waits.snapshot()
+	var count uint64
+	for _, c := range buckets {
+		count += c
+	}
+	st := Stats{
+		Slots:       p.m.slots.Load(),
+		Leased:      p.m.leased.Load(),
+		Leases:      p.m.leases.Load(),
+		Releases:    p.m.releases.Load(),
+		Expiries:    p.m.expiries.Load(),
+		Timeouts:    p.m.timeouts.Load(),
+		Cancels:     p.m.cancels.Load(),
+		AuditDirty:  p.m.dirty.Load(),
+		Violations:  p.m.violations.Load(),
+		Quarantined: p.m.quarantined.Load(),
+		WaitP50Ns:   quantile(buckets, 0.50),
+		WaitP99Ns:   quantile(buckets, 0.99),
+	}
+	if count > 0 {
+		st.WaitMeanNs = float64(sumNs) / float64(count)
+	}
+	return st
+}
+
+// WriteProm writes the pool's metrics in Prometheus text exposition
+// format (families wfrc_slotpool_*), matching the style of
+// internal/obs.  It is registered on the obs HTTP server through
+// obs.Server.AddProm.
+func (p *Pool) WriteProm(w io.Writer) error {
+	st := p.Stats()
+	gauges := []struct {
+		name, help string
+		v          int64
+	}{
+		{"wfrc_slotpool_slots", "Configured leasable slot count.", st.Slots},
+		{"wfrc_slotpool_leased", "Slots currently leased.", st.Leased},
+		{"wfrc_slotpool_quarantined", "Slots currently quarantined by the reuse audit.", st.Quarantined},
+	}
+	for _, g := range gauges {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
+			g.name, g.help, g.name, g.name, g.v); err != nil {
+			return err
+		}
+	}
+	counters := []struct {
+		name, help string
+		v          uint64
+	}{
+		{"wfrc_slotpool_leases_total", "Leases granted.", st.Leases},
+		{"wfrc_slotpool_releases_total", "Leases released by their holders.", st.Releases},
+		{"wfrc_slotpool_expiries_total", "Leases revoked by the TTL reaper.", st.Expiries},
+		{"wfrc_slotpool_timeouts_total", "Lease waits that hit MaxWait (backpressure).", st.Timeouts},
+		{"wfrc_slotpool_cancels_total", "Lease waits abandoned via context cancellation.", st.Cancels},
+		{"wfrc_slotpool_audit_dirty_total", "Reuse audits that found a persistently pinned row (slot quarantined).", st.AuditDirty},
+		{"wfrc_slotpool_audit_violations_total", "Reuse audits that found a live announcement (hygiene violation).", st.Violations},
+	}
+	for _, c := range counters {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			c.name, c.help, c.name, c.name, c.v); err != nil {
+			return err
+		}
+	}
+	const hname = "wfrc_slotpool_lease_wait_seconds"
+	if _, err := fmt.Fprintf(w, "# HELP %s Time from lease request to grant.\n# TYPE %s histogram\n",
+		hname, hname); err != nil {
+		return err
+	}
+	buckets, sumNs := p.m.waits.snapshot()
+	var cum uint64
+	for i, c := range buckets {
+		cum += c
+		le := "+Inf"
+		if i < waitHistBuckets-1 {
+			le = fmt.Sprintf("%g", float64(int64(1)<<i)/1e6) // µs upper edge in seconds
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", hname, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n",
+		hname, float64(sumNs)/1e9, hname, cum); err != nil {
+		return err
+	}
+	return nil
+}
