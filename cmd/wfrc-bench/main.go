@@ -5,6 +5,7 @@
 //
 //	wfrc-bench [-exp e1,e2,...] [-threads N] [-ops N] [-schemes a,b] [-quick] [-list]
 //	wfrc-bench -validate BENCH_results.json
+//	wfrc-bench -validate-flight wfrc-kv-flight.json
 //
 // With no flags it runs every experiment at default size, which takes a
 // few minutes on a laptop-class machine, and writes the machine-readable
@@ -41,6 +42,7 @@ func main() {
 		csvOut     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut    = flag.String("json", "BENCH_results.json", "write machine-readable results here ('' disables)")
 		validate   = flag.String("validate", "", "validate an existing results file and exit")
+		validateFl = flag.String("validate-flight", "", "validate a wfrc-kv flight-recorder dump and exit (requires a span↔help join)")
 		obsAddr    = flag.String("obs-addr", "", "serve /metrics, /trace and /debug/pprof on this address during the run")
 		traceN     = flag.Int("trace", 0, "ring-buffer the most recent N help events for /trace (0 disables)")
 	)
@@ -48,6 +50,9 @@ func main() {
 
 	if *validate != "" {
 		os.Exit(validateFile(*validate))
+	}
+	if *validateFl != "" {
+		os.Exit(validateFlight(*validateFl))
 	}
 
 	if *list {
@@ -170,5 +175,37 @@ func validateFile(path string) int {
 	fmt.Printf("%s: schema v%d, %d data points%s, generated %s on %s/%s (go %s), 0 violations\n",
 		path, rep.SchemaVersion, len(rep.Results), serverNote, rep.GeneratedAt,
 		rep.Host.GOOS, rep.Host.GOARCH, rep.Host.GoVersion)
+	return 0
+}
+
+// validateFlight implements -validate-flight: schema-check a
+// flight-recorder dump and require that it demonstrates the span↔help
+// join — at least one span, and at least one help event whose helpee
+// span ID matches a span in the dump.  CI's kv-trace job gates on it.
+func validateFlight(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	d, err := obs.ValidateFlightDump(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+		return 1
+	}
+	if len(d.Spans) == 0 {
+		fmt.Fprintf(os.Stderr, "%s: dump contains no spans\n", path)
+		return 1
+	}
+	joined := d.JoinedHelps()
+	if len(joined) == 0 {
+		fmt.Fprintf(os.Stderr, "%s: no help event joins a recorded span (%d spans, %d help events) — span tagging is broken or no helping occurred\n",
+			path, len(d.Spans), len(d.HelpEvents))
+		return 1
+	}
+	ev := joined[0]
+	fmt.Printf("%s: %s, %d spans (%d total), %d help events (%d total), %d joined — e.g. slot %d helped slot %d's span %d\n",
+		path, obs.FlightDumpSchema, len(d.Spans), d.TotalSpans, len(d.HelpEvents), d.TotalHelps,
+		len(joined), ev.Helper, ev.Helpee, ev.HelpeeSpan)
 	return 0
 }

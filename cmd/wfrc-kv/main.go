@@ -4,7 +4,15 @@
 // thread slots through the internal/slotpool lease layer.
 //
 //	wfrc-kv -addr :7700 -shards 4 -slots 8
-//	wfrc-kv -addr :7700 -obs-addr :7701       # plus /metrics etc.
+//	wfrc-kv -addr :7700 -obs-addr :7701       # plus /metrics, /trace, /spans
+//
+// Tracing is always on: every request gets a span in a wait-free flight
+// recorder (-spans bounds the window), every help event lands in a ring
+// (-trace) stamped with the helper's and helpee's active span IDs, and
+// per-op×shard latency histograms are exported on /metrics.  SIGQUIT
+// dumps the flight recorder (spans joined with help events) to
+// -flight-dump without stopping the server; a failed shutdown audit
+// dumps it too, so the evidence survives the crash.
 //
 // On SIGTERM or SIGINT the server drains gracefully — in-flight
 // requests finish, leases are released, every shard scheme is audited —
@@ -24,6 +32,7 @@ import (
 	"time"
 
 	"wfrc/internal/chaos"
+	"wfrc/internal/core"
 	"wfrc/internal/obs"
 	"wfrc/internal/server"
 	"wfrc/internal/slotpool"
@@ -47,6 +56,11 @@ func run() int {
 		chaosSeed  = flag.Int64("chaos-seed", 0, "seed for lease-lifecycle chaos injection")
 		chaosDelay = flag.Float64("chaos-delay-prob", 0, "probability of an injected spin delay at each lease hook point")
 		chaosYield = flag.Float64("chaos-gosched-prob", 0, "probability of an injected preemption storm at each lease hook point")
+		traceN     = flag.Int("trace", 4096, "help-event ring capacity (0 disables help tracing)")
+		helpStir   = flag.Int("help-stir", 0, "testing aid: stall every Nth announcement window (core line D4) for a few µs so the helping path actually fires under load; 0 disables")
+		spansN     = flag.Int("spans", 8192, "flight-recorder capacity in completed request spans (0 disables span tracing)")
+		flightPath = flag.String("flight-dump", "wfrc-kv-flight.json", "flight-recorder dump destination for SIGQUIT/audit-failure (\"-\" = stderr)")
+		profLabels = flag.Bool("pprof-labels", true, "attach pprof labels (op, shard) to request handling")
 	)
 	flag.Parse()
 
@@ -69,10 +83,85 @@ func run() int {
 		cfg.Hook = func(slotpool.Point) { inj.Perturb() }
 	}
 
+	var ring *obs.TraceRing
+	if *traceN > 0 {
+		ring = obs.NewTraceRing(*traceN)
+	}
+	var spans *obs.SpanTracer
+	if *spansN > 0 {
+		spans = obs.NewSpanTracer(*slots, *spansN, server.OpNames, server.StatusNames)
+		cfg.Spans = spans
+	}
+	cfg.ProfLabels = *profLabels
+
 	srv, err := server.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
+	}
+	if ring != nil {
+		// Every shard's help events land in the one ring; the span IDs
+		// carried as thread tags make them joinable against /spans.
+		for _, cs := range srv.Store().CoreSchemes() {
+			if cs != nil {
+				cs.SetHelpTracer(ring.CoreTracer())
+			}
+		}
+	}
+	if *helpStir > 0 {
+		// The natural D3..D6 announcement window is a few nanoseconds, so
+		// helping is vanishingly rare in a smoke run.  Stirring parks the
+		// announcer briefly inside the window on every Nth dereference,
+		// giving a contending CASLink time to find and answer the
+		// announcement (H1..H6) — CI's trace job uses it to prove the
+		// span↔help join end to end.  Hooks must be installed before any
+		// connection runs on the threads.
+		for shard := range srv.Store().CoreSchemes() {
+			for _, th := range srv.Pool().SlotThreads(shard) {
+				hs, ok := th.(interface{ SetHook(func(core.Point)) })
+				if !ok {
+					continue
+				}
+				n := 0
+				hs.SetHook(func(p core.Point) {
+					if p == core.PD4 {
+						if n++; n%*helpStir == 0 {
+							time.Sleep(20 * time.Microsecond)
+						}
+					}
+				})
+			}
+		}
+	}
+
+	// dumpFlight writes the flight recorder (recent spans joined with
+	// recent help events) to -flight-dump.
+	dumpFlight := func(reason string) {
+		if spans == nil {
+			return
+		}
+		if *flightPath == "-" {
+			fmt.Fprintf(os.Stderr, "wfrc-kv: flight dump (%s):\n", reason)
+			if err := obs.WriteFlightDump(os.Stderr, spans, ring); err != nil {
+				fmt.Fprintf(os.Stderr, "wfrc-kv: flight dump: %v\n", err)
+			}
+			return
+		}
+		f, err := os.Create(*flightPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wfrc-kv: flight dump: %v\n", err)
+			return
+		}
+		werr := obs.WriteFlightDump(f, spans, ring)
+		cerr := f.Close()
+		if werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "wfrc-kv: flight dump: %v\n", werr)
+			return
+		}
+		fmt.Printf("wfrc-kv: flight recorder dumped to %s (%s)\n", *flightPath, reason)
 	}
 
 	if *obsAddr != "" {
@@ -85,14 +174,16 @@ func run() int {
 			cs := cs
 			collector.AttachGauge("wfrc_ann_scan_violations", scheme, func() uint64 { return cs.AnnScanViolations() })
 		}
-		osrv, err := obs.Serve(*obsAddr, collector, nil)
+		osrv, err := obs.Serve(*obsAddr, collector, ring)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "obs: %v\n", err)
 			return 1
 		}
 		defer osrv.Close()
+		osrv.SetSpans(spans)
 		osrv.AddProm(srv.Pool().WriteProm)
 		osrv.AddProm(srv.Store().WriteProm)
+		osrv.AddProm(srv.Hists().WriteProm)
 		fmt.Printf("observability: http://%s/metrics\n", osrv.Addr())
 	}
 
@@ -106,6 +197,13 @@ func run() int {
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			dumpFlight("SIGQUIT")
+		}
+	}()
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
@@ -124,6 +222,9 @@ func run() int {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "wfrc-kv: shutdown audit FAILED: %v\n", err)
+		// Keep the evidence: the flight recorder's recent spans and help
+		// events are the post-mortem for whatever leaked.
+		dumpFlight("audit failure")
 		return 1
 	}
 	st := srv.Stats()

@@ -7,7 +7,7 @@
 // protocol op.
 //
 //	wfrc-load -addr 127.0.0.1:7700 -conns 32 -duration 10s
-//	wfrc-load -addr 127.0.0.1:7700 -out BENCH_results.json   # schema-v2 report
+//	wfrc-load -addr 127.0.0.1:7700 -out BENCH_results.json   # schema-v3 report
 //
 // The exit code is nonzero if the server reported any slot-reuse audit
 // violations, so CI can gate on it directly.
@@ -47,6 +47,7 @@ func run() int {
 
 	type workerResult struct {
 		hist      harness.Histogram
+		opHists   [4]harness.Histogram // get, set, del, cas
 		ops       uint64
 		busy      uint64
 		errs      uint64
@@ -93,15 +94,20 @@ func run() int {
 				for i := 0; i < *perConn && time.Now().Before(deadline); i++ {
 					k := pick()
 					var err error
+					var opIdx int
 					t0 := time.Now()
 					switch p := rng.Float64(); {
 					case p < *reads:
+						opIdx = 0
 						_, _, err = c.Get(k)
 					case p < *reads+(1-*reads)*0.6:
+						opIdx = 1
 						_, err = c.Set(k, k^0xdead)
 					case p < *reads+(1-*reads)*0.85:
+						opIdx = 2
 						_, err = c.Delete(k)
 					default:
+						opIdx = 3
 						_, _, err = c.CompareAndSet(k, k^0xdead, k^0xbeef)
 					}
 					if err != nil {
@@ -116,7 +122,9 @@ func run() int {
 						c = nil
 						break
 					}
-					res.hist.Record(time.Since(t0))
+					d := time.Since(t0)
+					res.hist.Record(d)
+					res.opHists[opIdx].Record(d)
 					res.ops++
 				}
 				// Churn: hand the slot lease back so another connection
@@ -132,10 +140,14 @@ func run() int {
 	elapsed := time.Since(start)
 
 	var merged harness.Histogram
+	var mergedOps [4]harness.Histogram
 	var ops, busy, errCount uint64
 	var lastErr error
 	for i := range results {
 		merged.Merge(&results[i].hist)
+		for j := range mergedOps {
+			mergedOps[j].Merge(&results[i].opHists[j])
+		}
 		ops += results[i].ops
 		busy += results[i].busy
 		errCount += results[i].errs
@@ -155,27 +167,46 @@ func run() int {
 	}
 
 	sec := &obs.BenchServer{
-		Connections:    *conns,
-		Slots:          int(stats.Pool.Slots),
-		Ops:            ops,
-		ElapsedNS:      elapsed.Nanoseconds(),
-		OpsPerSec:      float64(ops) / elapsed.Seconds(),
-		LatencyP50NS:   uint64(merged.Quantile(0.50)),
-		LatencyP99NS:   uint64(merged.Quantile(0.99)),
-		LatencyMaxNS:   uint64(merged.Max()),
-		LeaseWaitP50NS: stats.Pool.WaitP50Ns,
-		LeaseWaitP99NS: stats.Pool.WaitP99Ns,
-		BusyRejects:    busy + stats.Busy,
-		Expiries:       stats.Pool.Expiries,
-
+		Connections:     *conns,
+		Slots:           int(stats.Pool.Slots),
+		Ops:             ops,
+		ElapsedNS:       elapsed.Nanoseconds(),
+		OpsPerSec:       float64(ops) / elapsed.Seconds(),
+		LatencyP50NS:    uint64(merged.Quantile(0.50)),
+		LatencyP99NS:    uint64(merged.Quantile(0.99)),
+		LatencyP999NS:   uint64(merged.Quantile(0.999)),
+		LatencyMaxNS:    uint64(merged.Max()),
+		OpLatency:       map[string]obs.BenchOpLatency{},
+		LeaseWaitP50NS:  stats.Pool.WaitP50Ns,
+		LeaseWaitP99NS:  stats.Pool.WaitP99Ns,
+		BusyRejects:     busy + stats.Busy,
+		Expiries:        stats.Pool.Expiries,
 		AuditViolations: stats.Pool.Violations,
+	}
+	opNames := [4]string{"get", "set", "del", "cas"}
+	for j, name := range opNames {
+		h := &mergedOps[j]
+		sec.OpLatency[name] = obs.BenchOpLatency{
+			Count:  h.Count(),
+			P50NS:  uint64(h.Quantile(0.50)),
+			P99NS:  uint64(h.Quantile(0.99)),
+			P999NS: uint64(h.Quantile(0.999)),
+			MaxNS:  uint64(h.Max()),
+		}
 	}
 	sec.SetShardOps(stats.ShardOps)
 
 	fmt.Printf("wfrc-load: %d conns over %d slots, %.0f ops/s (%d ops in %v)\n",
 		sec.Connections, sec.Slots, sec.OpsPerSec, ops, elapsed.Round(time.Millisecond))
-	fmt.Printf("  latency p50=%v p99=%v max=%v\n",
-		time.Duration(sec.LatencyP50NS), time.Duration(sec.LatencyP99NS), time.Duration(sec.LatencyMaxNS))
+	fmt.Printf("  latency p50=%v p99=%v p999=%v max=%v\n",
+		time.Duration(sec.LatencyP50NS), time.Duration(sec.LatencyP99NS),
+		time.Duration(sec.LatencyP999NS), time.Duration(sec.LatencyMaxNS))
+	for _, name := range opNames {
+		ol := sec.OpLatency[name]
+		fmt.Printf("  %-5s n=%-8d p50=%v p99=%v p999=%v max=%v\n", name, ol.Count,
+			time.Duration(ol.P50NS), time.Duration(ol.P99NS),
+			time.Duration(ol.P999NS), time.Duration(ol.MaxNS))
+	}
 	fmt.Printf("  lease wait p50=%v p99=%v; busy rejects=%d, expiries=%d, client errors=%d\n",
 		time.Duration(sec.LeaseWaitP50NS), time.Duration(sec.LeaseWaitP99NS), sec.BusyRejects, sec.Expiries, errCount)
 	fmt.Printf("  shard ops=%v balance=%.3f; audit violations=%d\n",
@@ -191,7 +222,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "wfrc-load: %v\n", err)
 			return 1
 		}
-		fmt.Printf("  wrote %s (schema v%d)\n", *out, rep.SchemaVersion)
+		fmt.Printf("  wrote %s (schema v%d, per-op latency included)\n", *out, rep.SchemaVersion)
 	}
 	if sec.AuditViolations > 0 {
 		fmt.Fprintf(os.Stderr, "wfrc-load: server reported %d slot-reuse audit violations\n", sec.AuditViolations)

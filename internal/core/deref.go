@@ -151,7 +151,10 @@ func (t *Thread) HelpDeRef(l mm.LinkID) {
 			} else {
 				t.stats.HelpsGiven++
 				if fn := s.helpTracer.Load(); fn != nil {
-					(*fn)(HelpEvent{Helper: t.id, Helpee: id, Slot: int(index), Link: l})
+					(*fn)(HelpEvent{
+						Helper: t.id, Helpee: id, Slot: int(index), Link: l,
+						HelperTag: s.tags[t.id].Load(), HelpeeTag: s.tags[id].Load(),
+					})
 				}
 			}
 		}()

@@ -126,6 +126,13 @@ type Scheme struct {
 	// (see SetHelpTracer).
 	helpTracer atomic.Pointer[func(HelpEvent)]
 
+	// tags holds one request tag per thread slot (see SetThreadTag).
+	// The tags are opaque to the scheme; the observability layer stores
+	// the active request-span ID of the goroutine currently operating
+	// through each slot, and help events carry both parties' tags so a
+	// help can be joined back to the requests it involved.
+	tags []atomic.Uint64
+
 	// legacyAnnIndex reverts the annRow.index lifecycle to its pre-fix
 	// behaviour for schedule-exploration tests (see
 	// TestingSetLegacyAnnIndex).  Never set in production.
@@ -148,6 +155,13 @@ type HelpEvent struct {
 	// Link is the announced link that was dereferenced on the helpee's
 	// behalf.
 	Link mm.LinkID
+	// HelperTag and HelpeeTag are the thread tags (SetThreadTag) of the
+	// two parties as of the answer CAS — in the KV stack, the request
+	// span IDs of the helper's and the helpee's in-flight requests (0 if
+	// untagged).  They make "whose request paid for this help, and whose
+	// request was rescued by it" a joinable question.
+	HelperTag uint64
+	HelpeeTag uint64
 }
 
 // SetHelpTracer installs fn to be invoked after every successful H6
@@ -163,6 +177,26 @@ func (s *Scheme) SetHelpTracer(fn func(HelpEvent)) {
 		return
 	}
 	s.helpTracer.Store(&fn)
+}
+
+// SetThreadTag associates an opaque tag with thread slot id, read back
+// into HelpEvent.HelperTag/HelpeeTag when a help involving that slot is
+// traced.  The KV server stores the active request-span ID here for the
+// duration of each request (and clears it with tag 0 after), so a
+// recorded help joins both participating requests.  One atomic store;
+// safe to call concurrently with running threads.
+func (s *Scheme) SetThreadTag(id int, tag uint64) {
+	if id >= 0 && id < len(s.tags) {
+		s.tags[id].Store(tag)
+	}
+}
+
+// ThreadTag returns the tag last set for thread slot id (0 if none).
+func (s *Scheme) ThreadTag(id int) uint64 {
+	if id >= 0 && id < len(s.tags) {
+		return s.tags[id].Load()
+	}
+	return 0
 }
 
 // New creates a wait-free reference-counting scheme over ar.  All of the
@@ -187,6 +221,7 @@ func New(ar *arena.Arena, cfg Config) (*Scheme, error) {
 		freeList: make([]padU64, 2*n),
 		annAlloc: make([]padU64, n),
 		regUsed:  make([]bool, n),
+		tags:     make([]atomic.Uint64, n),
 	}
 	for i := range s.ann {
 		s.ann[i].slots = make([]annSlot, n)

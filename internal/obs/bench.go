@@ -17,8 +17,13 @@ import (
 // Version 2 adds the optional "server" section (BenchServer) emitted by
 // wfrc-load, and permits "results" to be empty when "server" is present
 // (a pure load-generator report has no per-scheme experiment results).
-// Version 1 documents remain valid.
-const BenchSchemaVersion = 2
+// Version 3 adds the latency trajectory to the server section:
+// "latency_p999_ns" plus "op_latency", per-op client-side latency
+// quantiles (BenchOpLatency), so BENCH_*.json files carry a per-op
+// latency distribution — the place Brown's critique says reclamation
+// overheads hide — not just throughput averages.  Version 1 and 2
+// documents remain valid.
+const BenchSchemaVersion = 3
 
 // BenchStepStats summarizes one per-operation step distribution (the
 // quantity Lemmas 2 and 9 bound) for one data point: quantiles read off
@@ -65,9 +70,15 @@ type BenchServer struct {
 	ElapsedNS int64   `json:"elapsed_ns"`
 	OpsPerSec float64 `json:"ops_per_sec"`
 
-	LatencyP50NS uint64 `json:"latency_p50_ns"`
-	LatencyP99NS uint64 `json:"latency_p99_ns"`
-	LatencyMaxNS uint64 `json:"latency_max_ns"`
+	LatencyP50NS  uint64 `json:"latency_p50_ns"`
+	LatencyP99NS  uint64 `json:"latency_p99_ns"`
+	LatencyP999NS uint64 `json:"latency_p999_ns"`
+	LatencyMaxNS  uint64 `json:"latency_max_ns"`
+
+	// OpLatency maps each protocol op ("get", "set", "del", "cas") to
+	// its client-side latency quantiles — the schema-v3 per-op latency
+	// trajectory.
+	OpLatency map[string]BenchOpLatency `json:"op_latency,omitempty"`
 
 	LeaseWaitP50NS float64 `json:"lease_wait_p50_ns"`
 	LeaseWaitP99NS float64 `json:"lease_wait_p99_ns"`
@@ -100,6 +111,16 @@ func (b *BenchServer) SetShardOps(ops []uint64) {
 	if sum > 0 {
 		b.ShardBalance = float64(max) * float64(len(ops)) / float64(sum)
 	}
+}
+
+// BenchOpLatency is one op's latency distribution in the schema-v3
+// "op_latency" map.
+type BenchOpLatency struct {
+	Count  uint64 `json:"count"`
+	P50NS  uint64 `json:"p50_ns"`
+	P99NS  uint64 `json:"p99_ns"`
+	P999NS uint64 `json:"p999_ns"`
+	MaxNS  uint64 `json:"max_ns"`
 }
 
 // BenchHost records the machine a report was generated on, so
@@ -216,6 +237,9 @@ var requiredServerKeys = []string{
 	"busy_rejects", "lease_expiries", "shard_balance", "audit_violations",
 }
 
+// requiredOpLatencyKeys are the keys of each v3 op_latency entry.
+var requiredOpLatencyKeys = []string{"count", "p50_ns", "p99_ns", "p999_ns", "max_ns"}
+
 // ValidateBenchJSON checks that data is a schema-valid BENCH_results
 // document — correct schema version, host provenance present, at least
 // one result, and every required key present with the right JSON type —
@@ -236,8 +260,8 @@ func ValidateBenchJSON(data []byte) (*BenchReport, error) {
 	if err := json.Unmarshal(raw["schema_version"], &version); err != nil {
 		return nil, fmt.Errorf("bench json: schema_version: %w", err)
 	}
-	if version != 1 && version != BenchSchemaVersion {
-		return nil, fmt.Errorf("bench json: schema_version %d, want 1 or %d", version, BenchSchemaVersion)
+	if version < 1 || version > BenchSchemaVersion {
+		return nil, fmt.Errorf("bench json: schema_version %d, want 1..%d", version, BenchSchemaVersion)
 	}
 	serverRaw, hasServer := raw["server"]
 	if hasServer && version < 2 {
@@ -316,6 +340,43 @@ func ValidateBenchJSON(data []byte) (*BenchReport, error) {
 		var shardOps []uint64
 		if err := json.Unmarshal(ops, &shardOps); err != nil {
 			return nil, fmt.Errorf("bench json: server.shard_ops: want array of numbers")
+		}
+
+		// Schema-v3 latency trajectory: required at v3, forbidden below
+		// (a v2 document carrying v3 keys is mislabelled, and a silent
+		// pass would let the version constant rot).
+		opLatRaw, hasOpLat := server["op_latency"]
+		_, hasP999 := server["latency_p999_ns"]
+		if version < 3 {
+			if hasOpLat {
+				return nil, fmt.Errorf("bench json: server.op_latency requires schema_version 3, document has %d", version)
+			}
+		} else {
+			if !hasP999 {
+				return nil, fmt.Errorf("bench json: server: missing key \"latency_p999_ns\" (required at schema_version 3)")
+			}
+			if !hasOpLat {
+				return nil, fmt.Errorf("bench json: server: missing key \"op_latency\" (required at schema_version 3)")
+			}
+			var opLat map[string]map[string]json.RawMessage
+			if err := json.Unmarshal(opLatRaw, &opLat); err != nil {
+				return nil, fmt.Errorf("bench json: server.op_latency: want object of objects: %w", err)
+			}
+			if len(opLat) == 0 {
+				return nil, fmt.Errorf("bench json: server.op_latency is empty")
+			}
+			for op, fields := range opLat {
+				for _, key := range requiredOpLatencyKeys {
+					v, ok := fields[key]
+					if !ok {
+						return nil, fmt.Errorf("bench json: server.op_latency[%q]: missing key %q", op, key)
+					}
+					var n float64
+					if err := json.Unmarshal(v, &n); err != nil {
+						return nil, fmt.Errorf("bench json: server.op_latency[%q].%s: want number", op, key)
+					}
+				}
+			}
 		}
 	}
 

@@ -95,12 +95,16 @@ func mutateJSON(t *testing.T, fn func(doc map[string]interface{})) []byte {
 	return out
 }
 
-// sampleServerSection builds a plausible v2 server section.
+// sampleServerSection builds a plausible v3 server section.
 func sampleServerSection() *BenchServer {
 	srv := &BenchServer{
 		Connections: 16, Slots: 4,
 		Ops: 5000, ElapsedNS: int64(time.Second), OpsPerSec: 5000,
-		LatencyP50NS: 40_000, LatencyP99NS: 900_000, LatencyMaxNS: 2_000_000,
+		LatencyP50NS: 40_000, LatencyP99NS: 900_000, LatencyP999NS: 1_500_000, LatencyMaxNS: 2_000_000,
+		OpLatency: map[string]BenchOpLatency{
+			"get": {Count: 3000, P50NS: 30_000, P99NS: 700_000, P999NS: 1_000_000, MaxNS: 1_500_000},
+			"set": {Count: 2000, P50NS: 60_000, P99NS: 900_000, P999NS: 1_500_000, MaxNS: 2_000_000},
+		},
 		LeaseWaitP50NS: 1000, LeaseWaitP99NS: 64_000,
 		BusyRejects: 3,
 	}
@@ -132,6 +136,34 @@ func TestValidateBenchJSONServerSection(t *testing.T) {
 	data, _ = json.Marshal(rep)
 	if _, err := ValidateBenchJSON(data); err != nil {
 		t.Fatalf("combined report rejected: %v", err)
+	}
+	if got.Server.OpLatency["get"].Count != 3000 || got.Server.LatencyP999NS != 1_500_000 {
+		t.Fatalf("v3 latency fields lost in round trip: %+v", got.Server)
+	}
+}
+
+// TestValidateBenchJSONAcceptsV2 pins backward compatibility for the
+// pre-latency server section: a schema_version 2 document without
+// op_latency must keep validating, and must not be allowed to smuggle
+// the v3 keys in.
+func TestValidateBenchJSONAcceptsV2(t *testing.T) {
+	rep := NewBenchReport(false)
+	rep.SchemaVersion = 2
+	rep.Server = sampleServerSection()
+	rep.Server.OpLatency = nil // omitted via omitempty — a genuine v2 doc
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateBenchJSON(data); err != nil {
+		t.Fatalf("v2 server document rejected: %v", err)
+	}
+
+	// A v2 document carrying op_latency is mislabelled.
+	rep.Server = sampleServerSection()
+	data, _ = json.Marshal(rep)
+	if _, err := ValidateBenchJSON(data); err == nil {
+		t.Fatal("v2 document with op_latency accepted")
 	}
 }
 
@@ -201,6 +233,35 @@ func TestValidateBenchJSONRejects(t *testing.T) {
 			srv["shard_ops"] = "lots"
 			d["server"] = srv
 		}), "shard_ops: want array"},
+		{"v3 server missing op_latency", mutateJSON(t, func(d map[string]interface{}) {
+			data, _ := json.Marshal(sampleServerSection())
+			var srv map[string]interface{}
+			json.Unmarshal(data, &srv)
+			delete(srv, "op_latency")
+			d["server"] = srv
+		}), `missing key "op_latency"`},
+		{"v3 server missing latency_p999_ns", mutateJSON(t, func(d map[string]interface{}) {
+			data, _ := json.Marshal(sampleServerSection())
+			var srv map[string]interface{}
+			json.Unmarshal(data, &srv)
+			delete(srv, "latency_p999_ns")
+			d["server"] = srv
+		}), `missing key "latency_p999_ns"`},
+		{"v3 op_latency entry missing key", mutateJSON(t, func(d map[string]interface{}) {
+			data, _ := json.Marshal(sampleServerSection())
+			var srv map[string]interface{}
+			json.Unmarshal(data, &srv)
+			get := srv["op_latency"].(map[string]interface{})["get"].(map[string]interface{})
+			delete(get, "p999_ns")
+			d["server"] = srv
+		}), `op_latency["get"]: missing key "p999_ns"`},
+		{"v3 op_latency empty", mutateJSON(t, func(d map[string]interface{}) {
+			data, _ := json.Marshal(sampleServerSection())
+			var srv map[string]interface{}
+			json.Unmarshal(data, &srv)
+			srv["op_latency"] = map[string]interface{}{}
+			d["server"] = srv
+		}), "op_latency is empty"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLatencyHistSnapshot(t *testing.T) {
+	var h LatencyHist
+	if snap := h.Snapshot(); snap.Count != 0 || snap.P50NS != 0 || snap.MaxNS != 0 {
+		t.Fatalf("empty snapshot = %+v", snap)
+	}
+	// 1000ns lands in bucket [512, 1024): every quantile reports the
+	// upper bound 1024.
+	for i := 0; i < 100; i++ {
+		h.Record(1000 * time.Nanosecond)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 100 || snap.SumNS != 100_000 {
+		t.Fatalf("count=%d sum=%d", snap.Count, snap.SumNS)
+	}
+	if snap.P50NS != 1024 || snap.P99NS != 1024 || snap.P999NS != 1024 || snap.MaxNS != 1024 {
+		t.Fatalf("quantiles = %+v, want all 1024", snap)
+	}
+	// One outlier at ~1ms moves the tail but not the median.
+	h.Record(time.Millisecond)
+	snap = h.Snapshot()
+	if snap.P50NS != 1024 {
+		t.Errorf("p50 = %d, want 1024", snap.P50NS)
+	}
+	if snap.MaxNS != 1<<20 {
+		t.Errorf("max = %d, want %d (upper bound of 1ms's bucket)", snap.MaxNS, 1<<20)
+	}
+}
+
+func TestLatencyHistExtremes(t *testing.T) {
+	var h LatencyHist
+	h.Record(0)                 // clamps to 1ns, bucket 0
+	h.Record(time.Hour)         // beyond the last bucket: clamps there
+	h.Record(-time.Millisecond) // negative wraps via uint64: clamps to last bucket
+	snap := h.Snapshot()
+	if snap.Count != 3 {
+		t.Fatalf("count = %d", snap.Count)
+	}
+	if snap.P50NS == 0 {
+		t.Errorf("p50 = 0 despite records")
+	}
+}
+
+func TestOpShardHist(t *testing.T) {
+	m := NewOpShardHist([]string{"get", "set"}, 2)
+	m.Record(0, 0, time.Microsecond)
+	m.Record(0, 1, time.Microsecond)
+	m.Record(0, 1, 100*time.Microsecond)
+	m.Record(1, 0, 10*time.Microsecond)
+	// Out-of-range records are dropped, not panics.
+	m.Record(-1, 0, time.Second)
+	m.Record(2, 0, time.Second)
+	m.Record(0, 2, time.Second)
+
+	if got := m.Hist(0, 1).Snapshot().Count; got != 2 {
+		t.Errorf("get/shard1 count = %d, want 2", got)
+	}
+	merged := m.MergedOp(0)
+	if merged.Count != 3 {
+		t.Fatalf("merged get count = %d, want 3", merged.Count)
+	}
+	if merged.P50NS != 1024 {
+		t.Errorf("merged get p50 = %d, want 1024 (1µs bucket bound)", merged.P50NS)
+	}
+	if want := uint64(1 << 17); merged.MaxNS != want {
+		t.Errorf("merged get max = %d, want %d (100µs bucket bound)", merged.MaxNS, want)
+	}
+	if got := m.MergedOp(1).Count; got != 1 {
+		t.Errorf("merged set count = %d, want 1", got)
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE wfrc_server_latency_seconds histogram",
+		`wfrc_server_latency_seconds_bucket{op="get",shard="1",le="+Inf"} 2`,
+		`wfrc_server_latency_seconds_count{op="get",shard="0"} 1`,
+		`wfrc_server_latency_seconds_count{op="set",shard="0"} 1`,
+		`le="1.024e-06"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom output missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative: the +Inf bucket equals the count.
+	if !strings.Contains(out, `wfrc_server_latency_seconds_bucket{op="set",shard="0",le="+Inf"} 1`) {
+		t.Errorf("set/shard0 +Inf bucket wrong:\n%s", out)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -15,6 +16,7 @@ import (
 //
 //	/metrics      Prometheus text exposition (see prom.go)
 //	/trace        JSON snapshot of the help-event ring
+//	/spans        JSON snapshot of the request-span flight recorder
 //	/debug/vars   expvar (includes the "wfrc" merged snapshot)
 //	/debug/pprof  the standard pprof endpoints
 //
@@ -22,10 +24,11 @@ import (
 // server, collector or tracer exists and the schemes run exactly as
 // before.
 type Server struct {
-	c    *Collector
-	ring *TraceRing
-	ln   net.Listener
-	srv  *http.Server
+	c     *Collector
+	ring  *TraceRing
+	spans atomic.Pointer[SpanTracer]
+	ln    net.Listener
+	srv   *http.Server
 
 	promMu    sync.Mutex
 	promExtra []func(io.Writer) error
@@ -68,6 +71,7 @@ func Serve(addr string, c *Collector, ring *TraceRing) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.metrics)
 	mux.HandleFunc("/trace", s.trace)
+	mux.HandleFunc("/spans", s.spansHandler)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -82,6 +86,11 @@ func Serve(addr string, c *Collector, ring *TraceRing) (*Server, error) {
 
 // Addr returns the server's listen address (useful with port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// SetSpans attaches a request-span tracer, making /spans serve its
+// flight recorder.  nil detaches; without a tracer /spans reports an
+// empty span list.
+func (s *Server) SetSpans(t *SpanTracer) { s.spans.Store(t) }
 
 // Close shuts the server down.
 func (s *Server) Close() error { return s.srv.Close() }
@@ -115,6 +124,26 @@ type traceResponse struct {
 	// current window, oldest first.
 	Total  uint64      `json:"total"`
 	Events []HelpEvent `json:"events"`
+}
+
+// spansResponse is the /spans JSON payload.
+type spansResponse struct {
+	// Total counts every span ever finished; Spans holds the flight
+	// recorder's current window, oldest first.
+	Total uint64 `json:"total"`
+	Spans []Span `json:"spans"`
+}
+
+func (s *Server) spansHandler(w http.ResponseWriter, _ *http.Request) {
+	resp := spansResponse{Spans: []Span{}}
+	if t := s.spans.Load(); t != nil {
+		resp.Total = t.Total()
+		resp.Spans = t.Snapshot()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
 }
 
 func (s *Server) trace(w http.ResponseWriter, _ *http.Request) {

@@ -20,6 +20,12 @@ type HelpEvent struct {
 	Helpee int    `json:"helpee"`
 	Slot   int    `json:"slot"`
 	Link   uint64 `json:"link"`
+	// HelperSpan and HelpeeSpan are the request-span IDs active on the
+	// helper's and helpee's thread slots when the help happened (0 when
+	// no span was in flight — e.g. bench runs without the KV stack).
+	// They join against Span.ID in /spans and flight-recorder dumps.
+	HelperSpan uint64 `json:"helper_span"`
+	HelpeeSpan uint64 `json:"helpee_span"`
 }
 
 // traceSlot is one ring cell.  Fields are individual atomics (not a
@@ -28,10 +34,12 @@ type HelpEvent struct {
 // with.  This keeps Record wait-free and the whole structure clean
 // under the race detector.
 type traceSlot struct {
-	seq    atomic.Uint64 // claimed index + 1; 0 = never written
-	timeNS atomic.Int64
-	packed atomic.Uint64 // helper<<32 | helpee<<16 | slot
-	link   atomic.Uint64
+	seq        atomic.Uint64 // claimed index + 1; 0 = never written
+	timeNS     atomic.Int64
+	packed     atomic.Uint64 // helper<<32 | helpee<<16 | slot
+	link       atomic.Uint64
+	helperSpan atomic.Uint64
+	helpeeSpan atomic.Uint64
 }
 
 // TraceRing is a fixed-size, wait-free ring buffer of help events for
@@ -73,6 +81,8 @@ func (r *TraceRing) Record(ev HelpEvent) {
 	s.timeNS.Store(ev.TimeNS)
 	s.packed.Store(uint64(uint32(ev.Helper))<<32 | uint64(uint16(ev.Helpee))<<16 | uint64(uint16(ev.Slot)))
 	s.link.Store(ev.Link)
+	s.helperSpan.Store(ev.HelperSpan)
+	s.helpeeSpan.Store(ev.HelpeeSpan)
 	s.seq.Store(idx + 1) // publish
 }
 
@@ -88,9 +98,11 @@ func (r *TraceRing) Snapshot() []HelpEvent {
 			continue
 		}
 		ev := HelpEvent{
-			Seq:    seq - 1,
-			TimeNS: s.timeNS.Load(),
-			Link:   s.link.Load(),
+			Seq:        seq - 1,
+			TimeNS:     s.timeNS.Load(),
+			Link:       s.link.Load(),
+			HelperSpan: s.helperSpan.Load(),
+			HelpeeSpan: s.helpeeSpan.Load(),
 		}
 		packed := s.packed.Load()
 		ev.Helper = int(uint32(packed >> 32))
@@ -113,11 +125,13 @@ func (r *TraceRing) Snapshot() []HelpEvent {
 func (r *TraceRing) CoreTracer() func(core.HelpEvent) {
 	return func(ev core.HelpEvent) {
 		r.Record(HelpEvent{
-			TimeNS: time.Now().UnixNano(),
-			Helper: ev.Helper,
-			Helpee: ev.Helpee,
-			Slot:   ev.Slot,
-			Link:   uint64(ev.Link),
+			TimeNS:     time.Now().UnixNano(),
+			Helper:     ev.Helper,
+			Helpee:     ev.Helpee,
+			Slot:       ev.Slot,
+			Link:       uint64(ev.Link),
+			HelperSpan: ev.HelperTag,
+			HelpeeSpan: ev.HelpeeTag,
 		})
 	}
 }

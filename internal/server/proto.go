@@ -50,6 +50,16 @@ const (
 	StatusErr      = 4
 )
 
+// OpNames maps op codes to names (index = op code; index 0 unused).
+// Span tracers and metric labels index it directly.
+var OpNames = []string{OpGet: "get", OpSet: "set", OpDel: "del", OpCAS: "cas", OpStats: "stats"}
+
+// StatusNames maps response status codes to names (index = status code).
+var StatusNames = []string{
+	StatusOK: "ok", StatusNotFound: "not_found", StatusCASFail: "cas_fail",
+	StatusBusy: "busy", StatusErr: "err",
+}
+
 // MaxFrame bounds a frame payload; requests are tiny and stats replies
 // are small JSON, so anything bigger is garbage or an attack.
 const MaxFrame = 1 << 16

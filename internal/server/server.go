@@ -7,10 +7,14 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"wfrc/internal/core"
+	"wfrc/internal/obs"
 	"wfrc/internal/slotpool"
 )
 
@@ -27,6 +31,18 @@ type Config struct {
 	LeaseMaxWait time.Duration
 	// Hook is forwarded to the slotpool for chaos injection.
 	Hook func(slotpool.Point)
+	// Spans, when set, records a span per request: the server opens it
+	// before dispatch, the slot pool annotates lease-wait/quarantine
+	// phases (the tracer is installed as the pool's Annotator), and the
+	// span ID is installed as the slot's thread tag on the target shard's
+	// core scheme so help events carry it.  The tracer must cover at
+	// least Store.Slots lanes.
+	Spans *obs.SpanTracer
+	// ProfLabels attaches pprof labels ("op", "shard") to the handler
+	// goroutine around each request, so CPU profiles break down by
+	// protocol op and store shard.  Label contexts are precomputed at
+	// construction; the per-request cost is two SetGoroutineLabels calls.
+	ProfLabels bool
 }
 
 // StatsReply is the JSON body of an OpStats response: the server-side
@@ -49,6 +65,14 @@ type Server struct {
 	cfg   Config
 	store *Store
 	pool  *slotpool.Pool
+
+	spans *obs.SpanTracer
+	cores []*core.Scheme // per shard; nil where the scheme is not the wait-free core
+	hists *obs.OpShardHist
+	// labelCtx[op-1][shard] are precomputed pprof label contexts; nil
+	// when ProfLabels is off.  labelBase restores the unlabeled state.
+	labelCtx  [][]context.Context
+	labelBase context.Context
 
 	mu    sync.Mutex
 	ln    net.Listener
@@ -75,17 +99,48 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The nil check matters: assigning a nil *obs.SpanTracer directly
+	// would make the interface non-nil and panic inside the pool.
+	var ann slotpool.Annotator
+	if cfg.Spans != nil {
+		ann = cfg.Spans
+	}
 	pool, err := slotpool.New(slotpool.Config{
-		Slots:    store.cfg.Slots,
-		LeaseTTL: cfg.LeaseTTL,
-		MaxWait:  cfg.LeaseMaxWait,
-		Hook:     cfg.Hook,
+		Slots:     store.cfg.Slots,
+		LeaseTTL:  cfg.LeaseTTL,
+		MaxWait:   cfg.LeaseMaxWait,
+		Hook:      cfg.Hook,
+		Annotator: ann,
 	}, store.Schemes()...)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{cfg: cfg, store: store, pool: pool, conns: make(map[net.Conn]struct{})}, nil
+	s := &Server{
+		cfg:   cfg,
+		store: store,
+		pool:  pool,
+		spans: cfg.Spans,
+		cores: store.CoreSchemes(),
+		hists: obs.NewOpShardHist(OpNames[1:], store.Shards()),
+		conns: make(map[net.Conn]struct{}),
+	}
+	if cfg.ProfLabels {
+		s.labelBase = context.Background()
+		s.labelCtx = make([][]context.Context, len(OpNames)-1)
+		for i := range s.labelCtx {
+			s.labelCtx[i] = make([]context.Context, store.Shards())
+			for sh := 0; sh < store.Shards(); sh++ {
+				s.labelCtx[i][sh] = pprof.WithLabels(context.Background(),
+					pprof.Labels("op", OpNames[i+1], "shard", strconv.Itoa(sh)))
+			}
+		}
+	}
+	return s, nil
 }
+
+// Hists returns the per-op×shard server-side latency histograms, for
+// Prometheus registration (obs.Server.AddProm(s.Hists().WriteProm)).
+func (s *Server) Hists() *obs.OpShardHist { return s.hists }
 
 // Store returns the sharded store, for observability attachment.
 func (s *Server) Store() *Store { return s.store }
@@ -169,7 +224,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			w.Flush()
 			return
 		}
-		resp = s.serveRequest(resp[:0], lease, req)
+		resp = s.observeRequest(resp[:0], lease, req)
 		if err := WriteFrame(w, resp); err != nil {
 			return
 		}
@@ -180,6 +235,57 @@ func (s *Server) handleConn(conn net.Conn) {
 			return // finish the in-flight request, then part cleanly
 		}
 	}
+}
+
+// observeRequest wraps serveRequest with the observability hot path:
+// span open/close (with the span ID installed as the shard core's
+// thread tag so help events join to it), per-op×shard latency
+// recording, and pprof labels.  Everything here is zero-alloc and
+// lock-free — see the AllocsPerRun guards in internal/obs.
+func (s *Server) observeRequest(dst []byte, l *slotpool.Lease, req Request) []byte {
+	opIdx := int(req.Op) - 1
+	if opIdx < 0 || opIdx >= len(OpNames)-1 {
+		return s.serveRequest(dst, l, req) // unknown op: protocol error path
+	}
+	shard := 0
+	if req.Op != OpStats {
+		shard = s.store.Shard(req.Key)
+	}
+	if s.labelCtx != nil {
+		pprof.SetGoroutineLabels(s.labelCtx[opIdx][shard])
+	}
+	slot := l.Slot()
+	tagged := false
+	var helps0 uint64
+	if s.spans != nil {
+		id := s.spans.Start(slot, req.Op, shard, req.Key)
+		if req.Op != OpStats && s.cores[shard] != nil {
+			// Reading our own thread's counter is race-free: the lessee
+			// goroutine is the thread.
+			helps0 = l.Thread(shard).Stats().HelpsReceived
+			s.cores[shard].SetThreadTag(slot, id)
+			tagged = true
+		}
+	}
+	start := time.Now()
+	dst = s.serveRequest(dst, l, req)
+	s.hists.Record(opIdx, shard, time.Since(start))
+	if s.spans != nil {
+		var helps uint32
+		if tagged {
+			s.cores[shard].SetThreadTag(slot, 0)
+			helps = uint32(l.Thread(shard).Stats().HelpsReceived - helps0)
+		}
+		status := uint8(StatusErr)
+		if len(dst) > 0 {
+			status = dst[0]
+		}
+		s.spans.Finish(slot, status, helps)
+	}
+	if s.labelCtx != nil {
+		pprof.SetGoroutineLabels(s.labelBase)
+	}
+	return dst
 }
 
 func (s *Server) serveRequest(dst []byte, l *slotpool.Lease, req Request) []byte {

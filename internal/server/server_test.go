@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"wfrc/internal/chaos"
+	"wfrc/internal/obs"
 	"wfrc/internal/slotpool"
 )
 
@@ -277,5 +278,76 @@ func TestStoreShardBalance(t *testing.T) {
 		if n < 512 || n > 1536 {
 			t.Errorf("shard %d got %d of 4096 sequential keys (want ~1024)", i, n)
 		}
+	}
+}
+
+// TestServerSpansRecorded drives requests through the TCP path with a
+// span tracer attached and checks that each request produced a span
+// with the right op/status names, the shard it routed to, and the
+// connection's lease wait on its first request only.
+func TestServerSpansRecorded(t *testing.T) {
+	store := smallStore()
+	spans := obs.NewSpanTracer(store.Slots, 64, OpNames, StatusNames)
+	srv, addr := startServer(t, Config{Store: store, Spans: spans, ProfLabels: true})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Set(7, 70); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := c.Get(7); err != nil || !ok || v != 70 {
+		t.Fatalf("Get(7) = %d,%v,%v", v, ok, err)
+	}
+	if _, ok, _ := c.Get(99999); ok {
+		t.Fatal("phantom key")
+	}
+	if _, err := c.Stats(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := spans.Snapshot()
+	if len(got) != 4 || spans.Total() != 4 {
+		t.Fatalf("recorded %d spans (total %d), want 4", len(got), spans.Total())
+	}
+	wantShard := srv.Store().Shard(7)
+	checks := []struct {
+		op, status string
+		shard      int
+	}{
+		{"set", "ok", wantShard},
+		{"get", "ok", wantShard},
+		{"get", "not_found", srv.Store().Shard(99999)},
+		{"stats", "ok", 0},
+	}
+	for i, want := range checks {
+		sp := got[i]
+		if sp.Op != want.op || sp.Status != want.status || sp.Shard != want.shard {
+			t.Errorf("span %d = %s/%s shard %d, want %s/%s shard %d",
+				i, sp.Op, sp.Status, sp.Shard, want.op, want.status, want.shard)
+		}
+		if sp.DurNS < 0 || sp.ID == 0 {
+			t.Errorf("span %d has id %d dur %d", i, sp.ID, sp.DurNS)
+		}
+		if i > 0 && sp.LeaseWaitNS != 0 {
+			t.Errorf("span %d carries lease wait %d; only the first request should", i, sp.LeaseWaitNS)
+		}
+	}
+
+	// The per-op×shard histograms saw the same requests.
+	if n := srv.Hists().MergedOp(int(OpGet) - 1).Count; n != 2 {
+		t.Errorf("get histogram count = %d, want 2", n)
+	}
+	if n := srv.Hists().MergedOp(int(OpSet) - 1).Count; n != 1 {
+		t.Errorf("set histogram count = %d, want 1", n)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	c.Close()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown audit: %v", err)
 	}
 }

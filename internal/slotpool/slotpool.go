@@ -122,6 +122,24 @@ type Config struct {
 	// Hook, when set, observes every lifecycle point.  It must be safe
 	// for concurrent calls; chaos torture installs an Injector here.
 	Hook func(Point)
+	// Annotator, when set, receives per-slot lifecycle annotations for
+	// request-span tracing (obs.SpanTracer satisfies it).  Unlike Hook it
+	// carries the slot identity and the measured wait, so a span can say
+	// *which* request paid the lease backpressure.  Must be safe for
+	// concurrent calls.
+	Annotator Annotator
+}
+
+// Annotator receives slot-lifecycle annotations for span tracing.  It
+// is declared here (and satisfied structurally by obs.SpanTracer) so
+// the pool does not import the observability layer.
+type Annotator interface {
+	// LeaseGranted reports that a lessee obtained slot after waiting
+	// wait for it.
+	LeaseGranted(slot int, wait time.Duration)
+	// SlotQuarantined reports that slot failed its reuse audit and was
+	// withheld from circulation.
+	SlotQuarantined(slot int)
 }
 
 // Pool is the lease/release layer.  All methods are safe for concurrent
@@ -332,7 +350,11 @@ func (p *Pool) grant(s *slot, start time.Time) *Lease {
 	s.lease.Store(l)
 	p.m.leases.Add(1)
 	p.m.leased.Add(1)
-	p.m.waits.Record(time.Since(start))
+	wait := time.Since(start)
+	p.m.waits.Record(wait)
+	if a := p.cfg.Annotator; a != nil {
+		a.LeaseGranted(s.id, wait)
+	}
 	p.hook(PLeaseGranted)
 	return l
 }
@@ -401,6 +423,9 @@ func (p *Pool) recycle(s *slot) {
 		return
 	}
 	p.m.quarantined.Add(1)
+	if a := p.cfg.Annotator; a != nil {
+		a.SlotQuarantined(s.id)
+	}
 	p.hook(PQuarantined)
 	p.quarMu.Lock()
 	p.quarantine = append(p.quarantine, s)

@@ -397,3 +397,61 @@ func TestWaitHistQuantile(t *testing.T) {
 		t.Errorf("p99.5 = %g ns, want to land in the ms bucket", p99)
 	}
 }
+
+// stubAnnotator records annotation calls for TestAnnotatorNotified.
+type stubAnnotator struct {
+	mu      sync.Mutex
+	granted []int
+	waits   []time.Duration
+	quars   []int
+}
+
+func (a *stubAnnotator) LeaseGranted(slot int, wait time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.granted = append(a.granted, slot)
+	a.waits = append(a.waits, wait)
+}
+
+func (a *stubAnnotator) SlotQuarantined(slot int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.quars = append(a.quars, slot)
+}
+
+// TestAnnotatorNotified checks that the span-tracing Annotator hook sees
+// every lease grant with the slot identity and a sane wait, and that
+// TryLease goes through the same path.
+func TestAnnotatorNotified(t *testing.T) {
+	s := newCore(t, 64, 4)
+	ann := &stubAnnotator{}
+	p := MustNew(Config{Slots: 2, Annotator: ann}, s)
+	defer p.Close()
+
+	l1, err := p.Lease(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, ok := p.TryLease()
+	if !ok {
+		t.Fatal("TryLease failed with a slot free")
+	}
+	ann.mu.Lock()
+	if len(ann.granted) != 2 {
+		t.Fatalf("annotator saw %d grants, want 2", len(ann.granted))
+	}
+	if ann.granted[0] != l1.Slot() || ann.granted[1] != l2.Slot() {
+		t.Errorf("granted slots %v, want [%d %d]", ann.granted, l1.Slot(), l2.Slot())
+	}
+	for i, w := range ann.waits {
+		if w < 0 {
+			t.Errorf("grant %d has negative wait %v", i, w)
+		}
+	}
+	if len(ann.quars) != 0 {
+		t.Errorf("spurious quarantine annotations: %v", ann.quars)
+	}
+	ann.mu.Unlock()
+	l1.Release()
+	l2.Release()
+}
