@@ -6,6 +6,7 @@
 //	wfrc-bench [-exp e1,e2,...] [-threads N] [-ops N] [-schemes a,b] [-quick] [-list]
 //	wfrc-bench -validate BENCH_results.json
 //	wfrc-bench -validate-flight wfrc-kv-flight.json
+//	wfrc-bench -delta base.json,new.json
 //
 // With no flags it runs every experiment at default size, which takes a
 // few minutes on a laptop-class machine, and writes the machine-readable
@@ -43,6 +44,7 @@ func main() {
 		jsonOut    = flag.String("json", "BENCH_results.json", "write machine-readable results here ('' disables)")
 		validate   = flag.String("validate", "", "validate an existing results file and exit")
 		validateFl = flag.String("validate-flight", "", "validate a wfrc-kv flight-recorder dump and exit (requires a span↔help join)")
+		delta      = flag.String("delta", "", "compare two results files 'base.json,new.json' and exit; fails unless new's e1 1-thread ops/s strictly beats base's")
 		obsAddr    = flag.String("obs-addr", "", "serve /metrics, /trace and /debug/pprof on this address during the run")
 		traceN     = flag.Int("trace", 0, "ring-buffer the most recent N help events for /trace (0 disables)")
 	)
@@ -53,6 +55,9 @@ func main() {
 	}
 	if *validateFl != "" {
 		os.Exit(validateFlight(*validateFl))
+	}
+	if *delta != "" {
+		os.Exit(deltaFiles(*delta))
 	}
 
 	if *list {
@@ -175,6 +180,66 @@ func validateFile(path string) int {
 	fmt.Printf("%s: schema v%d, %d data points%s, generated %s on %s/%s (go %s), 0 violations\n",
 		path, rep.SchemaVersion, len(rep.Results), serverNote, rep.GeneratedAt,
 		rep.Host.GOOS, rep.Host.GOARCH, rep.Host.GoVersion)
+	return 0
+}
+
+// deltaFiles implements -delta: load two results files and require that
+// the new file's e1 single-thread throughput strictly exceeds the base
+// file's.  CI's bench-delta job runs e1 once with -schemes waitfree and
+// once with -schemes waitfree-deferred, then gates the deferred scheme's
+// fast path on this comparison — "no slower than the counted path" is
+// the deferred layer's whole reason to exist, so a regression here fails
+// the build rather than rotting silently.  Returns the exit code.
+func deltaFiles(arg string) int {
+	parts := strings.Split(arg, ",")
+	if len(parts) != 2 {
+		fmt.Fprintf(os.Stderr, "-delta wants exactly two files 'base.json,new.json', got %q\n", arg)
+		return 2
+	}
+	type point struct {
+		path   string
+		scheme string
+		ops    float64
+	}
+	load := func(path string) (point, bool) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return point{}, false
+		}
+		rep, err := obs.ValidateBenchJSON(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			return point{}, false
+		}
+		var pts []point
+		for _, r := range rep.Results {
+			if r.Experiment == "e1" && r.Threads == 1 {
+				pts = append(pts, point{path: path, scheme: r.Scheme, ops: r.OpsPerSec})
+			}
+		}
+		if len(pts) != 1 {
+			fmt.Fprintf(os.Stderr, "%s: found %d e1 1-thread data points, want exactly 1 (run e1 with a single -schemes value)\n",
+				path, len(pts))
+			return point{}, false
+		}
+		return pts[0], true
+	}
+	base, ok := load(strings.TrimSpace(parts[0]))
+	if !ok {
+		return 1
+	}
+	next, ok := load(strings.TrimSpace(parts[1]))
+	if !ok {
+		return 1
+	}
+	if next.ops <= base.ops {
+		fmt.Fprintf(os.Stderr, "bench delta FAIL: %s e1/1-thread %s %.0f ops/s is not strictly above %s %s %.0f ops/s (%.2fx)\n",
+			next.path, next.scheme, next.ops, base.path, base.scheme, base.ops, next.ops/base.ops)
+		return 1
+	}
+	fmt.Printf("bench delta OK: e1/1-thread %s %.0f ops/s > %s %.0f ops/s (%.2fx)\n",
+		next.scheme, next.ops, base.scheme, base.ops, next.ops/base.ops)
 	return 0
 }
 

@@ -174,30 +174,34 @@ func TestStallParksAndReleases(t *testing.T) {
 }
 
 // TestScenarioSuiteWaitFree runs every scenario against the wait-free
-// scheme: zero budget violations and clean leak audits are the paper's
-// robustness claim.
+// scheme and its deferred-decrement variant: zero budget violations and
+// clean leak audits are the paper's robustness claim, and the deferred
+// path must honor the same step budgets (its fast path records zero
+// probes; its announced path shares the counted scan).
 func TestScenarioSuiteWaitFree(t *testing.T) {
 	sc := SuiteConfig{Threads: 4, Ops: 300, Seed: 11}
-	for _, name := range ScenarioNames() {
-		name := name
-		t.Run(name, func(t *testing.T) {
-			rep, err := RunScenario(name, "waitfree", sc)
-			if err != nil {
-				t.Fatal(err)
-			}
-			for _, v := range rep.Violations {
-				t.Errorf("budget violation: %v", v)
-			}
-			for _, e := range rep.AuditErrs {
-				t.Errorf("audit: %v", e)
-			}
-			for _, e := range rep.Errs {
-				t.Errorf("scenario: %v", e)
-			}
-			if name != "oom-under-stall" && rep.Ops == 0 {
-				t.Error("no operations completed")
-			}
-		})
+	for _, scheme := range []string{"waitfree", "waitfree-deferred"} {
+		for _, name := range ScenarioNames() {
+			scheme, name := scheme, name
+			t.Run(scheme+"/"+name, func(t *testing.T) {
+				rep, err := RunScenario(name, scheme, sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, v := range rep.Violations {
+					t.Errorf("budget violation: %v", v)
+				}
+				for _, e := range rep.AuditErrs {
+					t.Errorf("audit: %v", e)
+				}
+				for _, e := range rep.Errs {
+					t.Errorf("scenario: %v", e)
+				}
+				if name != "oom-under-stall" && rep.Ops == 0 {
+					t.Error("no operations completed")
+				}
+			})
+		}
 	}
 }
 

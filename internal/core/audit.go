@@ -61,6 +61,31 @@ func (s *Scheme) Audit(extraRefs map[arena.Handle]int) []error {
 			v, s.n, AnnScanBound(s.n)))
 	}
 	errs = append(errs, s.AuditAnnRows()...)
+	if s.deferred {
+		errs = append(errs, s.auditDeferred()...)
+	}
+	return errs
+}
+
+// auditDeferred checks the deferred variant's quiescence invariants: no
+// pin published (every dereference guard was released or promoted at
+// Unregister) and no orphaned ZCT entry left unadopted (a nonzero
+// orphan list at quiescence means a reclaim candidate was stranded
+// pinned — a wedged protocol, since pins must be gone by now).
+func (s *Scheme) auditDeferred() []error {
+	var errs []error
+	for i := range s.pins {
+		for j := 0; j < PinSlots; j++ {
+			if w := s.pins[i].slot[j].Load(); w != 0 {
+				errs = append(errs, fmt.Errorf(
+					"core: pin slot [%d][%d] still publishes node %d at quiescence (leaked pin)", i, j, w))
+			}
+		}
+	}
+	if n := s.orphanN.Load(); n > 0 {
+		errs = append(errs, fmt.Errorf(
+			"core: %d orphaned ZCT entr(ies) unreclaimed at quiescence", n))
+	}
 	return errs
 }
 

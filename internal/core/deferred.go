@@ -1,0 +1,558 @@
+package core
+
+import (
+	"runtime"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/mm"
+)
+
+// This file implements the deferred-decrement variant of the scheme
+// (Config.Deferred, registered as "waitfree-deferred").  The paper's
+// algorithms charge two shared fetch-and-adds on every DeRefLink/
+// ReleaseRef pair; following the deferred-reference-counting idea of
+// Anderson/Blelloch/Wei (and the classic zero-count-table idiom), this
+// variant takes the dereference guard through a thread-local *pin table*
+// and buffers the release's decrement in a thread-local *delta cache*,
+// so the common path touches no shared count at all:
+//
+//   - DeRefLink (fast path): read the link, publish the target handle in
+//     one of the thread's PinSlots pin slots, re-read the link.  If the
+//     value is unchanged the pin is a valid guard (see the safety
+//     argument below); otherwise the pin is cleared and the operation
+//     falls back to the announced path.  One bounded attempt keeps the
+//     operation wait-free.
+//   - DeRefLink (announced path): identical to the paper's D1–D10 except
+//     that line D5 publishes a pin instead of FAA(mm_ref,+2); when the
+//     pin table is full it falls back to the counted FAA.  The helping
+//     protocol is untouched: helpers always hand over *counted*
+//     references (H5 runs the counted dereference), because pins are
+//     thread-local and cannot be transferred through an announcement
+//     cell.
+//   - ReleaseRef: if the thread holds a live pin guard on the handle,
+//     drop it — a thread-local counter decrement, no shared access at
+//     all (the publication itself is sticky; see the cache comment
+//     below).  Otherwise the reference is counted and a 2-unit decrement
+//     is merged into the delta cache (direct-mapped by handle; a
+//     collision applies the evicted entry's decrements immediately).
+//   - Flush (cache pressure, explicit Flush, AllocNode's out-of-memory
+//     rule, Unregister): apply every cached decrement with one FAA per
+//     node.  A node whose count reaches zero enters the thread's ZCT;
+//     draining the ZCT re-checks count==0, scans every thread's pin row,
+//     and only then runs the paper's CAS(mm_ref,0,1) reclamation
+//     election, routing winners through the usual CleanUpNode/FreeNode
+//     path (the dead node's own link references are released back into
+//     the delta cache).
+//
+// # Safety
+//
+// Increments stay immediate (FixRef, CASLink/StoreLink's +2, A9's
+// free-list guard), only even-unit user-reference decrements are
+// deferred.  The applied count therefore never under-states the true
+// count: applied = Σincrements − Σapplied decrements ≥ true count ≥ 0.
+// A node observed at 0 has *all* its decrements applied and is truly
+// unreferenced — no pending decrement anywhere can drive a count
+// negative or zero a live node.
+//
+// The pin guard is the hazard-pointer handshake under Go's sequentially
+// consistent atomics.  Fast path: the pin is published before the
+// revalidation read; a successful revalidation means the link still held
+// the node (count ≥ 2 from the link itself) *after* the pin was visible,
+// so any decrement sequence that later zeroes the count happens after
+// the publish, and the ZCT drain — which scans the pin tables only after
+// reading count==0 — must observe the pin and keep the node.  Announced
+// path: if no helper answered by D6, the pin (published before the D6
+// swap) precedes any link updater's ReleaseRef of the old target — the
+// same ordering the paper's Lemma 3 gives the optimistic FAA — so again
+// the pin is visible before the count can reach zero.  Re-linking a
+// ZCT-resident node requires an existing guard on it (counted, making
+// the claim CAS fail, or pinned, making the scan keep it), which closes
+// the ABA window between the pin scan and the election CAS.
+
+// The pin table is a *sticky* 2-way set-associative cache keyed by
+// handle.  The shared row is written only by its owner, so the thread
+// keeps a plain-memory mirror (t.pinCache: handle + local guard count
+// per slot); the handle picks its set, making every lookup O(1).
+// Releasing a guard only decrements the local count — the publication
+// stays in place — so a re-dereference of a cached handle needs no
+// store at all: the slot has advertised the handle continuously since
+// its original publish, the node cannot have been reclaimed in between
+// (the ZCT drain keeps any published handle), and therefore no
+// revalidation read is needed either.  Only a *fresh* publish pays the
+// sequentially-consistent store and the revalidate.  Stale publications
+// are evicted on set conflict, dropped one at a time when they block the
+// owner's own ZCT drain (pinnedBySelf), and purged wholesale by
+// *purging* flushes — explicit Flush, AllocNode's out-of-memory flush
+// and retirement — so quiescence audits still see an empty table.
+// Interval-driven pressure flushes keep the cache warm (see
+// flushDeferred).
+//
+// The local guard count makes releases fungible: a thread holding both
+// a pin guard and a counted reference on the same node may release them
+// in either order — whichever Release runs first consumes the pin
+// (local decrement), the other buffers the counted decrement.  The
+// totals a flush applies are identical.
+const (
+	pinWays    = 2
+	pinSetMask = PinSlots/pinWays - 1
+)
+
+// pinAcquire takes one pin guard on h: a cache hit bumps the slot's
+// local count (fresh=false, no shared access); otherwise h is published
+// over a free or released slot of its set (fresh=true, caller must
+// revalidate).  Returns j=-1 when both ways hold live guards for other
+// handles — the caller falls back to a counted guard.
+func (t *Thread) pinAcquire(h arena.Handle) (j int, fresh bool) {
+	b := (int(h) & pinSetMask) * pinWays
+	for k := b; k < b+pinWays; k++ {
+		if t.pinCache[k].h == h {
+			t.pinCache[k].refs++
+			return k, false
+		}
+	}
+	return t.pinPublish(h, b), true
+}
+
+// pinPublish installs a fresh publication of h in set base b (evicting a
+// released entry if needed), or returns -1 when both ways hold live
+// guards.  The caller owns the revalidation that makes a fresh pin safe.
+func (t *Thread) pinPublish(h arena.Handle, b int) int {
+	for k := b; k < b+pinWays; k++ {
+		if t.pinCache[k].refs == 0 {
+			row := &t.s.pins[t.id]
+			if t.pinCache[k].h == arena.Nil {
+				// live rises before the slot becomes non-zero, so a
+				// scanner reading live==0 never misses a publication.
+				row.live.Add(1)
+			}
+			t.pinCache[k].h = h
+			t.pinCache[k].refs = 1
+			row.slot[k].Store(uint64(h))
+			return k
+		}
+	}
+	return -1
+}
+
+// pinRelease drops one guard from slot j, leaving the publication in
+// place (sticky).
+func (t *Thread) pinRelease(j int) { t.pinCache[j].refs-- }
+
+// unpin drops one guard on h if the thread holds a live one, reporting
+// whether it did.
+func (t *Thread) unpin(h arena.Handle) bool {
+	b := (int(h) & pinSetMask) * pinWays
+	for k := b; k < b+pinWays; k++ {
+		if t.pinCache[k].h == h && t.pinCache[k].refs > 0 {
+			t.pinCache[k].refs--
+			return true
+		}
+	}
+	return false
+}
+
+// purgePins clears every released (refs==0) publication from the
+// thread's row so the nodes become reclaimable; live guards stay.
+func (t *Thread) purgePins() {
+	row := &t.s.pins[t.id]
+	cleared := int64(0)
+	for j := range t.pinCache {
+		if t.pinCache[j].h != arena.Nil && t.pinCache[j].refs == 0 {
+			t.pinCache[j].h = arena.Nil
+			row.slot[j].Store(0)
+			cleared++
+		}
+	}
+	if cleared > 0 {
+		row.live.Add(-cleared) // after the clears: live over-states, never under
+	}
+}
+
+// pinnedBySelf resolves the drain's own-row check locally: if this
+// thread holds a live guard on h it reports true (keep the candidate);
+// a released sticky publication of h is evicted on the way (clearing it
+// makes the candidate reclaimable — non-purging flushes would otherwise
+// keep it forever), and the mirror makes the shared-row scan
+// unnecessary for the own row entirely.
+func (t *Thread) pinnedBySelf(h arena.Handle) bool {
+	b := (int(h) & pinSetMask) * pinWays
+	for k := b; k < b+pinWays; k++ {
+		if t.pinCache[k].h == h {
+			if t.pinCache[k].refs > 0 {
+				return true
+			}
+			t.pinCache[k].h = arena.Nil
+			row := &t.s.pins[t.id]
+			row.slot[k].Store(0)
+			row.live.Add(-1)
+			return false
+		}
+	}
+	return false
+}
+
+// pinnedByOther reports whether any thread's pin row other than self's
+// publishes h.  Called by the ZCT drain after observing mm_ref==0; the
+// count-zero/pin-publish ordering argument above makes a clean scan
+// sufficient to reclaim.  The drain covers its own row with
+// pinnedBySelf, which reads the plain-memory mirror instead.
+func (s *Scheme) pinnedByOther(self int, h arena.Handle) bool {
+	w := uint64(h)
+	for i := range s.pins {
+		row := &s.pins[i]
+		if i == self || row.live.Load() == 0 { // empty rows are safe to skip (see pinRow)
+			continue
+		}
+		for j := 0; j < PinSlots; j++ {
+			if row.slot[j].Load() == w {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// releaseDeferred is ReleaseRef on the deferred variant: drop a pin
+// guard if the thread holds a live one on h, else buffer a 2-unit
+// decrement.  ReleaseRef open-codes the pin hit; internal callers use
+// this full form.
+func (t *Thread) releaseDeferred(h arena.Handle) {
+	if t.unpin(h) {
+		return
+	}
+	t.deferCountedDec(h)
+}
+
+// deferCountedDec buffers one counted 2-unit decrement against h.  Cache
+// pressure triggers a full flush so per-thread reclamation slack stays
+// bounded.
+func (t *Thread) deferCountedDec(h arena.Handle) {
+	t.stats.DeferredDecs++
+	t.deferDec(h, 1)
+	if t.s.memPressure.v.Load() != 0 && !t.inFlush {
+		// An allocator ran the arena dry: answer the broadcast with a
+		// purging flush so our cached decrements, ZCT candidates, and
+		// released sticky pins become free nodes (see Scheme.memPressure).
+		t.s.memPressure.v.Store(0)
+		t.flushDeferred(true)
+		return
+	}
+	if t.dSinceFlush >= deferredFlushInterval && !t.inFlush {
+		// Pressure flush: keep the sticky pin cache — it publishes at
+		// most PinSlots handles (bounded slack), and purging it here
+		// would wipe the hit rate every interval.
+		t.flushDeferred(false)
+	}
+}
+
+// deferDec merges n 2-unit decrements against h into the delta cache.
+// A direct-mapped collision evicts the resident entry by applying its
+// decrements immediately, so the buffer never grows and lookup stays
+// O(1).
+func (t *Thread) deferDec(h arena.Handle, n uint32) {
+	t.dSinceFlush++
+	e := &t.dcache[int(h)&(dcacheSize-1)]
+	switch e.h {
+	case h:
+		e.dec += n
+		return
+	case arena.Nil:
+		e.h, e.dec = h, n
+		t.dLive++
+		return
+	}
+	old, dec := e.h, e.dec
+	e.h, e.dec = h, n
+	t.applyDec(old, dec)
+}
+
+// applyDec applies dec buffered 2-unit decrements to h with a single
+// FAA; a node that reaches zero becomes a ZCT reclaim candidate.
+func (t *Thread) applyDec(h arena.Handle, dec uint32) {
+	t.at(PFL1)
+	if t.s.ar.Ref(h).Add(-2 * int64(dec)) == 0 {
+		t.zctPush(h)
+	}
+}
+
+// zctDrainThreshold bounds how many zero-count candidates a thread may
+// park before draining them inline.  The decrement-volume trigger in
+// deferCountedDec alone is not enough: a workload can produce dead
+// nodes much faster than counted decrements (the delta cache merges a
+// hot node's decrements into one entry), and 2·NR_THREADS undrained
+// tables would then starve the arena while every node in them is
+// already reclaimable.
+const zctDrainThreshold = 64
+
+// zctPush records h as a reclaim candidate.  Duplicates are tolerated
+// rather than scanned for (the drain's Load()!=0 check drops entries the
+// CAS(0,1) election already claimed, and the election itself admits only
+// one reclaimer), so a push is a plain append.  A table that grows past
+// zctDrainThreshold outside a flush is drained on the spot, keeping
+// per-thread dead-node residency bounded regardless of decrement volume.
+func (t *Thread) zctPush(h arena.Handle) {
+	t.zct = append(t.zct, h)
+	if len(t.zct) >= zctDrainThreshold && !t.inFlush {
+		t.inFlush = true
+		t.drainZCT()
+		t.inFlush = false
+	}
+}
+
+// Flush applies this thread's pending deferred decrements and attempts
+// reclamation of the resulting zero-count nodes.  It is a no-op on the
+// immediate scheme.  Callers that need a quiescent count picture (tests,
+// audits) flush every thread; Unregister does it automatically.
+func (t *Thread) Flush() {
+	if t.s.deferred {
+		t.flushDeferred(true)
+	}
+}
+
+// flushDeferred runs flush passes until no cached decrement remains and
+// the ZCT stops shrinking, returning how many nodes were reclaimed.
+// Reclaiming a node releases its outgoing link references back into the
+// cache, so the loop cascades exactly like the paper's recursive R3; it
+// terminates because every buffered decrement is applied at most once
+// and at most Nodes reclamations exist.
+//
+// purge clears released sticky publications first.  Quiescence flushes
+// (public Flush, retire) must purge so audits see an empty pin table and
+// every node is reclaimable; AllocNode's out-of-memory flush purges to
+// surrender the cache's ≤PinSlots kept nodes.  Interval-driven pressure
+// flushes pass false and keep the cache warm — the handles it publishes
+// stay in the ZCT for the next purging flush, a bounded slack.
+func (t *Thread) flushDeferred(purge bool) (freed int) {
+	if t.inFlush {
+		return 0
+	}
+	t.inFlush = true
+	defer func() { t.inFlush = false }()
+	t.stats.DeferredFlushes++
+	t.dSinceFlush = 0
+	if purge {
+		t.purgePins()
+	}
+	t.adoptOrphans()
+	for {
+		applied := false
+		if t.dLive > 0 {
+			for i := range t.dcache {
+				e := &t.dcache[i]
+				if e.h == arena.Nil {
+					continue
+				}
+				h, dec := e.h, e.dec
+				e.h, e.dec = arena.Nil, 0
+				t.dLive--
+				t.applyDec(h, dec)
+				applied = true
+			}
+		}
+		n := t.drainZCT()
+		freed += n
+		if !applied && n == 0 {
+			return freed
+		}
+	}
+}
+
+// drainZCT retires the thread's zero-count candidates: a node still at
+// count zero and pinned by no thread wins the paper's CAS(mm_ref,0,1)
+// reclamation election and goes through the CleanUpNode/FreeNode path.
+// Candidates that were resurrected (count != 0: re-linked, copied, or
+// claimed by another flusher) are dropped — whoever re-zeroes them
+// re-enters a ZCT — and candidates a peer still pins are kept for the
+// next drain.
+func (t *Thread) drainZCT() (freed int) {
+	if len(t.zct) == 0 {
+		return 0
+	}
+	pending := t.zct
+	t.zct = nil // reclamation below may push fresh candidates
+	for _, h := range pending {
+		ref := t.s.ar.Ref(h)
+		if ref.Load() != 0 {
+			continue
+		}
+		if t.pinnedBySelf(h) || t.s.pinnedByOther(t.id, h) {
+			t.zct = append(t.zct, h)
+			continue
+		}
+		t.at(PZ1)
+		if ref.CompareAndSwap(0, 1) {
+			t.reclaimDeferred(h)
+			freed++
+		}
+	}
+	return freed
+}
+
+// reclaimDeferred is the deferred variant's R3/R4: the election winner
+// exclusively owns n, clears its link cells with plain stores, defers
+// the released link references, and returns the node to the free-list.
+func (t *Thread) reclaimDeferred(n arena.Handle) {
+	s := t.s
+	s.ar.LinkRange(n, func(id mm.LinkID) {
+		p := s.ar.LoadLink(id)
+		if p != arena.NilPtr {
+			s.ar.StoreLink(id, arena.NilPtr)
+			if p.Handle() != arena.Nil {
+				t.deferDec(p.Handle(), 1)
+			}
+		}
+	})
+	t.freeNode(n)
+}
+
+// adoptOrphans folds the scheme's orphaned ZCT entries (left by
+// unregistered threads whose candidates were still pinned) into this
+// thread's table.
+func (t *Thread) adoptOrphans() {
+	s := t.s
+	if s.orphanN.Load() == 0 {
+		return
+	}
+	s.orphanMu.Lock()
+	orphans := s.orphans
+	s.orphans = nil
+	s.orphanN.Store(0)
+	s.orphanMu.Unlock()
+	for _, h := range orphans {
+		t.zctPush(h)
+	}
+}
+
+// retireDeferred drains the thread's deferred state ahead of
+// unregistration: live pin guards are promoted to counted references
+// (+2 per guard) so references the caller still holds remain visible to
+// the count audit, sticky cache entries are cleared, then the cache and
+// ZCT are flushed.  Candidates a peer
+// still pins are retried briefly and finally handed to the scheme's
+// orphan list; pins are short-lived, so in practice the list stays
+// empty.
+func (t *Thread) retireDeferred() {
+	row := &t.s.pins[t.id]
+	cleared := int64(0)
+	for j := range t.pinCache {
+		if h := t.pinCache[j].h; h != arena.Nil {
+			if n := t.pinCache[j].refs; n > 0 {
+				t.s.ar.Ref(h).Add(2 * int64(n))
+			}
+			t.pinCache[j] = pinEntry{}
+			row.slot[j].Store(0)
+			cleared++
+		}
+	}
+	if cleared > 0 {
+		row.live.Add(-cleared)
+	}
+	t.flushDeferred(true)
+	for i := 0; len(t.zct) > 0 && i < 128; i++ {
+		runtime.Gosched()
+		t.flushDeferred(true)
+	}
+	if len(t.zct) > 0 {
+		s := t.s
+		s.orphanMu.Lock()
+		s.orphans = append(s.orphans, t.zct...)
+		s.orphanN.Store(int64(len(s.orphans)))
+		s.orphanMu.Unlock()
+		t.zct = nil
+	}
+}
+
+// deRefDeferredSlow continues DeRefLink's deferred fast path after a
+// pin-cache miss: publish a fresh pin in set b and revalidate the link,
+// falling back to the announced path (deRefAnnounced) when the link
+// moved under the pin or both ways of the set hold live guards.  node is
+// the link value DeRefLink loaded and h its (non-nil) handle.
+func (t *Thread) deRefDeferredSlow(l mm.LinkID, node mm.Ptr, h arena.Handle, b int) mm.Ptr {
+	if j := t.pinPublish(h, b); j >= 0 {
+		t.at(PP2)
+		if t.s.ar.LoadLink(l) == node {
+			t.fastDeRefs++
+			return node
+		}
+		t.pinRelease(j)
+	}
+	return t.deRefAnnounced(l)
+}
+
+// deRefAnnounced is the paper's D1–D10 with the D5 guard taken as a pin
+// (counted FAA only when the pin table is full).  The D1 scan, its
+// wait-freedom bound, the violation accounting and the helper answer
+// protocol are identical to the immediate scheme's deRefCounted — the
+// bench -validate Lemma-2 gate and the chaos step-budget checker
+// therefore count violations in the same units on both variants.
+func (t *Thread) deRefAnnounced(l mm.LinkID) mm.Ptr {
+	s := t.s
+	row := &s.ann[t.id]
+	index := -1
+	bound := AnnScanBound(s.n)
+	var probes uint64
+	for i := 0; ; i++ {
+		t.at(PD1)
+		probes++
+		if row.slots[i%s.n].busy.Load() == 0 {
+			index = i % s.n
+			break
+		}
+		if int(probes) == bound {
+			t.stats.AnnScanViolations++
+			s.annScanViolations.Add(1)
+		}
+		if int(probes) >= bound {
+			runtime.Gosched()
+		}
+	}
+	slot := &row.slots[index]
+
+	s.annPending.v.Add(1)              // open the window before D3
+	row.index.Store(int64(index))      // D2
+	slot.readAddr.Store(encodeLink(l)) // D3
+	t.at(PD3)
+	node := s.ar.LoadLink(l) // D4
+	t.at(PD4)
+	pinIdx := -1
+	if h := node.Handle(); h != arena.Nil { // D5: pin instead of FAA(+2)
+		if pinIdx, _ = t.pinAcquire(h); pinIdx < 0 {
+			s.ar.Ref(h).Add(2)
+		}
+	}
+	t.at(PD6)
+	n1 := slot.readAddr.Swap(0) // D6
+	s.annPending.v.Add(-1)      // window closed
+	if n1 != encodeLink(l) {    // D7: a helper answered with a counted ref
+		if node.Handle() != arena.Nil {
+			if pinIdx >= 0 { // D8: drop our own guard on the stale read
+				t.pinRelease(pinIdx)
+			} else {
+				t.releaseDeferred(node.Handle())
+			}
+		}
+		node = mm.Ptr(n1) // D9
+		t.stats.HelpsReceived++
+	}
+	t.stats.NoteDeRef(probes)
+	return node // D10
+}
+
+// TestingSetDeferredForceAnnounce makes every DeRefLink of the deferred
+// variant take the announced path, so schedule-exploration tests can
+// drive the D3–D6 announcement window against flushes deterministically.
+// Test hook only; never enable in production.
+func (s *Scheme) TestingSetDeferredForceAnnounce(on bool) { s.forceAnnounce = on }
+
+// DeferredPending returns how many distinct nodes currently wait in the
+// thread's delta cache and ZCT (audit/test helper; owner-thread data,
+// call at quiescence or from the owning goroutine).
+func (t *Thread) DeferredPending() int {
+	n := len(t.zct)
+	for i := range t.dcache {
+		if t.dcache[i].h != arena.Nil {
+			n++
+		}
+	}
+	return n
+}

@@ -23,8 +23,53 @@ func AnnScanBound(n int) int { return 2 * n }
 // The operation is wait-free: the slot scan in D1 is capped at
 // AnnScanBound probes (at most NR_THREADS-1 helpers can hold busy claims
 // on this thread's row at any instant), and the remainder is
-// straight-line code.
+// straight-line code.  On the deferred variant the guard is taken
+// through the thread's pin table instead (see deferred.go); the
+// wait-freedom bound is unchanged.
 func (t *Thread) DeRefLink(l mm.LinkID) mm.Ptr {
+	s := t.s
+	if s.deferred {
+		if s.forceAnnounce {
+			return t.deRefAnnounced(l)
+		}
+		// Open-coded pin-cache hit (see deferred.go): the slot has
+		// published the handle since before the link read, so the loaded
+		// value is already guarded — no store, no revalidation, and no
+		// second call frame on the variant's hottest path.
+		node := s.ar.LoadLink(l)
+		h := node.Handle()
+		if h == arena.Nil {
+			t.fastNilDeRefs++
+			return node
+		}
+		b := (int(h) & pinSetMask) * pinWays
+		if t.pinCache[b].h == h {
+			t.pinCache[b].refs++
+			t.fastDeRefs++
+			return node
+		}
+		if t.pinCache[b+1].h == h {
+			t.pinCache[b+1].refs++
+			t.fastDeRefs++
+			return node
+		}
+		return t.deRefDeferredSlow(l, node, h, b)
+	}
+	return t.deRefCounted(l)
+}
+
+// noteDeRefFast is NoteDeRef(0) with the bucket math constant-folded
+// (bits.Len64(0) == 0): zero probes never move DeRefSteps or the max.
+func (t *Thread) noteDeRefFast() {
+	t.stats.DeRefs++
+	t.stats.DeRefHist.Buckets[0]++
+}
+
+// deRefCounted is the paper's D1–D10 with the optimistic FAA guard —
+// the immediate scheme's dereference, and the deferred variant's helper
+// dereference (H5 must hand over a counted reference, because pins are
+// thread-local and cannot be transferred through an announcement cell).
+func (t *Thread) deRefCounted(l mm.LinkID) mm.Ptr {
 	s := t.s
 	row := &s.ann[t.id]
 
@@ -56,6 +101,12 @@ func (t *Thread) DeRefLink(l mm.LinkID) mm.Ptr {
 	}
 	slot := &row.slots[index]
 
+	if s.deferred {
+		// Helper dereferences on the deferred variant announce too, so
+		// they must keep the annPending window count accurate (see the
+		// Scheme field); the immediate scheme skips the counter.
+		s.annPending.v.Add(1)
+	}
 	row.index.Store(int64(index))          // D2
 	slot.readAddr.Store(encodeLink(l))     // D3
 	t.at(PD3)
@@ -66,6 +117,9 @@ func (t *Thread) DeRefLink(l mm.LinkID) mm.Ptr {
 	}
 	t.at(PD6)
 	n1 := slot.readAddr.Swap(0)            // D6
+	if s.deferred {
+		s.annPending.v.Add(-1)
+	}
 	if n1 != encodeLink(l) {               // D7: a helper answered
 		if node.Handle() != arena.Nil {
 			t.ReleaseRef(node.Handle())    // D8
@@ -85,6 +139,22 @@ func (t *Thread) DeRefLink(l mm.LinkID) mm.Ptr {
 // long release cascades cannot overflow the stack.
 func (t *Thread) ReleaseRef(h arena.Handle) {
 	if h == arena.Nil {
+		return
+	}
+	if t.s.deferred {
+		// Open-coded unpin hit — dropping a pin guard is the deferred
+		// variant's common release and must stay call-free: a local
+		// counter decrement, no shared access (see deferred.go).
+		b := (int(h) & pinSetMask) * pinWays
+		if t.pinCache[b].h == h && t.pinCache[b].refs > 0 {
+			t.pinCache[b].refs--
+			return
+		}
+		if t.pinCache[b+1].h == h && t.pinCache[b+1].refs > 0 {
+			t.pinCache[b+1].refs--
+			return
+		}
+		t.deferCountedDec(h)
 		return
 	}
 	s := t.s
@@ -123,6 +193,12 @@ func (t *Thread) ReleaseRef(h arena.Handle) {
 func (t *Thread) HelpDeRef(l mm.LinkID) {
 	s := t.s
 	t.stats.HelpScans++
+	if s.deferred && s.annPending.v.Load() == 0 {
+		// No D3–D6 window is open anywhere: an announcer not yet
+		// visible here ordered its D4 link read after our link update
+		// and will see the fresh value itself (see Scheme.annPending).
+		return
+	}
 	for id := 0; id < s.n; id++ { // H1
 		row := &s.ann[id]
 		index := row.index.Load() // H2
@@ -142,7 +218,9 @@ func (t *Thread) HelpDeRef(l mm.LinkID) {
 			// D1 scan was bounded, the announcer itself).
 			defer slot.busy.Add(-1) // H8
 			t.at(PH4)
-			node := t.DeRefLink(l) // H5
+			// H5: always the counted dereference — the answer hands a
+			// reference across threads, which a pin cannot do.
+			node := t.deRefCounted(l)
 			t.at(PH6)
 			if !slot.readAddr.CompareAndSwap(encodeLink(l), uint64(node)) { // H6
 				if node.Handle() != arena.Nil {

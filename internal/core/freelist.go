@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"runtime"
 
 	"wfrc/internal/arena"
 )
@@ -9,6 +10,12 @@ import (
 // ErrOutOfMemory is returned by AllocNode when the bounded-retry
 // detection rule (paper footnote 4) concludes the arena is exhausted.
 var ErrOutOfMemory = errors.New("core: arena out of nodes")
+
+// oomBroadcastRounds bounds how many times an exhausted allocator
+// broadcasts memory pressure and yields before returning
+// ErrOutOfMemory, giving every peer a chance to answer with a purging
+// flush (see Scheme.memPressure).
+const oomBroadcastRounds = 64
 
 // AllocNode removes a node from the free-list and returns it with one
 // guarded reference (paper Figure 5, lines A1–A18).
@@ -23,10 +30,37 @@ func (t *Thread) AllocNode() (arena.Handle, error) {
 	helped := false               // A1
 	helpID := s.helpCurrent.Load() // A2
 	var steps uint64
+	broadcasts := 0
 	for { // A3
 		t.at(PA3)
 		steps++
 		if steps > uint64(s.lim) {
+			// Footnote-4 rule, deferred amendment: pending deferred
+			// decrements are reclaimable memory, so the deferred variant
+			// flushes its own cache/ZCT before declaring exhaustion and
+			// retries with a fresh budget whenever the flush actually
+			// freed nodes.  Each retry is paid for by at least one
+			// reclaimed node, so the loop stays bounded (at most Nodes
+			// extra rounds over the whole run).
+			if s.deferred {
+				if freed := t.flushDeferred(true); freed > 0 {
+					steps = 0 // budget re-armed; paid for by freed nodes
+					continue
+				}
+				// Nothing left in our own caches, but peers may hold
+				// reclaimable slack in theirs (which only they can
+				// flush).  Broadcast memory pressure and yield a bounded
+				// number of times before declaring exhaustion; each
+				// round re-arms the budget, so the whole call stays
+				// bounded by oomBroadcastRounds·lim extra steps.
+				if broadcasts < oomBroadcastRounds {
+					broadcasts++
+					s.memPressure.v.Store(1)
+					runtime.Gosched()
+					steps = 0
+					continue
+				}
+			}
 			t.stats.NoteAlloc(steps)
 			return arena.Nil, ErrOutOfMemory
 		}
@@ -81,12 +115,17 @@ func (t *Thread) freeNode(node arena.Handle) {
 	helpID := s.helpCurrent.Load()                               // F1
 	s.helpCurrent.CompareAndSwap(helpID, (helpID+1)%int64(s.n)) // F2
 	t.at(PF3)
-	s.ar.Ref(node).Add(2) // erratum: hand over at mm_ref==3, as line A12 does
-	if s.annAlloc[helpID].v.CompareAndSwap(0, uint64(node)) { // F3
-		t.stats.NoteFree(1)
-		return
+	// The F3 offer is best-effort helping; when the target cell is
+	// observed occupied, skip it with one load instead of paying the
+	// erratum's +2/CAS/-2 round trip just to have the CAS decline.
+	if s.annAlloc[helpID].v.Load() == 0 {
+		s.ar.Ref(node).Add(2) // erratum: hand over at mm_ref==3, as line A12 does
+		if s.annAlloc[helpID].v.CompareAndSwap(0, uint64(node)) { // F3
+			t.stats.NoteFree(1)
+			return
+		}
+		s.ar.Ref(node).Add(-2) // offer declined; back to the free-list value 1
 	}
-	s.ar.Ref(node).Add(-2) // offer declined; back to the free-list value 1
 	// F4–F6: pick whichever of this thread's two list heads the
 	// allocators are not working on.
 	current := s.currentFreeList.Load()
@@ -120,4 +159,18 @@ func (t *Thread) Release(h arena.Handle) { t.ReleaseRef(h) }
 
 // Copy implements mm.Thread: it duplicates a guarded reference the
 // thread already holds (the paper's FixRef(node, 2)).
-func (t *Thread) Copy(h arena.Handle) { t.FixRef(h, 2) }
+//
+// On the deferred variant the duplicate is taken as a pin guard when the
+// set has room: Copy's precondition — the thread already holds a guard
+// on h — makes a fresh publication safe without revalidation (a pin
+// guard on h would be a cache hit, so a miss means the existing guard is
+// counted and holds the count ≥ 2 until its release, which happens after
+// this publish).  Only a full set pays the shared FAA.
+func (t *Thread) Copy(h arena.Handle) {
+	if t.s.deferred && h != arena.Nil {
+		if j, _ := t.pinAcquire(h); j >= 0 {
+			return
+		}
+	}
+	t.FixRef(h, 2)
+}

@@ -18,6 +18,18 @@ func (t *Thread) Load(l mm.LinkID) mm.Ptr { return t.s.ar.LoadLink(l) }
 // link are helped before the link's reference to the old target is
 // released — the ordering the paper's Lemma 3 depends on.
 func (t *Thread) CASLink(l mm.LinkID, old, new mm.Ptr) bool {
+	if old.Handle() == new.Handle() {
+		// Mark-only update: the link's reference stays on the same node
+		// whether the CAS wins or loses, so the +2/-2 round trip below
+		// would cancel exactly — skip it.  Helping still runs: a pending
+		// announcer's guard names the same node either way.
+		if t.s.ar.CASLinkRaw(l, old, new) {
+			t.HelpDeRef(l)
+			return true
+		}
+		t.stats.CASFailures++
+		return false
+	}
 	if h := new.Handle(); h != arena.Nil {
 		// Register the link's prospective reference while the caller's
 		// own guarded reference still protects the node.

@@ -98,6 +98,63 @@ type Config struct {
 	// selects a default that is safely above the wait-freedom bound for
 	// Threads participants.
 	AllocRetryLimit int
+	// Deferred selects the deferred-decrement variant ("waitfree-deferred"):
+	// DeRefLink guards nodes through a per-thread pin table instead of an
+	// immediate FAA on the shared count, ReleaseRef batches decrements in a
+	// thread-local delta cache, and a ZCT-style flush applies the deltas
+	// and reclaims zero-count unpinned nodes.  See deferred.go.
+	Deferred bool
+}
+
+// PinSlots is the per-thread pin-table capacity of the deferred variant.
+// The table is a 2-way set-associative cache keyed by handle (pinWays,
+// pinSetMask in deferred.go): a dereference whose set is full of live
+// guards falls back to a counted (immediate FAA) guard, so the size
+// affects performance, never correctness.  64 slots keep that fallback
+// rare under the skiplist's ~2·(maxLevel+2) simultaneous guards.
+const PinSlots = 64
+
+// pinRow is one thread's pin table: published handles that protect nodes
+// without touching their shared reference count.  Slots are written only
+// by the owning thread but read by every flushing thread's ZCT scan, so
+// the row is padded against false sharing with its neighbours.  live
+// counts the non-empty slots; the owner increments it *before* a fresh
+// publish and decrements *after* a clear, so a scanner reading live==0
+// is guaranteed every slot reads 0 too and may skip the row
+// (pinnedByOther uses this to skip threads with nothing published).
+type pinRow struct {
+	slot [PinSlots]atomic.Uint64 // raw Handles; 0 = empty
+	live atomic.Int64            // non-empty slots (owner-maintained)
+	_    [7]uint64
+}
+
+// dcacheSize is the direct-mapped delta-cache capacity (entries) of the
+// deferred variant; a power of two.
+const dcacheSize = 256
+
+// deferredFlushInterval bounds how many deferred decrements a thread may
+// buffer before a full flush.  Per-thread reclamation slack stays
+// bounded regardless (at most dcacheSize distinct nodes wait in the
+// cache, a collision applies the evicted entry immediately, and
+// AllocNode flushes on out-of-memory), so the interval only trades flush
+// amortization against how long a zero-count node may linger.
+const deferredFlushInterval = 2048
+
+// dEntry is one delta-cache entry: a node handle and how many 2-unit
+// decrements are pending against it.
+type dEntry struct {
+	h   arena.Handle
+	dec uint32
+}
+
+// pinEntry is one owner-private pin-cache slot: the published handle and
+// the number of live local guards on it (refs==0 with h!=Nil marks a
+// sticky cached publication).  16 bytes, so a 2-way set shares one cache
+// line.
+type pinEntry struct {
+	h    arena.Handle
+	refs uint32
+	_    uint32
 }
 
 // Scheme is the wait-free reference-counting memory manager.  It
@@ -137,6 +194,48 @@ type Scheme struct {
 	// behaviour for schedule-exploration tests (see
 	// TestingSetLegacyAnnIndex).  Never set in production.
 	legacyAnnIndex bool
+
+	// deferred selects the deferred-decrement variant (Config.Deferred);
+	// pins is its per-thread pin table (one row per thread slot).
+	deferred bool
+	pins     []pinRow
+
+	// annPending counts open D3–D6 announcement windows, maintained only
+	// on the deferred variant (raised before the D3 store, lowered after
+	// the D6 swap).  Announcements are rare there — only the pin
+	// fallback and helper paths announce — so HelpDeRef short-circuits
+	// its row scan with one load when the counter is zero; a zero read
+	// is conclusive because an announcer whose raise is not yet visible
+	// ordered its D4 link read after the helper's link update and needs
+	// no help.  The immediate scheme announces on every DeRefLink and
+	// never consults the counter, so it does not pay the two extra RMWs.
+	annPending padI64
+
+	// memPressure is the deferred variant's out-of-memory broadcast.  An
+	// allocator that exhausted the free-lists and found nothing to
+	// reclaim in its own caches raises the flag; every thread checks it
+	// when buffering a counted decrement and answers with a purging
+	// flush, surrendering its cached decrements, ZCT candidates, and
+	// released sticky pins.  Without the broadcast a thread's
+	// reclaimable memory is reachable only through its own flush
+	// triggers, and on small arenas the other threads' bounded slack
+	// alone can exhaust the free-lists (footnote-4 amendment, see
+	// AllocNode).
+	memPressure padI64
+
+	// forceAnnounce makes the deferred variant's DeRefLink skip the
+	// pin-and-revalidate fast path and always take the announced path,
+	// so tests can drive the D3–D6 window deterministically (see
+	// TestingSetDeferredForceAnnounce).  Never set in production.
+	forceAnnounce bool
+
+	// orphans holds ZCT entries a thread could not retire before
+	// Unregister (a peer still held a pin on them); the next flushing
+	// thread adopts them.  orphanN mirrors len(orphans) so the flush
+	// hot path can skip the lock.
+	orphanMu sync.Mutex
+	orphans  []arena.Handle
+	orphanN  atomic.Int64
 }
 
 // HelpEvent describes one successfully answered dereference
@@ -222,6 +321,10 @@ func New(ar *arena.Arena, cfg Config) (*Scheme, error) {
 		annAlloc: make([]padU64, n),
 		regUsed:  make([]bool, n),
 		tags:     make([]atomic.Uint64, n),
+		deferred: cfg.Deferred,
+	}
+	if cfg.Deferred {
+		s.pins = make([]pinRow, n)
 	}
 	for i := range s.ann {
 		s.ann[i].slots = make([]annSlot, n)
@@ -253,7 +356,16 @@ func MustNew(ar *arena.Arena, cfg Config) *Scheme {
 }
 
 // Name implements mm.Scheme.
-func (s *Scheme) Name() string { return "waitfree-rc" }
+func (s *Scheme) Name() string {
+	if s.deferred {
+		return "waitfree-deferred"
+	}
+	return "waitfree-rc"
+}
+
+// Deferred reports whether the scheme runs the deferred-decrement
+// variant.
+func (s *Scheme) Deferred() bool { return s.deferred }
 
 // Arena implements mm.Scheme.
 func (s *Scheme) Arena() *arena.Arena { return s.ar }
@@ -351,16 +463,61 @@ type Thread struct {
 	stats    mm.OpStats
 	relStack []arena.Handle // reusable worklist for cascading releases
 	hook     func(Point)    // test-only interleaving hook; nil in production
+
+	// Deferred-variant state (unused on the immediate scheme).  All
+	// fields are owner-private; only the pin row (in Scheme.pins, indexed
+	// by id) is shared with other threads' ZCT scans.
+	pinCache    [PinSlots]pinEntry // owner-private mirror of the shared pin row
+	dcache      [dcacheSize]dEntry // direct-mapped pending decrements
+	dLive       int                // occupied dcache entries (flush fast-exit)
+	dSinceFlush int                // deferred decs since the last full flush
+	zct         []arena.Handle     // zero-count table: reclaim candidates
+	inFlush     bool               // reentrancy guard for flushDeferred
+
+	// fastDeRefs counts pin-cache dereference hits not yet folded into
+	// stats.  The fast path would otherwise pay three counter writes
+	// (DeRefs, DeRefHist bucket 0, PinFastPaths) per dereference; it
+	// pays one here and Stats folds the total into all three on read.
+	fastDeRefs uint64
+	// fastNilDeRefs is the same batching for nil-handle dereferences,
+	// which take no guard and therefore fold into DeRefs and bucket 0
+	// only — never PinFastPaths.
+	fastNilDeRefs uint64
 }
 
 // ID implements mm.Thread.
 func (t *Thread) ID() int { return t.id }
 
-// Stats implements mm.Thread.
-func (t *Thread) Stats() *mm.OpStats { return &t.stats }
+// Stats implements mm.Thread.  Pin-cache dereference hits are batched
+// in a single counter on the hot path; fold them into the three stats
+// they represent before handing the struct out.
+func (t *Thread) Stats() *mm.OpStats {
+	if n := t.fastDeRefs; n != 0 {
+		t.fastDeRefs = 0
+		t.stats.DeRefs += n
+		t.stats.DeRefHist.Buckets[0] += n
+		t.stats.PinFastPaths += n
+	}
+	if n := t.fastNilDeRefs; n != 0 {
+		t.fastNilDeRefs = 0
+		t.stats.DeRefs += n
+		t.stats.DeRefHist.Buckets[0] += n
+	}
+	return &t.stats
+}
 
-// Unregister implements mm.Thread.
-func (t *Thread) Unregister() { t.s.unregister(t.id) }
+// Unregister implements mm.Thread.  On the deferred variant the
+// thread's pending state is retired first: leftover pins are promoted to
+// counted references (so guards the caller still legitimately holds stay
+// visible to the count audit once the pin row goes away), the delta
+// cache is flushed, and the ZCT is drained — entries a peer still pins
+// are handed to the scheme's orphan list for the next flusher to adopt.
+func (t *Thread) Unregister() {
+	if t.s.deferred {
+		t.retireDeferred()
+	}
+	t.s.unregister(t.id)
+}
 
 // BeginOp implements mm.Thread (no-op: reference counts guard nodes).
 func (t *Thread) BeginOp() {}
@@ -404,6 +561,11 @@ const (
 	PA5 // currentFreeList read, list head not yet read
 	PF7 // one free-list insertion attempt, head not yet read
 
+	// Deferred-variant points (see deferred.go).
+	PP2  // pin published, link revalidation read not yet performed
+	PFL1 // one flush delta applied to mm_ref, zero check not yet acted on
+	PZ1  // ZCT pin scan found no pins, reclaim election CAS not yet tried
+
 	// NumPoints is the number of hook points (for tables indexed by
 	// Point).
 	NumPoints
@@ -413,6 +575,7 @@ var pointNames = [...]string{
 	PD3: "PD3", PD4: "PD4", PD6: "PD6", PH4: "PH4", PH6: "PH6",
 	PA9: "PA9", PA12: "PA12", PF3: "PF3", PF9: "PF9", PR2: "PR2",
 	PD1: "PD1", PH2: "PH2", PR1: "PR1", PA3: "PA3", PA5: "PA5", PF7: "PF7",
+	PP2: "PP2", PFL1: "PFL1", PZ1: "PZ1",
 }
 
 // String returns the paper line label of the hook point.

@@ -35,6 +35,7 @@ func FuzzHashmap(f *testing.F) {
 				}
 				defer th.Unregister()
 				audit := func() {
+					schemes.Flush(th)
 					for _, err := range schemes.AuditRC(s, nil) {
 						t.Error(err)
 					}

@@ -65,6 +65,7 @@ func FuzzListVsMap(f *testing.F) {
 		}
 		// Live entries are referenced by list links only; the audit needs
 		// no extra held references.
+		schemes.Flush(th)
 		for _, err := range schemes.AuditRC(s, nil) {
 			t.Error(err)
 		}

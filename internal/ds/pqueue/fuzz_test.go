@@ -82,6 +82,7 @@ func FuzzPQueueVsHeap(f *testing.F) {
 		if pq.Len() != model.Len() {
 			t.Fatalf("Len = %d, model %d", pq.Len(), model.Len())
 		}
+		schemes.Flush(th)
 		for _, err := range schemes.AuditRC(s, nil) {
 			t.Error(err)
 		}

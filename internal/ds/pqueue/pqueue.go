@@ -127,9 +127,15 @@ type tower struct {
 
 func (tw *tower) release(t mm.Thread, pq *PQueue) {
 	for i := 0; i < pq.maxLevel; i++ {
-		t.Release(tw.predNodes[i])
-		t.Release(tw.succs[i].Handle())
-		tw.predNodes[i] = arena.Nil
+		// Release(Nil) is a no-op; skipping it here avoids two interface
+		// calls per empty level on this per-operation path.
+		if h := tw.predNodes[i]; h != arena.Nil {
+			t.Release(h)
+			tw.predNodes[i] = arena.Nil
+		}
+		if h := tw.succs[i].Handle(); h != arena.Nil {
+			t.Release(h)
+		}
 		tw.succs[i] = arena.NilPtr
 	}
 }

@@ -34,6 +34,7 @@ func FuzzStack(f *testing.F) {
 				}
 				defer th.Unregister()
 				audit := func() {
+					schemes.Flush(th)
 					for _, err := range schemes.AuditRC(s, nil) {
 						t.Error(err)
 					}

@@ -134,6 +134,16 @@ type OpStats struct {
 	FreeMaxSteps uint64
 	// CASFailures counts failed CAS operations on links and list heads.
 	CASFailures uint64
+	// PinFastPaths counts DeRef calls satisfied by the deferred variant's
+	// pin-and-revalidate fast path (no announcement, no shared FAA).
+	PinFastPaths uint64
+	// DeferredDecs counts release decrements buffered in the deferred
+	// variant's delta cache instead of applied immediately.
+	DeferredDecs uint64
+	// DeferredFlushes counts full flush passes of the deferred variant
+	// (cache pressure, explicit Flush, alloc out-of-memory retries and
+	// Unregister).
+	DeferredFlushes uint64
 	// Retired counts Retire calls (hazard/epoch schemes).
 	Retired uint64
 	// Scans counts reclamation scans (hazard-pointer scan passes or epoch
@@ -208,6 +218,9 @@ func (s *OpStats) merge(o *OpStats, by uint32) {
 		s.FreeMaxBy = ownerOf(o.FreeMaxBy, by)
 	}
 	s.CASFailures += o.CASFailures
+	s.PinFastPaths += o.PinFastPaths
+	s.DeferredDecs += o.DeferredDecs
+	s.DeferredFlushes += o.DeferredFlushes
 	s.Retired += o.Retired
 	s.Scans += o.Scans
 	s.DeRefHist.Merge(&o.DeRefHist)

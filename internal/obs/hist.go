@@ -25,13 +25,20 @@ type LatencyHist struct {
 	sumNS   atomic.Uint64
 }
 
-// Record adds one observation.  Wait-free, zero-alloc.
+// Record adds one observation.  Wait-free, zero-alloc.  Sub-nanosecond
+// (0ns) observations — possible on coarse clocks whose two readings tie
+// — land in bucket 0 without distorting the recorded sum; negative
+// durations (clock steps) are treated as 0ns rather than wrapping to
+// the top bucket.
 func (h *LatencyHist) Record(d time.Duration) {
-	ns := uint64(d.Nanoseconds())
-	if ns == 0 {
-		ns = 1
+	var ns uint64
+	if d > 0 {
+		ns = uint64(d.Nanoseconds())
 	}
 	b := bits.Len64(ns) - 1
+	if b < 0 {
+		b = 0 // bits.Len64(0) == 0: a 0ns sample must not index bucket -1
+	}
 	if b >= LatencyHistBuckets {
 		b = LatencyHistBuckets - 1
 	}

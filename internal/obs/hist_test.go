@@ -37,15 +37,29 @@ func TestLatencyHistSnapshot(t *testing.T) {
 
 func TestLatencyHistExtremes(t *testing.T) {
 	var h LatencyHist
-	h.Record(0)                 // clamps to 1ns, bucket 0
+	h.Record(0)                 // 0ns: bits.Len64(0)-1 == -1 must clamp to bucket 0
 	h.Record(time.Hour)         // beyond the last bucket: clamps there
-	h.Record(-time.Millisecond) // negative wraps via uint64: clamps to last bucket
+	h.Record(-time.Millisecond) // negative (clock step): treated as 0ns, bucket 0
 	snap := h.Snapshot()
 	if snap.Count != 3 {
 		t.Fatalf("count = %d", snap.Count)
 	}
-	if snap.P50NS == 0 {
-		t.Errorf("p50 = 0 despite records")
+	if snap.P50NS != 2 {
+		t.Errorf("p50 = %d, want 2 (upper bound of bucket 0 holding both 0ns samples)", snap.P50NS)
+	}
+	if snap.SumNS != uint64(time.Hour.Nanoseconds()) {
+		t.Errorf("sum = %d, want %d (0ns and negative samples must not contribute)",
+			snap.SumNS, time.Hour.Nanoseconds())
+	}
+	// Bucket-0 regression: a single 0ns sample lands in buckets[0], not
+	// buckets[-1] (which would corrupt the adjacent field or panic).
+	var z LatencyHist
+	z.Record(0)
+	if got := z.buckets[0].Load(); got != 1 {
+		t.Fatalf("0ns sample: buckets[0] = %d, want 1", got)
+	}
+	if z.sumNS.Load() != 0 {
+		t.Errorf("0ns sample inflated sum to %d", z.sumNS.Load())
 	}
 }
 

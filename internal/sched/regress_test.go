@@ -72,6 +72,15 @@ var regressionSeeds = []struct {
 		minNotes: map[string]int64{"helps-given": 1, "cas-failures": 1},
 	},
 	{
+		scenario: "deferred-flush-vs-help",
+		seed:     7,
+		about:    "writer answers the owner's announcement at D6 while the owner's delta cache holds the target's pending decrement; both flushes run with the guard live",
+		minNotes: map[string]int64{
+			"helps-given": 1, "helps-received": 1,
+			"owner-flush": 2, "writer-flush": 1, "installs": 1,
+		},
+	},
+	{
 		scenario: "slot-lease-churn",
 		seed:     11,
 		about:    "writer's CAS helps a lessee's announcement across a lease release boundary",

@@ -523,6 +523,69 @@ func buildDFSAllocFree(w *World) {
 	})
 }
 
+// --- deferred-flush-vs-help -------------------------------------------------
+
+// buildDeferredFlushVsHelp races the deferred variant's flush against
+// the helping protocol.  The owner's delta cache holds a pending
+// decrement for the root's target from setup; the owner then announces
+// a dereference of that same node (announced path forced) and flushes
+// while its dereference guard — a pin, or a helper-granted counted
+// reference when the writer answers at D6 — is still live.  The flush
+// applies the pending decrement, which may drive the applied count to
+// zero, but the ZCT drain must never claim the node for reclamation
+// while the guard exists: pinnedByAny keeps pinned candidates, and a
+// counted guard keeps the count nonzero.  The mid-run oddness check
+// (mm_ref odd means the CAS(0,1) election was won) plus the quiescent
+// audit assert exactly that on every explored interleaving.
+func buildDeferredFlushVsHelp(w *World) {
+	ar := arena.MustNew(arena.Config{Nodes: 6, LinksPerNode: 1, ValsPerNode: 1, RootLinks: 1})
+	s := core.MustNew(ar, core.Config{Threads: 2, Deferred: true})
+	s.TestingSetDeferredForceAnnounce(true)
+	tO, tW := mustRegister(s), mustRegister(s)
+	root := ar.NewRoot()
+	hA, hB := mustAlloc(tO), mustAlloc(tO)
+	tO.StoreLink(root, arena.MakePtr(hA, false))
+	tO.ReleaseRef(hA) // buffered: the pending decrement the flush will apply
+
+	w.Spawn("owner", func(t *T) {
+		t.Instrument(tO)
+		p := tO.DeRefLink(root)
+		w.Note("owner-deref", 1)
+		tO.Flush() // applies the setup decrement under the live guard
+		w.Note("owner-flush", 1)
+		if h := p.Handle(); h != arena.Nil {
+			if ref := ar.Ref(h).Load(); ref&1 != 0 {
+				panic(fmt.Sprintf(
+					"deferred-flush-vs-help: guarded node %d claimed for reclamation (mm_ref=%d)", h, ref))
+			}
+			tO.ReleaseRef(h)
+		}
+		tO.Flush()
+		w.Note("owner-flush", 1)
+	})
+	w.Spawn("writer", func(t *T) {
+		t.Instrument(tW)
+		if tW.CASLink(root, arena.MakePtr(hA, false), arena.MakePtr(hB, false)) {
+			w.Note("installs", 1)
+		}
+		tW.ReleaseRef(hB)
+		tW.Flush()
+		w.Note("writer-flush", 1)
+	})
+
+	w.AtEnd(func() error {
+		for _, ct := range []*core.Thread{tO, tW} {
+			ct.SetHook(nil)
+			ct.Unregister()
+		}
+		noteCoreStats(w, tO, tW)
+		if w.notes["installs"] != 1 {
+			return fmt.Errorf("uncontended CAS install failed (installs=%d)", w.notes["installs"])
+		}
+		return SortedErrors(s.Audit(nil))
+	})
+}
+
 func init() {
 	Register(Scenario{
 		Name:  "deref-vs-swap",
@@ -555,6 +618,11 @@ func init() {
 		Name:  "queue-spsc",
 		About: "lock-free queue, one producer one consumer, FIFO assertion under full instrumentation",
 		Build: buildQueueSPSC,
+	})
+	Register(Scenario{
+		Name:  "deferred-flush-vs-help",
+		About: "deferred variant: ZCT flush under a live guard vs a helper answering at D6; guarded node must survive",
+		Build: buildDeferredFlushVsHelp,
 	})
 	Register(Scenario{
 		Name:  "dfs-deref-pair",

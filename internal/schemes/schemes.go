@@ -44,22 +44,26 @@ var OnNewWaitFree func(*core.Scheme)
 // Factory names and constructs one memory-management scheme.
 type Factory struct {
 	// Name is the scheme identifier used in test names and benchmark
-	// output: waitfree, valois, hazard, epoch, lockrc.
+	// output: waitfree, waitfree-deferred, valois, hazard, epoch, lockrc.
 	Name string
 	// New builds a fresh scheme over a fresh arena.
 	New func(acfg arena.Config, opts Options) (mm.Scheme, error)
 }
 
-// Factories returns all five schemes: the paper's wait-free contribution
-// plus the four baselines.
+// Factories returns all six schemes: the paper's wait-free contribution,
+// its deferred-decrement variant, and the four baselines.
 func Factories() []Factory {
-	return []Factory{
-		{Name: "waitfree", New: func(acfg arena.Config, o Options) (mm.Scheme, error) {
+	newCore := func(deferred bool) func(acfg arena.Config, o Options) (mm.Scheme, error) {
+		return func(acfg arena.Config, o Options) (mm.Scheme, error) {
 			ar, err := arena.New(acfg)
 			if err != nil {
 				return nil, err
 			}
-			s, err := core.New(ar, core.Config{Threads: o.Threads, AllocRetryLimit: o.AllocRetryLimit})
+			s, err := core.New(ar, core.Config{
+				Threads:         o.Threads,
+				AllocRetryLimit: o.AllocRetryLimit,
+				Deferred:        deferred,
+			})
 			if err != nil {
 				return nil, err
 			}
@@ -67,7 +71,11 @@ func Factories() []Factory {
 				OnNewWaitFree(s)
 			}
 			return s, nil
-		}},
+		}
+	}
+	return []Factory{
+		{Name: "waitfree", New: newCore(false)},
+		{Name: "waitfree-deferred", New: newCore(true)},
 		{Name: "valois", New: func(acfg arena.Config, o Options) (mm.Scheme, error) {
 			ar, err := arena.New(acfg)
 			if err != nil {
@@ -126,6 +134,25 @@ func Names() []string {
 		names[i] = f.Name
 	}
 	return names
+}
+
+// Flush applies any decrements buffered thread-locally by deferred
+// schemes (the waitfree-deferred delta cache and ZCT), so a subsequent
+// AuditRC sees exact counts; it is a no-op for threads without buffered
+// state.  Like AuditRC it is a quiescence-only call, and each thread
+// must be flushed from its own goroutine.
+func Flush(threads ...mm.Thread) {
+	// Two passes: a flush keeps ZCT candidates that another thread's
+	// sticky pin cache still publishes, and that cache is only purged by
+	// that thread's own flush — so a first round purges every cache and
+	// a second round reclaims the candidates the first round kept.
+	for pass := 0; pass < 2; pass++ {
+		for _, th := range threads {
+			if f, ok := th.(interface{ Flush() }); ok {
+				f.Flush()
+			}
+		}
+	}
 }
 
 // AuditRC runs the reference-counting audit on schemes that support it

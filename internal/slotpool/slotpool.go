@@ -176,6 +176,18 @@ const (
 	leaseRevoked
 )
 
+// deadlineClaimed is the sentinel the reaper CASes into a lease's
+// deadline to claim an observed expiry before revoking.  The claim
+// arbitrates the reaper-vs-Renew race: a Renew that lands between the
+// reaper's deadline read and its claim moves the deadline, the claim
+// CAS fails and the revocation is abandoned — so a Renew that returned
+// true is never overridden by a revocation based on the stale deadline
+// it replaced.  Conversely a Renew that observes the sentinel reports
+// the lease dead instead of resurrecting a slot the reaper is already
+// recycling (which would put two users on one thread bundle and run
+// the reuse audit against a still-active holder).
+const deadlineClaimed int64 = -1
+
 // Lease is exclusive use of one slot's thread bundle.  A Lease belongs
 // to one goroutine; only Release is safe to call concurrently (it is
 // idempotent and races benignly with reaper revocation).
@@ -377,13 +389,28 @@ func (l *Lease) Thread(shard int) mm.Thread {
 
 // Renew pushes the lease's expiry deadline out by another LeaseTTL.
 // Long-lived holders (streaming handlers) call it between requests.
-// It reports false when the lease is no longer active.
+// It reports false when the lease is no longer active or the reaper has
+// already claimed its expired deadline; true guarantees the reaper will
+// not revoke on any deadline observed before this renewal.
 func (l *Lease) Renew() bool {
 	if l.state.Load() != leaseActive {
 		return false
 	}
 	if l.p.cfg.LeaseTTL > 0 {
-		atomic.StoreInt64(&l.deadline, time.Now().Add(l.p.cfg.LeaseTTL).UnixNano())
+		next := time.Now().Add(l.p.cfg.LeaseTTL).UnixNano()
+		for {
+			cur := atomic.LoadInt64(&l.deadline)
+			if cur == deadlineClaimed {
+				// The reaper claimed the expiry; revocation is in
+				// flight and the slot may already be with the next
+				// lessee.  Reporting success here is the race the
+				// claim protocol exists to close.
+				return false
+			}
+			if atomic.CompareAndSwapInt64(&l.deadline, cur, next) {
+				return true
+			}
+		}
 	}
 	return true
 }
@@ -400,8 +427,18 @@ func (l *Lease) Release() {
 	l.p.recycle(l.s)
 }
 
-// revoke is the reaper-side termination of an expired lease.
-func (l *Lease) revoke() bool {
+// revoke is the reaper-side termination of an expired lease.  observed
+// is the expired deadline the caller read; revoke first claims it, so a
+// Renew racing in between wins and the revocation aborts.  Callers that
+// have already claimed the deadline pass deadlineClaimed.  The lease
+// state CAS then makes revocation and voluntary Release mutually
+// exclusive — exactly one of them runs the reuse audit and recycles the
+// slot, never both.
+func (l *Lease) revoke(observed int64) bool {
+	if observed != deadlineClaimed &&
+		!atomic.CompareAndSwapInt64(&l.deadline, observed, deadlineClaimed) {
+		return false // a concurrent Renew moved the deadline: renewal wins
+	}
 	if !l.state.CompareAndSwap(leaseActive, leaseRevoked) {
 		return false
 	}
@@ -411,6 +448,21 @@ func (l *Lease) revoke() bool {
 	l.p.hook(PExpired)
 	l.p.recycle(l.s)
 	return true
+}
+
+// forceRevoke claims whatever deadline the lease currently carries and
+// then revokes unconditionally.  Close uses it after stopping the
+// reaper, when renewal must no longer save a lease: the claim loop
+// guarantees a concurrent Renew either finishes first (its deadline is
+// the one claimed) or observes the sentinel and returns false.
+func (l *Lease) forceRevoke() bool {
+	for {
+		cur := atomic.LoadInt64(&l.deadline)
+		if cur == deadlineClaimed ||
+			atomic.CompareAndSwapInt64(&l.deadline, cur, deadlineClaimed) {
+			return l.revoke(deadlineClaimed)
+		}
+	}
 }
 
 // recycle audits the slot's announcement rows and either returns it to
@@ -515,8 +567,8 @@ func (p *Pool) reap(interval time.Duration) {
 			if l == nil || l.state.Load() != leaseActive {
 				continue
 			}
-			if d := atomic.LoadInt64(&l.deadline); d != 0 && now > d {
-				l.revoke()
+			if d := atomic.LoadInt64(&l.deadline); d != 0 && d != deadlineClaimed && now > d {
+				l.revoke(d)
 			}
 		}
 		p.retryQuarantine()
@@ -552,7 +604,7 @@ func (p *Pool) Close() {
 	p.reapWG.Wait()
 	for _, s := range p.slots {
 		if l := s.lease.Load(); l != nil {
-			l.revoke()
+			l.forceRevoke()
 		}
 	}
 	for _, s := range p.slots {

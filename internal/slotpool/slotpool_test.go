@@ -455,3 +455,93 @@ func TestAnnotatorNotified(t *testing.T) {
 	l1.Release()
 	l2.Release()
 }
+
+// TestRenewRevokeRace pins the reaper-vs-Renew arbitration protocol,
+// meant to run under -race: the reaper reads a lease's deadline and
+// tries to revoke on it while the holder renews concurrently.  Exactly
+// one side may win — a Renew that returned true must never be
+// overridden by a revocation based on the stale deadline it replaced
+// (before the deadline-claim CAS the reaper could revoke a just-renewed
+// lease and hand its slot to the next lessee while the renewed holder
+// kept operating on it).
+func TestRenewRevokeRace(t *testing.T) {
+	s := newCore(t, 64, 2)
+	p := MustNew(Config{Slots: 1, LeaseTTL: time.Hour}, s)
+	defer p.Close()
+
+	iters := 1000
+	if testing.Short() {
+		iters = 100
+	}
+	for i := 0; i < iters; i++ {
+		l, err := p.Lease(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		observed := atomic.LoadInt64(&l.deadline) // the reaper's read
+		var renewOK, revoked bool
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); renewOK = l.Renew() }()
+		go func() { defer wg.Done(); revoked = l.revoke(observed) }()
+		wg.Wait()
+		if renewOK == revoked {
+			t.Fatalf("iter %d: Renew=%v revoke=%v, want exactly one winner", i, renewOK, revoked)
+		}
+		if renewOK {
+			l.Thread(0) // must not panic: the renewed lease survived
+			l.Release()
+		}
+		if got := len(p.free); got != 1 {
+			t.Fatalf("iter %d: free queue holds %d slots, want 1 (slot lost or doubled)", i, got)
+		}
+	}
+	st := p.Stats()
+	if st.Releases+st.Expiries != uint64(iters) {
+		t.Fatalf("releases(%d)+expiries(%d) = %d, want %d (exactly one recycle per lease)",
+			st.Releases, st.Expiries, st.Releases+st.Expiries, iters)
+	}
+	if st.Quarantined != 0 {
+		t.Fatalf("quarantined = %d, want 0 (leaked quarantine entry)", st.Quarantined)
+	}
+}
+
+// TestReleaseRevokeRace races a voluntary Release against a reaper
+// revocation of the same lease: exactly one of them may run the reuse
+// audit and recycle the slot.  A double recycle would enqueue the slot
+// twice into the capacity-1 free channel (blocking forever) or leak a
+// quarantine entry for a slot that is simultaneously back in
+// circulation.
+func TestReleaseRevokeRace(t *testing.T) {
+	s := newCore(t, 64, 2)
+	p := MustNew(Config{Slots: 1, LeaseTTL: time.Hour}, s)
+	defer p.Close()
+
+	iters := 1000
+	if testing.Short() {
+		iters = 100
+	}
+	for i := 0; i < iters; i++ {
+		l, err := p.Lease(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		observed := atomic.LoadInt64(&l.deadline)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); l.Release() }()
+		go func() { defer wg.Done(); l.revoke(observed) }()
+		wg.Wait()
+		if got := len(p.free); got != 1 {
+			t.Fatalf("iter %d: free queue holds %d slots, want 1", i, got)
+		}
+	}
+	st := p.Stats()
+	if st.Releases+st.Expiries != uint64(iters) {
+		t.Fatalf("releases(%d)+expiries(%d) = %d, want %d (double recycle or lost lease)",
+			st.Releases, st.Expiries, st.Releases+st.Expiries, iters)
+	}
+	if st.Quarantined != 0 {
+		t.Fatalf("quarantined = %d, want 0", st.Quarantined)
+	}
+}

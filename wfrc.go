@@ -111,11 +111,22 @@ type SchemeConfig struct {
 	// HazardSlots sets hazard pointers per thread for NewHazard (0 keeps
 	// the default of 8).
 	HazardSlots int
+	// Deferred selects the wait-free scheme's deferred-decrement variant
+	// ("waitfree-deferred"): dereference guards go through a per-thread
+	// pin table and release decrements are batched in a thread-local
+	// delta cache with ZCT-style flushing, eliminating the two shared
+	// fetch-and-adds on the DeRef/Release hot path.
+	Deferred bool
 }
 
-// NewWaitFree creates the paper's wait-free reference-counting scheme.
+// NewWaitFree creates the paper's wait-free reference-counting scheme
+// (or its deferred-decrement variant when cfg.Deferred is set).
 func NewWaitFree(ar *Arena, cfg SchemeConfig) (Scheme, error) {
-	return core.New(ar, core.Config{Threads: cfg.Threads, AllocRetryLimit: cfg.AllocRetryLimit})
+	return core.New(ar, core.Config{
+		Threads:         cfg.Threads,
+		AllocRetryLimit: cfg.AllocRetryLimit,
+		Deferred:        cfg.Deferred,
+	})
 }
 
 // MustNewWaitFree is NewWaitFree but panics on error.
