@@ -39,6 +39,7 @@ func main() {
 		ops        = flag.Int("ops", 0, "operations per thread per data point (default: per-experiment)")
 		schemeList = flag.String("schemes", "", "comma-separated scheme subset (default: all)")
 		quick      = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+		grow       = flag.Bool("grow", false, "also run growable-arena variants of e1/e7: wait-free schemes start on a small initial segment with the same capacity ceiling and attach segments at runtime (README \"Capacity model\")")
 		list       = flag.Bool("list", false, "list experiments and schemes, then exit")
 		csvOut     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut    = flag.String("json", "BENCH_results.json", "write machine-readable results here ('' disables)")
@@ -73,6 +74,7 @@ func main() {
 		MaxThreads:   *threads,
 		OpsPerThread: *ops,
 		Quick:        *quick,
+		Grow:         *grow,
 	}
 	if *schemeList != "" {
 		p.Schemes = strings.Split(*schemeList, ",")

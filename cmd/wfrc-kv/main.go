@@ -28,6 +28,8 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -42,13 +44,41 @@ func main() {
 	os.Exit(run())
 }
 
+// parseBytes parses a human-readable byte size: a non-negative integer
+// with an optional K, M, or G suffix (binary multiples, case
+// insensitive, optional trailing B/iB as in "512MiB").
+func parseBytes(s string) (uint64, error) {
+	orig := s
+	s = strings.TrimSpace(strings.ToUpper(s))
+	s = strings.TrimSuffix(s, "IB")
+	s = strings.TrimSuffix(s, "B")
+	var mult uint64 = 1
+	switch {
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid size %q (want e.g. 64M, 2G, 131072K)", orig)
+	}
+	if n > 0 && mult > ^uint64(0)/n {
+		return 0, fmt.Errorf("size %q overflows", orig)
+	}
+	return n * mult, nil
+}
+
 func run() int {
 	var (
 		addr       = flag.String("addr", ":7700", "listen address for the KV protocol")
 		obsAddr    = flag.String("obs-addr", "", "serve /metrics and /debug/pprof on this address")
 		shards     = flag.Int("shards", 4, "shard count (power of two); each shard is its own arena + scheme")
 		slots      = flag.Int("slots", 8, "thread slots per shard scheme (NR_THREADS) = leasable connection slots")
-		nodes      = flag.Int("nodes", 1<<16, "arena size per shard, in nodes")
+		nodes      = flag.Int("nodes", 1<<16, "initial arena segment per shard, in nodes")
+		maxMemory  = flag.String("max-memory", "", "total node-storage budget with K/M/G suffix (e.g. 256M); shards grow toward it by attaching arena segments at runtime, instead of being capped at -nodes (README \"Capacity model\")")
 		buckets    = flag.Int("buckets", 256, "hashmap buckets per shard (power of two)")
 		leaseTTL   = flag.Duration("lease-ttl", 30*time.Second, "slot lease expiry for dead connections")
 		leaseWait  = flag.Duration("lease-max-wait", 2*time.Second, "how long a connection waits for a slot before Busy")
@@ -73,6 +103,24 @@ func run() int {
 		},
 		LeaseTTL:     *leaseTTL,
 		LeaseMaxWait: *leaseWait,
+	}
+	if *maxMemory != "" {
+		budget, err := parseBytes(*maxMemory)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wfrc-kv: -max-memory: %v\n", err)
+			return 1
+		}
+		// The byte budget buys nodes: divide it evenly across shards and
+		// convert at this configuration's node size.  The ceiling only
+		// matters above -nodes; a budget smaller than the initial segments
+		// simply leaves the shards fixed.
+		perNode := cfg.Store.ArenaConfig().BytesPerNode()
+		maxNodes := int(budget / uint64(*shards) / uint64(perNode))
+		cfg.Store.MaxNodesPerShard = maxNodes
+		if maxNodes <= *nodes {
+			fmt.Fprintf(os.Stderr, "wfrc-kv: -max-memory %s = %d nodes/shard (%d B/node), not above -nodes %d; shards stay fixed\n",
+				*maxMemory, maxNodes, perNode, *nodes)
+		}
 	}
 	var inj *chaos.Injector
 	if *chaosDelay > 0 || *chaosYield > 0 {
@@ -192,8 +240,14 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	fmt.Printf("wfrc-kv: %d shards × %d slots, %d nodes/shard, listening on %s\n",
-		*shards, *slots, *nodes, ln.Addr())
+	if srv.Store().Growable() {
+		max := srv.Store().Capacity()[0].MaxNodes
+		fmt.Printf("wfrc-kv: %d shards × %d slots, %d nodes/shard growable to %d, listening on %s\n",
+			*shards, *slots, *nodes, max, ln.Addr())
+	} else {
+		fmt.Printf("wfrc-kv: %d shards × %d slots, %d nodes/shard (fixed), listening on %s\n",
+			*shards, *slots, *nodes, ln.Addr())
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
@@ -230,6 +284,17 @@ func run() int {
 	st := srv.Stats()
 	fmt.Printf("wfrc-kv: drained clean — %d conns served, %d busy rejects, %d lease expiries, 0 leaks, 0 hygiene violations\n",
 		st.ConnsTotal, st.Busy, st.Pool.Expiries)
+	if st.Growable {
+		attached := 0
+		for _, c := range st.Capacity {
+			attached += c.Segments
+		}
+		// The CI growable smoke step greps for "segments attached" and the
+		// count; the drain audit above already proved the leak audit holds
+		// across whatever was attached.
+		fmt.Printf("wfrc-kv: %d segments attached across %d shards (grew %d beyond initial), leak audit covered all segments\n",
+			attached, len(st.Capacity), attached-len(st.Capacity))
+	}
 	if inj != nil {
 		log := inj.Log()
 		fmt.Printf("wfrc-kv: chaos injected %d delays, %d preemption storms\n", log.Delays, log.Goscheds)

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParseBytes(t *testing.T) {
+	ok := []struct {
+		in   string
+		want uint64
+	}{
+		{"0", 0},
+		{"1024", 1024},
+		{"1K", 1 << 10},
+		{"64m", 64 << 20},
+		{"2G", 2 << 30},
+		{"512MiB", 512 << 20},
+		{"16kb", 16 << 10},
+		{" 8M ", 8 << 20},
+	}
+	for _, c := range ok {
+		got, err := parseBytes(c.in)
+		if err != nil {
+			t.Errorf("parseBytes(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("parseBytes(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	for _, in := range []string{"", "M", "12T", "-1K", "1.5G", "64MM"} {
+		if _, err := parseBytes(in); err == nil {
+			t.Errorf("parseBytes(%q) accepted, want error", in)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package alloc
+
+// Step bounds for the allocator's operations, in the same currency the
+// chaos package budgets the core's operations with (one counted step ≈
+// one shared-memory round trip).  An op's steps are re-armed across
+// segment attaches — a grow pays for its sweep with a whole segment of
+// fresh slots, mirroring the core's footnote-4 budget discipline — so
+// these bounds hold per paid-for attempt, which is what bounded
+// per-operation work means once growth is amortized (Blelloch–Wei
+// charge segment initialization the same way).
+//
+// The constants are derived like chaos.DefaultBudgets derives the
+// core's: a structural term (one sweep of the 2·P shard stacks, each
+// one CAS attempt) times a small contention factor covered by the
+// grant-cell guarantee — every winner re-donates its first win to the
+// rotating cursor, so a sweeping loser is served in O(P) successful
+// pops — plus slack for the constant bookkeeping.
+
+// AllocStepBound bounds Alloc's counted steps for an allocator shared
+// by `threads` threads.
+func AllocStepBound(threads int) uint64 { return uint64(8*threads + 16) }
+
+// FreeStepBound bounds Free's counted steps: the O(1) chain write plus,
+// on a seal, the shard push whose rotation (F10-style) retreats across
+// the 2·P stacks.
+func FreeStepBound(threads int) uint64 { return uint64(4*threads + 8) }

@@ -1,0 +1,44 @@
+package alloc
+
+// Point names an instrumentation point inside the allocator's
+// operations.  Like the core's hook points, each sits at a step
+// boundary where a context switch exposes a distinct interleaving; the
+// deterministic scheduler (internal/sched) yields at every one.
+type Point int
+
+const (
+	// PCache: Alloc entered, thread-private caches not yet consulted.
+	PCache Point = iota
+	// PPopCAS: a non-empty shard head was read, pop CAS not yet tried.
+	PPopCAS
+	// PGrant: a pop succeeded and the cursor thread's grant cell looked
+	// empty; the grant CAS has not yet been tried.
+	PGrant
+	// PGrow: the shard sweep found every stack empty; the segment
+	// registry CAS has not yet been tried.
+	PGrow
+	// PCarve: a fresh segment was attached; its blocks are not yet all
+	// pushed (racing poppers see the pool fill block by block).
+	PCarve
+	// PSealCAS: a block push is about to try its shard CAS (sealed
+	// free-blocks and carved segment blocks both pass through here).
+	PSealCAS
+	// PFreeChain: Free entered, slot not yet chained into the freeing
+	// block.
+	PFreeChain
+
+	// NumPoints is the number of hook points.
+	NumPoints
+)
+
+var pointNames = [NumPoints]string{
+	"PCache", "PPopCAS", "PGrant", "PGrow", "PCarve", "PSealCAS", "PFreeChain",
+}
+
+// String names the point for traces and failure reports.
+func (p Point) String() string {
+	if p >= 0 && p < NumPoints {
+		return pointNames[p]
+	}
+	return "P?"
+}

@@ -1,0 +1,109 @@
+package alloc
+
+import (
+	"sync/atomic"
+
+	"wfrc/internal/arena"
+)
+
+// NodePool is the growth backend for the node schemes: a block pool of
+// fresh arena handles carved from segments the pool attaches on demand.
+// The paper's free-list protocol (Figure 5) stays the allocation front
+// end — AllocNode still serves every request from the 2·NR_THREADS
+// free-lists — and the pool only feeds it: when the footnote-4 budget
+// concludes the free-lists are exhausted, the thread asks the pool for
+// one refill chain and splices it into its own free-list, re-arming its
+// budget.  Nodes never return to the pool; reclamation flows through
+// the paper's FreeNode exactly as before, so every lemma about the
+// free-lists is untouched (DESIGN.md §12).
+//
+// Refill chains are contiguous handle runs, so the receiving thread can
+// chain them through mm_next without touching shared state.
+type NodePool struct {
+	ar    *arena.Arena
+	pool  *sharedPool
+	chunk int
+
+	attaches atomic.Uint64
+	refills  atomic.Uint64
+}
+
+// NewNodePool builds the pool serving ar, or returns nil when ar is
+// fixed (callers treat a nil pool as "growth disabled", keeping the
+// pre-growable behaviour).
+func NewNodePool(ar *arena.Arena, threads int) *NodePool {
+	if ar == nil || !ar.Growable() {
+		return nil
+	}
+	// Split each segment into roughly 2·P chains so concurrently
+	// starving threads each get one without a second attach, but never
+	// below 16 nodes per chain (a refill must out-pay its splice).
+	chunk := ar.SegmentNodes() / (2 * threads)
+	if chunk < 16 {
+		chunk = 16
+	}
+	if chunk > ar.SegmentNodes() {
+		chunk = ar.SegmentNodes()
+	}
+	return &NodePool{ar: ar, pool: newSharedPool(threads), chunk: chunk}
+}
+
+// Refill hands the calling thread one exclusive chain of fresh, free
+// nodes (first..first+count-1, mm_ref already 1).  It pops a pending
+// chain if one exists, otherwise attaches a segment, keeps one chain
+// and publishes the rest; attached reports whether this call attached a
+// segment (the caller's stats distinguish cheap pops from attach
+// events).  ok=false means the arena is at MaxNodes and every pending
+// chain is taken: the caller's out-of-memory verdict stands.
+func (p *NodePool) Refill(tid int) (first arena.Handle, count int, attached, ok bool) {
+	var st popStats
+	for {
+		if it, popped := p.pool.pop(tid, &st); popped {
+			p.refills.Add(1)
+			return arena.Handle(it.a), int(it.b), false, true
+		}
+		seg, err := p.ar.Grow()
+		if err != nil {
+			// At capacity — but a racing grower may have published
+			// chains between our sweep and the Grow; one last look.
+			if it, popped := p.pool.pop(tid, &st); popped {
+				p.refills.Add(1)
+				return arena.Handle(it.a), int(it.b), false, true
+			}
+			return arena.Nil, 0, false, false
+		}
+		p.attaches.Add(1)
+		n := seg.Nodes()
+		keep := p.chunk
+		if keep > n {
+			keep = n
+		}
+		for off := keep; off < n; off += p.chunk {
+			cn := p.chunk
+			if off+cn > n {
+				cn = n - off
+			}
+			p.pool.push(tid, item{a: uint32(seg.First) + uint32(off), b: uint32(cn)}, &st)
+		}
+		p.refills.Add(1)
+		return seg.First, keep, true, true
+	}
+}
+
+// Attaches returns how many segments the pool has attached.
+func (p *NodePool) Attaches() uint64 { return p.attaches.Load() }
+
+// Refills returns how many chains the pool has handed out.
+func (p *NodePool) Refills() uint64 { return p.refills.Load() }
+
+// PendingNodes counts nodes sitting in published, untaken chains; the
+// scheme-side audit adds them to the free universe.
+func (p *NodePool) PendingNodes() map[arena.Handle]int {
+	out := make(map[arena.Handle]int)
+	for _, it := range p.pool.blocks() {
+		for i := uint32(0); i < it.b; i++ {
+			out[arena.Handle(it.a+i)]++
+		}
+	}
+	return out
+}

@@ -15,6 +15,10 @@ import "fmt"
 // link cells (for example handles a test still holds); each such
 // reference accounts for mm_ref weight 2.
 //
+// The walk covers every attached segment (ForEachLink/ForEachNode), so
+// nodes that live in segments attached by Grow after startup are audited
+// with exactly the same invariants as segment-0 nodes.
+//
 // The invariants checked, in the paper's terms:
 //
 //  1. a free node has mm_ref == 1 (odd, reclaimed) and no link refers to it;
@@ -23,18 +27,21 @@ import "fmt"
 //     lost.
 func (a *Arena) AuditRC(freeNodes map[Handle]int, extraRefs map[Handle]int) []error {
 	var errs []error
-	incoming := make([]int, a.cfg.Nodes+1)
-	for i := 1; i <= a.NumLinks(); i++ {
-		p := a.LoadLink(a.LinkByIndex(i))
+	// Handles are sparse past segment 0's tail gap, so size the incoming
+	// table by the full handle span of the attached pages, not by Nodes().
+	span := int(a.nPages.Load()) << a.pageShift
+	incoming := make([]int, span+1)
+	a.ForEachLink(func(id LinkID) {
+		p := a.LoadLink(id)
 		if h := p.Handle(); h != Nil {
 			if !a.Valid(h) {
-				errs = append(errs, fmt.Errorf("link %d holds invalid handle %d", i, h))
-				continue
+				errs = append(errs, fmt.Errorf("link %d holds invalid handle %d", id, h))
+				return
 			}
 			incoming[h]++
 		}
-	}
-	for h := Handle(1); int(h) <= a.cfg.Nodes; h++ {
+	})
+	a.ForEachNode(func(h Handle) {
 		ref := a.Ref(h).Load()
 		mult, free := freeNodes[h]
 		switch {
@@ -61,6 +68,6 @@ func (a *Arena) AuditRC(freeNodes map[Handle]int, extraRefs map[Handle]int) []er
 				errs = append(errs, fmt.Errorf("node %d leaked: mm_ref=0 but not in any free structure", h))
 			}
 		}
-	}
+	})
 	return errs
 }

@@ -1,0 +1,248 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFixedArenaDoesNotGrow(t *testing.T) {
+	for _, cfg := range []Config{
+		{Nodes: 16},
+		{Nodes: 16, MaxNodes: 16}, // MaxNodes == Nodes is still fixed
+		{Nodes: 16, MaxNodes: 8},  // MaxNodes below Nodes clamps to fixed
+	} {
+		a := MustNew(cfg)
+		if a.Growable() {
+			t.Errorf("%+v: Growable() = true", cfg)
+		}
+		if a.MaxNodes() != 16 || a.Nodes() != 16 {
+			t.Errorf("%+v: Nodes/MaxNodes = %d/%d, want 16/16", cfg, a.Nodes(), a.MaxNodes())
+		}
+		if _, err := a.Grow(); !ErrArenaFull(err) {
+			t.Errorf("%+v: Grow on fixed arena: err = %v, want arena-full", cfg, err)
+		}
+		if a.SegmentsAttached() != 1 {
+			t.Errorf("%+v: SegmentsAttached = %d", cfg, a.SegmentsAttached())
+		}
+	}
+}
+
+func TestGrowAttachesSegments(t *testing.T) {
+	// Nodes=100 rounds the segment size up to 128; MaxNodes=1000 leaves
+	// room for 7 growth segments (100 + 7*128 = 996 <= 1000).
+	a := MustNew(Config{Nodes: 100, MaxNodes: 1000, LinksPerNode: 2, ValsPerNode: 1, RootLinks: 1})
+	if !a.Growable() {
+		t.Fatal("Growable() = false")
+	}
+	if got := a.SegmentNodes(); got != 128 {
+		t.Fatalf("SegmentNodes = %d, want 128", got)
+	}
+	if got := a.MaxNodes(); got != 100+7*128 {
+		t.Fatalf("MaxNodes = %d, want %d", got, 100+7*128)
+	}
+
+	// The page-0 tail gap (handles 101..128) must never validate.
+	for h := Handle(101); h <= 128; h++ {
+		if a.Valid(h) {
+			t.Fatalf("gap handle %d reported valid before grow", h)
+		}
+	}
+
+	seg, err := a.Grow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.Index != 1 || seg.First != 129 || seg.Last != 256 {
+		t.Fatalf("first grown segment = %+v, want {1 129 256}", seg)
+	}
+	if a.Nodes() != 100+128 || a.SegmentsAttached() != 2 {
+		t.Fatalf("after grow: Nodes=%d segments=%d", a.Nodes(), a.SegmentsAttached())
+	}
+	// Gap handles stay invalid; grown handles are fresh free nodes.
+	if a.Valid(110) {
+		t.Error("gap handle valid after grow")
+	}
+	for h := seg.First; h <= seg.Last; h++ {
+		if !a.Valid(h) {
+			t.Fatalf("grown handle %d invalid", h)
+		}
+		if got := a.Ref(h).Load(); got != 1 {
+			t.Fatalf("grown node %d mm_ref = %d, want 1", h, got)
+		}
+	}
+	// Cells in the new segment work and don't alias segment 0.
+	a.SetVal(seg.First, 0, 42)
+	if a.Val(seg.First, 0) != 42 || a.Val(1, 0) != 0 {
+		t.Error("value cells alias across segments")
+	}
+	id0, id1 := a.LinkOf(1, 0), a.LinkOf(seg.First, 0)
+	if id0 == id1 {
+		t.Fatal("link ids collide across segments")
+	}
+	a.StoreLink(id1, MakePtr(3, false))
+	if a.LoadLink(id0) != NilPtr || a.LoadLink(id1) != MakePtr(3, false) {
+		t.Error("link cells alias across segments")
+	}
+
+	// Exhaust the remaining capacity.
+	for i := 0; i < 6; i++ {
+		if _, err := a.Grow(); err != nil {
+			t.Fatalf("grow %d: %v", i+2, err)
+		}
+	}
+	if _, err := a.Grow(); !ErrArenaFull(err) {
+		t.Fatalf("Grow past MaxNodes: err = %v, want arena-full", err)
+	}
+	if a.Nodes() != a.MaxNodes() {
+		t.Fatalf("fully grown Nodes=%d != MaxNodes=%d", a.Nodes(), a.MaxNodes())
+	}
+	segs := a.Segments()
+	if len(segs) != 8 {
+		t.Fatalf("Segments() returned %d entries", len(segs))
+	}
+	for i, s := range segs {
+		if s.Index != i {
+			t.Errorf("segment %d has Index %d", i, s.Index)
+		}
+	}
+}
+
+// TestGrowConcurrent races many growers and checks every returned
+// segment is exclusively owned: no two callers get overlapping handle
+// ranges, and the union covers exactly the attached capacity.
+func TestGrowConcurrent(t *testing.T) {
+	a := MustNew(Config{Nodes: 64, MaxNodes: 64 + 64*32})
+	const workers = 8
+	var mu sync.Mutex
+	var got []Segment
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				seg, err := a.Grow()
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				got = append(got, seg)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if len(got) != 32 {
+		t.Fatalf("growers obtained %d segments, want 32", len(got))
+	}
+	seen := map[Handle]int{}
+	for _, s := range got {
+		if s.Nodes() != a.SegmentNodes() {
+			t.Errorf("segment %+v has %d nodes, want %d", s, s.Nodes(), a.SegmentNodes())
+		}
+		for h := s.First; h <= s.Last; h++ {
+			seen[h]++
+			if seen[h] > 1 {
+				t.Fatalf("handle %d handed to two growers (segment %+v)", h, s)
+			}
+		}
+	}
+	if a.Nodes() != a.MaxNodes() || a.SegmentsAttached() != 33 {
+		t.Fatalf("after race: Nodes=%d MaxNodes=%d segments=%d", a.Nodes(), a.MaxNodes(), a.SegmentsAttached())
+	}
+	// Readers racing Grow must have seen monotone capacity; final walk
+	// covers every handle exactly once.
+	count := 0
+	a.ForEachNode(func(h Handle) {
+		count++
+		if h != 0 && uint32(h) <= 64 {
+			return
+		}
+		if _, ok := seen[h]; !ok {
+			t.Fatalf("ForEachNode visited handle %d no grower owns", h)
+		}
+	})
+	if count != a.Nodes() {
+		t.Fatalf("ForEachNode visited %d handles, Nodes() = %d", count, a.Nodes())
+	}
+}
+
+func TestForEachLinkCoversSegments(t *testing.T) {
+	a := MustNew(Config{Nodes: 10, MaxNodes: 200, LinksPerNode: 3, RootLinks: 2})
+	if _, err := a.Grow(); err != nil {
+		t.Fatal(err)
+	}
+	want := 2 + a.Nodes()*3 // roots + node links across both segments
+	seen := map[LinkID]bool{}
+	a.ForEachLink(func(id LinkID) {
+		if seen[id] {
+			t.Fatalf("link id %d visited twice", id)
+		}
+		seen[id] = true
+	})
+	if len(seen) != want {
+		t.Fatalf("ForEachLink visited %d cells, want %d", len(seen), want)
+	}
+}
+
+// TestAuditRCAcrossSegments is the arena-level half of the ISSUE-7
+// regression: leaks and link-count violations in a grown segment must be
+// caught exactly like segment-0 ones.
+func TestAuditRCAcrossSegments(t *testing.T) {
+	a := MustNew(Config{Nodes: 4, MaxNodes: 400, LinksPerNode: 1, RootLinks: 1})
+	root := a.NewRoot()
+	seg, err := a.Grow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := map[Handle]int{1: 1, 2: 1, 3: 1, 4: 1}
+	for h := seg.First; h <= seg.Last; h++ {
+		free[h] = 1
+	}
+	if errs := a.AuditRC(free, nil); len(errs) != 0 {
+		t.Fatalf("clean two-segment audit failed: %v", errs)
+	}
+
+	// A live node in the grown segment, referenced from a root.
+	target := seg.First + 5
+	a.StoreLink(root, MakePtr(target, false))
+	a.Ref(target).Store(2)
+	delete(free, target)
+	if errs := a.AuditRC(free, nil); len(errs) != 0 {
+		t.Fatalf("live grown-segment node audit failed: %v", errs)
+	}
+
+	// Leak it: drop the link and the count without freeing.
+	a.StoreLink(root, NilPtr)
+	a.Ref(target).Store(0)
+	errs := a.AuditRC(free, nil)
+	if len(errs) == 0 {
+		t.Fatal("audit missed a leak in a grown segment")
+	}
+
+	// A link from segment 0 into a node past the attached capacity.
+	a.StoreLink(root, MakePtr(seg.Last+50, false))
+	if errs := a.AuditRC(free, nil); len(errs) == 0 {
+		t.Fatal("audit missed link to unattached handle")
+	}
+	a.StoreLink(root, NilPtr)
+}
+
+func TestBytesPerNode(t *testing.T) {
+	c := Config{Nodes: 1, LinksPerNode: 2, ValsPerNode: 3}
+	if got := c.BytesPerNode(); got != 16+16+24 {
+		t.Fatalf("BytesPerNode = %d, want 56", got)
+	}
+}
+
+func TestConfigValidationGrowable(t *testing.T) {
+	// 31-bit handle-space overflow via MaxNodes.
+	if _, err := New(Config{Nodes: 1 << 20, MaxNodes: 1 << 31}); err == nil {
+		t.Error("MaxNodes 1<<31 accepted")
+	}
+	// Link-id overflow: large capacity times many links per node.
+	if _, err := New(Config{Nodes: 1 << 28, LinksPerNode: 64}); err == nil {
+		t.Error("link-id overflow accepted")
+	}
+}

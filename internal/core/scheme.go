@@ -1,9 +1,8 @@
 // Package core implements the paper's contribution: a wait-free
 // reference-counting garbage-collection scheme (DeRefLink, ReleaseRef,
-// HelpDeRef — Figure 4), the wait-free fixed-size free-list (AllocNode,
-// FreeNode — Figure 5) and the user-facing link operations (Figure 6),
-// all built from single-word FAA/CAS/SWAP on an arena of type-stable
-// nodes.
+// HelpDeRef — Figure 4), the wait-free free-list (AllocNode, FreeNode —
+// Figure 5) and the user-facing link operations (Figure 6), all built
+// from single-word FAA/CAS/SWAP on an arena of type-stable nodes.
 //
 // # Announcement pool
 //
@@ -33,6 +32,16 @@
 // to the thread selected by the round-robin helpCurrent cursor through
 // the annAlloc announcement cells.
 //
+// # Growth
+//
+// On a growable arena (MaxNodes > Nodes) the free-lists sit in front of
+// an internal/alloc.NodePool.  An exhausted AllocNode flushes its own
+// deferred frees, then refills from the pool — attaching a fresh arena
+// segment if the pool is also empty — and only signals memory pressure
+// and reports ErrOutOfMemory once the capacity ceiling is reached, so
+// footnote 4's exhaustion verdict is unchanged at the ceiling.  See
+// DESIGN.md §12 for the design and its constant-time argument.
+//
 // # Erratum
 //
 // The paper's line F3 inserts a freed node (mm_ref==1) directly into
@@ -50,6 +59,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"wfrc/internal/alloc"
 	"wfrc/internal/arena"
 	"wfrc/internal/mm"
 )
@@ -170,6 +180,12 @@ type Scheme struct {
 	freeList        []padU64 // 2n heads holding raw Handles
 	helpCurrent     atomic.Int64
 	annAlloc        []padU64 // n cells holding raw Handles
+
+	// pool is the growth backend (nil on fixed arenas): when AllocNode's
+	// footnote-4 budget would declare the free-lists exhausted, the
+	// thread pulls one chain of fresh nodes from here and splices it
+	// into its own free-list (see AllocNode and internal/alloc.NodePool).
+	pool *alloc.NodePool
 
 	regMu   sync.Mutex
 	regUsed []bool
@@ -334,7 +350,14 @@ func New(ar *arena.Arena, cfg Config) (*Scheme, error) {
 		// never fire for them).
 		s.ann[i].index.Store(-1)
 	}
-	// Chain all nodes onto freeList[0]: 1 -> 2 -> ... -> Nodes -> nil.
+	// Growth auto-enables whenever the arena is growable: the pool owns
+	// all capacity beyond segment 0 and AllocNode refills from it, so no
+	// scheme-level configuration is needed (fixed arenas get a nil pool
+	// and the pre-growable behaviour, bit for bit).
+	s.pool = alloc.NewNodePool(ar, n)
+	// Chain segment 0's nodes onto freeList[0]: 1 -> 2 -> ... -> Nodes
+	// -> nil (at construction time only segment 0 is attached, so
+	// ar.Nodes() is exactly its span).
 	nodes := ar.Nodes()
 	for h := 1; h < nodes; h++ {
 		ar.Next(arena.Handle(h)).Store(uint64(h + 1))
@@ -566,6 +589,9 @@ const (
 	PFL1 // one flush delta applied to mm_ref, zero check not yet acted on
 	PZ1  // ZCT pin scan found no pins, reclaim election CAS not yet tried
 
+	// Growable-arena point (see freelist.go / internal/alloc.NodePool).
+	PG1 // pool refill chain obtained, not yet spliced into the free-list
+
 	// NumPoints is the number of hook points (for tables indexed by
 	// Point).
 	NumPoints
@@ -576,6 +602,7 @@ var pointNames = [...]string{
 	PA9: "PA9", PA12: "PA12", PF3: "PF3", PF9: "PF9", PR2: "PR2",
 	PD1: "PD1", PH2: "PH2", PR1: "PR1", PA3: "PA3", PA5: "PA5", PF7: "PF7",
 	PP2: "PP2", PFL1: "PFL1", PZ1: "PZ1",
+	PG1: "PG1",
 }
 
 // String returns the paper line label of the hook point.

@@ -7,6 +7,7 @@ import (
 	"wfrc/internal/ds/pqueue"
 	"wfrc/internal/harness"
 	"wfrc/internal/mm"
+	"wfrc/internal/schemes"
 )
 
 // pqMaxLevel is the skiplist height used throughout the suite; 2^8
@@ -84,5 +85,106 @@ func E1PQueueThroughput(p Params) ([]harness.Table, error) {
 		}
 		tbl.AddRow(row...)
 	}
-	return []harness.Table{tbl}, nil
+	if !p.Grow {
+		return []harness.Table{tbl}, nil
+	}
+	gtbl, err := e1Growable(p, fs)
+	if err != nil {
+		return nil, err
+	}
+	return []harness.Table{tbl, gtbl}, nil
+}
+
+// e1Growable is E1 over growable arenas: the same workload and capacity
+// ceiling as the fixed table, but the arena starts at a 512-node
+// initial segment and must attach the rest at runtime (prefill alone
+// overflows segment 0, so every data point exercises the growth path).
+// Comparing a row against the fixed E1 table prices the growable
+// configuration; the segs column proves the arena actually grew.  Only
+// schemes with a growth path (mm.Grower) appear — the baselines have
+// none and their fixed numbers are already in E1.
+func e1Growable(p Params, fs []schemes.Factory) (harness.Table, error) {
+	const prefill = 1000
+	const growInitial = 512
+	opsPer := p.ops(200000)
+	maxT := p.maxThreads()
+
+	var gfs []schemes.Factory
+	for _, f := range fs {
+		probe := pqArena(growInitial)
+		probe.MaxNodes = 4 * growInitial
+		s, err := newScheme(f, probe, 1, 2*pqMaxLevel+8)
+		if err != nil {
+			return harness.Table{}, err
+		}
+		if g, ok := s.(mm.Grower); ok && g.Growable() {
+			gfs = append(gfs, f)
+		}
+	}
+	cols := []string{"threads"}
+	for _, f := range gfs {
+		cols = append(cols, f.Name, "segs")
+	}
+	gtbl := harness.Table{
+		Title: "E1g: growable arena, same ceiling, 512-node initial segment (Mops/s)",
+		Note:  "prefill 1000 > segment 0, so segments attach at runtime; compare rows against E1",
+		Cols:  cols,
+	}
+	if len(gfs) == 0 {
+		gtbl.Note = "no selected scheme supports growth (-schemes excluded the wait-free core)"
+		return gtbl, nil
+	}
+	for _, threads := range harness.ThreadCounts(maxT) {
+		row := []interface{}{threads}
+		for _, f := range gfs {
+			nodes := 2*prefill + 64*threads + 4096
+			acfg := pqArena(growInitial)
+			acfg.MaxNodes = nodes
+			s, err := newScheme(f, acfg, threads+1, 2*pqMaxLevel+8)
+			if err != nil {
+				return harness.Table{}, err
+			}
+			pq, err := pqueue.New(s, pqueue.Config{MaxLevel: pqMaxLevel})
+			if err != nil {
+				return harness.Table{}, err
+			}
+			setup, err := s.Register()
+			if err != nil {
+				return harness.Table{}, err
+			}
+			rng := rand.New(rand.NewSource(42))
+			for i := 0; i < prefill; i++ {
+				if err := pq.Insert(setup, uint64(rng.Intn(1<<20)), uint64(i)); err != nil {
+					return harness.Table{}, err
+				}
+			}
+			setup.Unregister()
+
+			res, err := harness.Run(s, threads, func(t mm.Thread, rng *rand.Rand, _ *harness.Histogram) (uint64, error) {
+				var ops uint64
+				for i := 0; i < opsPer; i++ {
+					if rng.Intn(2) == 0 {
+						if err := pq.Insert(t, uint64(rng.Intn(1<<20)), uint64(i)); err != nil {
+							return ops, err
+						}
+					} else {
+						pq.DeleteMin(t)
+					}
+					ops++
+				}
+				return ops, nil
+			})
+			if err != nil {
+				return harness.Table{}, err
+			}
+			p.emit("e1-grow", f.Name, threads, res)
+			segs := 0
+			if g, ok := s.(mm.Grower); ok {
+				segs = g.Segments()
+			}
+			row = append(row, fmtMops(res.MopsPerSec()), segs)
+		}
+		gtbl.AddRow(row...)
+	}
+	return gtbl, nil
 }

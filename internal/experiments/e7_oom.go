@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"wfrc/internal/arena"
@@ -55,5 +56,56 @@ func E7OutOfMemory(p Params) ([]harness.Table, error) {
 		tbl.AddRow(n, bound, steps, elapsed.Round(time.Microsecond), recErr == nil)
 		t.Unregister()
 	}
-	return []harness.Table{tbl}, nil
+	if !p.Grow {
+		return []harness.Table{tbl}, nil
+	}
+	gtbl, err := e7Growable()
+	if err != nil {
+		return nil, err
+	}
+	return []harness.Table{tbl, gtbl}, nil
+}
+
+// e7Growable re-runs the exhaustion probe on a growable arena: the
+// footnote-4 verdict must first route through the growth escape hatch
+// (DESIGN.md §12) — allocations keep succeeding while segments attach —
+// and only report out-of-memory at the MaxNodes ceiling, still within a
+// bounded number of steps, still recoverable once nodes are released.
+func e7Growable() (harness.Table, error) {
+	tbl := harness.Table{
+		Title: "E7b: exhaustion on a growable arena (grow first, then footnote 4 at the ceiling)",
+		Cols:  []string{"NR_THREADS", "initial", "ceiling", "allocated", "segments", "steps at ceiling", "recovers"},
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		ar := arena.MustNew(arena.Config{Nodes: n, MaxNodes: n + 128})
+		s, err := core.New(ar, core.Config{Threads: n})
+		if err != nil {
+			return harness.Table{}, err
+		}
+		t, err := s.RegisterCore()
+		if err != nil {
+			return harness.Table{}, err
+		}
+		var held []arena.Handle
+		for {
+			h, err := t.Alloc()
+			if err != nil {
+				break
+			}
+			held = append(held, h)
+		}
+		if len(held) <= n {
+			return harness.Table{}, fmt.Errorf(
+				"e7b: growable arena (initial %d, ceiling %d) exhausted after %d allocations without growing",
+				n, ar.MaxNodes(), len(held))
+		}
+		steps := t.Stats().AllocMaxSteps
+		for _, h := range held {
+			t.Release(h)
+		}
+		_, recErr := t.Alloc()
+		tbl.AddRow(n, n, ar.MaxNodes(), len(held), s.Segments(), steps, recErr == nil)
+		t.Unregister()
+	}
+	return tbl, nil
 }

@@ -27,6 +27,12 @@ type Params struct {
 	Schemes []string
 	// Quick shrinks workloads for smoke tests.
 	Quick bool
+	// Grow additionally runs growable-arena variants of the experiments
+	// that support them (E1, E7): wait-free schemes start on a small
+	// initial segment with the same capacity ceiling as the fixed run
+	// and attach segments at runtime (README "Capacity model", DESIGN.md
+	// §12), while baselines without a growth path keep the fixed arena.
+	Grow bool
 	// Sink, when set, receives one machine-readable data point per
 	// harness run (the BENCH_results.json trajectory); nil discards
 	// them and experiments render tables only.

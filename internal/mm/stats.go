@@ -144,6 +144,14 @@ type OpStats struct {
 	// (cache pressure, explicit Flush, alloc out-of-memory retries and
 	// Unregister).
 	DeferredFlushes uint64
+	// GrowRefills counts allocation attempts rescued by a fresh-node
+	// chain from the growth pool instead of a footnote-4 out-of-memory
+	// verdict (growable arenas only; see internal/alloc.NodePool).
+	GrowRefills uint64
+	// SegmentAttaches counts arena segments this thread attached while
+	// refilling — the only non-constant-time events of the growable
+	// allocator, each paid for by a whole segment of fresh nodes.
+	SegmentAttaches uint64
 	// Retired counts Retire calls (hazard/epoch schemes).
 	Retired uint64
 	// Scans counts reclamation scans (hazard-pointer scan passes or epoch
@@ -221,6 +229,8 @@ func (s *OpStats) merge(o *OpStats, by uint32) {
 	s.PinFastPaths += o.PinFastPaths
 	s.DeferredDecs += o.DeferredDecs
 	s.DeferredFlushes += o.DeferredFlushes
+	s.GrowRefills += o.GrowRefills
+	s.SegmentAttaches += o.SegmentAttaches
 	s.Retired += o.Retired
 	s.Scans += o.Scans
 	s.DeRefHist.Merge(&o.DeRefHist)

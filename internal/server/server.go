@@ -55,6 +55,12 @@ type StatsReply struct {
 	ConnsTotal  uint64         `json:"conns_total"`
 	Busy        uint64         `json:"busy_rejects"`
 	ProtoErrors uint64         `json:"proto_errors"`
+	// Growable and Capacity describe the store's arenas (README
+	// "Capacity model"): per-shard attached/max node counts and segment
+	// attach counters.  Capacity is present on every server; on a fixed
+	// store each entry reports Segments == 1 and Nodes == MaxNodes.
+	Growable bool            `json:"growable"`
+	Capacity []ShardCapacity `json:"capacity"`
 }
 
 // Server serves the KV protocol over TCP.  One slot lease per
@@ -349,6 +355,8 @@ func (s *Server) Stats() StatsReply {
 		ConnsTotal:  s.connsTotal.Load(),
 		Busy:        s.busy.Load(),
 		ProtoErrors: s.protoErrors.Load(),
+		Growable:    s.store.Growable(),
+		Capacity:    s.store.Capacity(),
 	}
 }
 

@@ -21,8 +21,14 @@ type StoreConfig struct {
 	// Slots is the thread-slot count of every shard scheme — the
 	// paper's NR_THREADS, and the slotpool lease capacity (default 8).
 	Slots int
-	// NodesPerShard sizes each shard's arena (default 1<<16).
+	// NodesPerShard sizes each shard's initial arena segment (default
+	// 1<<16).
 	NodesPerShard int
+	// MaxNodesPerShard caps each shard's arena across runtime-attached
+	// segments (README "Capacity model").  Zero (or <= NodesPerShard)
+	// keeps the shard fixed at NodesPerShard — the pre-growable
+	// behaviour.  wfrc-kv derives this from -max-memory.
+	MaxNodesPerShard int
 	// Buckets is each shard's hashmap bucket count (power of two,
 	// default 256).
 	Buckets int
@@ -58,6 +64,22 @@ type storeShard struct {
 	ops    *atomic.Uint64 // pointer so storeShard stays copyable pre-start
 }
 
+// ArenaConfig returns the arena geometry this configuration gives each
+// shard.  Capacity planners use it before the store exists: wfrc-kv
+// divides its -max-memory byte budget by BytesPerNode() of this config
+// to derive MaxNodesPerShard.
+func (c StoreConfig) ArenaConfig() arena.Config {
+	cc := c
+	cc.defaults()
+	return arena.Config{
+		Nodes:        cc.NodesPerShard,
+		MaxNodes:     cc.MaxNodesPerShard,
+		LinksPerNode: 1,
+		ValsPerNode:  2,
+		RootLinks:    cc.Buckets + 2,
+	}
+}
+
 // NewStore builds the shards.
 func NewStore(cfg StoreConfig) (*Store, error) {
 	cfg.defaults()
@@ -66,12 +88,7 @@ func NewStore(cfg StoreConfig) (*Store, error) {
 	}
 	st := &Store{cfg: cfg, mask: uint64(cfg.Shards - 1)}
 	for i := 0; i < cfg.Shards; i++ {
-		ar, err := arena.New(arena.Config{
-			Nodes:        cfg.NodesPerShard,
-			LinksPerNode: 1,
-			ValsPerNode:  2,
-			RootLinks:    cfg.Buckets + 2,
-		})
+		ar, err := arena.New(cfg.ArenaConfig())
 		if err != nil {
 			return nil, fmt.Errorf("server: shard %d arena: %w", i, err)
 		}
@@ -186,8 +203,53 @@ func (st *Store) Audit() []error {
 	return errs
 }
 
-// WriteProm writes the per-shard op counters in Prometheus text
-// format.
+// Growable reports whether the shards can attach capacity at runtime
+// (MaxNodesPerShard above NodesPerShard).
+func (st *Store) Growable() bool { return st.shards[0].scheme.Growable() }
+
+// ShardCapacity is one shard's capacity snapshot (see Capacity).
+type ShardCapacity struct {
+	// Nodes and MaxNodes are the shard arena's attached and ceiling node
+	// capacities.
+	Nodes, MaxNodes int
+	// Segments is the number of attached arena segments (1 = never grew).
+	Segments int
+	// Attaches and Refills count growth-pool events: segments attached
+	// and fresh-node chains handed to starving allocators.
+	Attaches, Refills uint64
+}
+
+// Capacity returns every shard's capacity snapshot, in shard order.
+// Safe to call while the store serves traffic (the gauges lag attaches
+// by at most one publish CAS).
+func (st *Store) Capacity() []ShardCapacity {
+	out := make([]ShardCapacity, len(st.shards))
+	for i := range st.shards {
+		s := st.shards[i].scheme
+		attaches, refills := s.GrowEvents()
+		out[i] = ShardCapacity{
+			Nodes:    s.Capacity(),
+			MaxNodes: s.MaxCapacity(),
+			Segments: s.Segments(),
+			Attaches: attaches,
+			Refills:  refills,
+		}
+	}
+	return out
+}
+
+// SegmentsAttached sums attached segments across shards; a value above
+// Shards() means at least one shard grew past its initial capacity.
+func (st *Store) SegmentsAttached() int {
+	total := 0
+	for _, c := range st.Capacity() {
+		total += c.Segments
+	}
+	return total
+}
+
+// WriteProm writes the per-shard op counters and capacity gauges in
+// Prometheus text format.
 func (st *Store) WriteProm(w io.Writer) error {
 	const name = "wfrc_server_shard_ops_total"
 	if _, err := fmt.Fprintf(w, "# HELP %s Store operations routed to each shard.\n# TYPE %s counter\n",
@@ -197,6 +259,31 @@ func (st *Store) WriteProm(w io.Writer) error {
 	for i, n := range st.OpCounts() {
 		if _, err := fmt.Fprintf(w, "%s{shard=\"%d\"} %d\n", name, i, n); err != nil {
 			return err
+		}
+	}
+	caps := st.Capacity()
+	for _, m := range []struct {
+		name, help, typ string
+		val             func(ShardCapacity) uint64
+	}{
+		{"wfrc_server_shard_capacity_nodes", "Attached node capacity of each shard arena.", "gauge",
+			func(c ShardCapacity) uint64 { return uint64(c.Nodes) }},
+		{"wfrc_server_shard_capacity_max_nodes", "Node capacity ceiling of each shard arena.", "gauge",
+			func(c ShardCapacity) uint64 { return uint64(c.MaxNodes) }},
+		{"wfrc_server_shard_segments", "Arena segments attached per shard (1 = never grew).", "gauge",
+			func(c ShardCapacity) uint64 { return uint64(c.Segments) }},
+		{"wfrc_server_shard_segment_attaches_total", "Segments attached at runtime by each shard's growth pool.", "counter",
+			func(c ShardCapacity) uint64 { return c.Attaches }},
+		{"wfrc_server_shard_grow_refills_total", "Fresh-node chains spliced into free-lists per shard.", "counter",
+			func(c ShardCapacity) uint64 { return c.Refills }},
+	} {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ); err != nil {
+			return err
+		}
+		for i, c := range caps {
+			if _, err := fmt.Fprintf(w, "%s{shard=\"%d\"} %d\n", m.name, i, m.val(c)); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
