@@ -68,7 +68,7 @@ const benchPQLevels = 8
 
 func pqArena(nodes int) wfrc.ArenaConfig {
 	return wfrc.ArenaConfig{
-		Nodes: nodes, LinksPerNode: benchPQLevels, ValsPerNode: 3,
+		Nodes: nodes, LinksPerNode: benchPQLevels, ValsPerNode: 4,
 		RootLinks: benchPQLevels + 2,
 	}
 }

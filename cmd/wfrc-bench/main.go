@@ -7,6 +7,7 @@
 //	wfrc-bench -validate BENCH_results.json
 //	wfrc-bench -validate-flight wfrc-kv-flight.json
 //	wfrc-bench -delta base.json,new.json
+//	wfrc-bench -delta BENCH_matrix.json
 //
 // With no flags it runs every experiment at default size, which takes a
 // few minutes on a laptop-class machine, and writes the machine-readable
@@ -20,6 +21,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strings"
@@ -45,7 +47,7 @@ func main() {
 		jsonOut    = flag.String("json", "BENCH_results.json", "write machine-readable results here ('' disables)")
 		validate   = flag.String("validate", "", "validate an existing results file and exit")
 		validateFl = flag.String("validate-flight", "", "validate a wfrc-kv flight-recorder dump and exit (requires a span↔help join)")
-		delta      = flag.String("delta", "", "compare two results files 'base.json,new.json' and exit; fails unless new's e1 1-thread ops/s strictly beats base's")
+		delta      = flag.String("delta", "", "compare two results files 'base.json,new.json' and exit; fails unless new's e1 1-thread ops/s strictly beats base's.  With a single matrix report, gates waitfree-deferred against waitfree on the geometric mean over all matrix cells instead")
 		obsAddr    = flag.String("obs-addr", "", "serve /metrics, /trace and /debug/pprof on this address during the run")
 		traceN     = flag.Int("trace", 0, "ring-buffer the most recent N help events for /trace (0 disables)")
 	)
@@ -194,8 +196,11 @@ func validateFile(path string) int {
 // the build rather than rotting silently.  Returns the exit code.
 func deltaFiles(arg string) int {
 	parts := strings.Split(arg, ",")
+	if len(parts) == 1 {
+		return deltaMatrix(strings.TrimSpace(parts[0]))
+	}
 	if len(parts) != 2 {
-		fmt.Fprintf(os.Stderr, "-delta wants exactly two files 'base.json,new.json', got %q\n", arg)
+		fmt.Fprintf(os.Stderr, "-delta wants two files 'base.json,new.json' or one matrix report, got %q\n", arg)
 		return 2
 	}
 	type point struct {
@@ -242,6 +247,69 @@ func deltaFiles(arg string) int {
 	}
 	fmt.Printf("bench delta OK: e1/1-thread %s %.0f ops/s > %s %.0f ops/s (%.2fx)\n",
 		next.scheme, next.ops, base.scheme, base.ops, next.ops/base.ops)
+	return 0
+}
+
+// deltaMatrix implements the single-file form of -delta: inside one
+// schema-v4 matrix report, waitfree-deferred must beat waitfree on the
+// geometric mean over every matched (structure, contention, threads)
+// cell — the same "deferred fast path is no slower than the counted
+// path" promise the two-file e1 gate makes, now checked on every
+// shoot-out run.  A single cell is far too noisy to gate on (a quick
+// cell is ~2000 ops on a shared 1-core host, where identical workloads
+// swing ±40% run to run); the geometric mean over the full 24-cell
+// grid is stable.  Returns the exit code.
+func deltaMatrix(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	rep, err := obs.ValidateBenchJSON(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+		return 1
+	}
+	if rep.Matrix == nil {
+		fmt.Fprintf(os.Stderr, "%s: single-file -delta needs a matrix report (no \"matrix\" section)\n", path)
+		return 1
+	}
+	type cell struct {
+		structure, contention string
+		threads               int
+	}
+	base := map[cell]float64{}
+	next := map[cell]float64{}
+	for _, r := range rep.Results {
+		c := cell{r.Structure, r.Contention, r.Threads}
+		switch r.Scheme {
+		case "waitfree":
+			base[c] = r.OpsPerSec
+		case "waitfree-deferred":
+			next[c] = r.OpsPerSec
+		}
+	}
+	logSum, cells := 0.0, 0
+	for c, b := range base {
+		n, ok := next[c]
+		if !ok || b <= 0 || n <= 0 {
+			continue
+		}
+		logSum += math.Log(n / b)
+		cells++
+	}
+	if cells == 0 {
+		fmt.Fprintf(os.Stderr, "%s: no cells pair waitfree with waitfree-deferred\n", path)
+		return 1
+	}
+	geomean := math.Exp(logSum / float64(cells))
+	if geomean <= 1 {
+		fmt.Fprintf(os.Stderr, "bench delta FAIL: %s waitfree-deferred/waitfree geometric mean %.3fx over %d matrix cells is not above 1\n",
+			path, geomean, cells)
+		return 1
+	}
+	fmt.Printf("bench delta OK: waitfree-deferred/waitfree geometric mean %.3fx over %d matrix cells\n",
+		geomean, cells)
 	return 0
 }
 

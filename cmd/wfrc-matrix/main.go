@@ -1,0 +1,138 @@
+// Command wfrc-matrix runs the automated reclamation shoot-out matrix
+// (internal/matrix): {queue, stack, hashmap} × every memory-management
+// scheme × a thread sweep crossing into oversubscription × two
+// contention levels, with a quiescence leak audit after every cell.
+//
+// Usage:
+//
+//	wfrc-matrix [-quick] [-schemes a,b] [-structures queue,stack]
+//	            [-threads 1,2,4,8] [-ops N] [-out BENCH_matrix.json]
+//	            [-update-experiments EXPERIMENTS.md] [-obs-addr :8080]
+//	            [-from BENCH_matrix.json]
+//
+// It writes one merged schema-v4 report (wfrc-bench -validate checks
+// it) and, with -update-experiments, regenerates the marker-delimited
+// comparison tables of EXPERIMENTS.md from that report.  -from skips
+// the sweep and renders from an existing report — rendering is a pure
+// function of the report, so the regeneration is byte-reproducible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"wfrc/internal/harness"
+	"wfrc/internal/matrix"
+	"wfrc/internal/obs"
+)
+
+func main() {
+	var (
+		quick      = flag.Bool("quick", false, "shrink per-cell workloads for a fast smoke run")
+		schemeList = flag.String("schemes", "", "comma-separated scheme subset (default: all)")
+		structs    = flag.String("structures", "", "comma-separated structure subset (default: queue,stack,hashmap)")
+		threadList = flag.String("threads", "", "comma-separated thread counts (default: {1,2,P,2P} padded to 4 distinct)")
+		ops        = flag.Int("ops", 0, "operations per thread per cell (default: 20000, quick: 2000)")
+		out        = flag.String("out", "BENCH_matrix.json", "write the merged schema-v4 report here ('' disables)")
+		updateExp  = flag.String("update-experiments", "", "regenerate the matrix tables between the markers of this markdown file")
+		from       = flag.String("from", "", "skip the sweep: render from this existing schema-v4 report instead")
+		obsAddr    = flag.String("obs-addr", "", "serve /metrics and /debug/pprof on this address during the run")
+	)
+	flag.Parse()
+
+	cfg := matrix.Config{Quick: *quick, OpsPerThread: *ops}
+	if *schemeList != "" {
+		cfg.Schemes = strings.Split(*schemeList, ",")
+	}
+	if *structs != "" {
+		cfg.Structures = strings.Split(*structs, ",")
+	}
+	if *threadList != "" {
+		for _, s := range strings.Split(*threadList, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "-threads: bad count %q\n", s)
+				os.Exit(2)
+			}
+			cfg.ThreadCounts = append(cfg.ThreadCounts, n)
+		}
+	}
+
+	if *obsAddr != "" {
+		collector := obs.NewCollector()
+		harness.SetObserver(collector)
+		srv, err := obs.Serve(*obsAddr, collector, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obs: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("observability: http://%s/metrics (also /debug/vars, /debug/pprof)\n", srv.Addr())
+	}
+
+	cells := 0
+	cfg.Progress = func(structure, scheme string, threads int, contention string) {
+		cells++
+		fmt.Printf("  %-7s %-18s %2d thr  %-4s done\n", structure, scheme, threads, contention)
+	}
+
+	var rep *obs.BenchReport
+	if *from != "" {
+		// Re-render from a recorded report: the markdown is a pure
+		// function of the report, so this path is byte-reproducible.
+		data, err := os.ReadFile(*from)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rep, err = obs.ValidateBenchJSON(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", *from, err)
+			os.Exit(1)
+		}
+		if rep.Matrix == nil {
+			fmt.Fprintf(os.Stderr, "%s: not a matrix report (no matrix section)\n", *from)
+			os.Exit(1)
+		}
+		if *out == "BENCH_matrix.json" {
+			*out = "" // don't clobber the input with a re-encode by default
+		}
+	} else {
+		fmt.Printf("wfrc-matrix: GOMAXPROCS=%d, %s\n", runtime.GOMAXPROCS(0), time.Now().Format(time.RFC3339))
+		t0 := time.Now()
+		var err error
+		rep, err = matrix.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%d cells in %v\n", cells, time.Since(t0).Round(time.Millisecond))
+	}
+
+	rendered, err := matrix.RenderMarkdown(rep)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(rendered)
+
+	if *out != "" {
+		if err := rep.WriteFile(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d data points)\n", *out, len(rep.Results))
+	}
+	if *updateExp != "" {
+		if err := matrix.UpdateExperiments(*updateExp, rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("regenerated matrix tables in %s\n", *updateExp)
+	}
+}

@@ -98,7 +98,7 @@ func run(structure, scheme string, threads, ops, nodes, keys int, seed int64, co
 	hazardSlots := 0
 	if structure == "pqueue" {
 		acfg.LinksPerNode = maxLevel
-		acfg.ValsPerNode = 3
+		acfg.ValsPerNode = 4
 		hazardSlots = 2*maxLevel + 8
 	}
 	s, err := f.New(acfg, schemes.Options{

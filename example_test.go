@@ -87,7 +87,7 @@ func ExampleNewList() {
 // evaluation used.
 func ExampleNewPQueue() {
 	ar := wfrc.MustNewArena(wfrc.ArenaConfig{
-		Nodes: 64, LinksPerNode: 8, ValsPerNode: 3, RootLinks: 10,
+		Nodes: 64, LinksPerNode: 8, ValsPerNode: 4, RootLinks: 10,
 	})
 	s := wfrc.MustNewWaitFree(ar, wfrc.SchemeConfig{Threads: 1})
 	t, _ := s.Register()

@@ -27,7 +27,7 @@ func main() {
 	ar := wfrc.MustNewArena(wfrc.ArenaConfig{
 		Nodes:        1 << 16,
 		LinksPerNode: maxLevel,
-		ValsPerNode:  3,
+		ValsPerNode:  4,
 		RootLinks:    maxLevel + 2,
 	})
 	s := wfrc.MustNewWaitFree(ar, wfrc.SchemeConfig{Threads: producers + workers})

@@ -552,6 +552,30 @@ func (t *Thread) EndOp() {}
 // reference is released).
 func (t *Thread) Retire(arena.Handle) {}
 
+// RetireBatch implements the optional mm.BatchRetirer capability.  For
+// the reference-counting scheme retirement is a no-op per node, so the
+// batch form exists only so callers can hold one code path across
+// schemes with and without batch bookkeeping (Hyaline amortizes real
+// work here).
+func (t *Thread) RetireBatch(hs []arena.Handle) {
+	for _, h := range hs {
+		t.Retire(h)
+	}
+}
+
+// PurgePins clears every released (refs == 0) sticky publication from
+// the deferred variant's pin table, making the published nodes
+// reclaimable by other threads' ZCT drains; live guards stay.  No-op on
+// the counted variant.  Owner goroutine only — the slotpool calls it on
+// the voluntary lease-release path when Config.PurgePinsOnRelease asks
+// for cold handoffs (see the warm-vs-purge benchmarks in
+// internal/slotpool).
+func (t *Thread) PurgePins() {
+	if t.s.deferred {
+		t.purgePins()
+	}
+}
+
 // SetHook installs a test-interleaving callback invoked at the labelled
 // algorithm points.  Production code leaves it nil.
 func (t *Thread) SetHook(h func(Point)) { t.hook = h }

@@ -8,7 +8,7 @@ import (
 
 // FuzzHashmap drives the bucketed hash map with byte-encoded operation
 // sequences and checks observable equivalence against a Go map, over
-// all five memory-management schemes with a per-input audit.
+// all seven memory-management schemes with a per-input audit.
 //
 // Run with `go test -fuzz FuzzHashmap ./internal/ds/hashmap` to
 // explore; the seed corpus runs in normal `go test`.
@@ -16,6 +16,15 @@ func FuzzHashmap(f *testing.F) {
 	f.Add([]byte{0x01, 0x41, 0x81, 0x01})
 	f.Add([]byte{0x00, 0x40, 0x80, 0xc0, 0x00})
 	f.Add([]byte{0x10, 0x50, 0x90, 0x11, 0x51, 0x91})
+	// Hyaline regression seed: insert/delete churn on a small key set —
+	// every delete retires a list node, crossing the batch-dispatch
+	// threshold (64 retires) inside one input.
+	churn := make([]byte, 0, 200)
+	for i := 0; i < 70; i++ {
+		k := byte(i % 8)
+		churn = append(churn, k, 0x40|k, 0x80|k)
+	}
+	f.Add(churn)
 	const buckets = 8
 
 	f.Fuzz(func(t *testing.T, ops []byte) {

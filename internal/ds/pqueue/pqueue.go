@@ -10,9 +10,27 @@
 // owns the removal.  Physical unlinking is done by the same helping rule
 // as the ordered list, applied per level.
 //
+// Retirement follows an inserter/unlinker handshake (the lstate word)
+// so that a node is never retired while any level still links it.  The
+// original Sundell–Tsigas queue leans on reference counting for this —
+// a node stays alive while any link holds a reference — but the
+// scheme-neutral port also runs over hazard-, epoch- and era-based
+// reclamation, where retiring a still-reachable node lets a reader walk
+// into freed (and possibly reallocated) memory through a dangling
+// upper-level link.  The race that creates such links: insert's phase 2
+// can install an upper-level link after a concurrent deleter has marked
+// the node and swept past that level.  The handshake closes it: the
+// bottom-level unlinker retires the node only if the inserter had
+// already published "linking done" (so every install predates the
+// confirmation sweep), and otherwise abandons the node to its inserter,
+// the one thread that knows when installs have stopped.  Whoever ends
+// up responsible runs one full find pass over the node's key — which
+// unlinks it from every level where it is still reachable — before
+// calling Retire.
+//
 // Node layout: link slot i is the level-i next pointer (i < MaxLevel);
 // value word 0 is the key (priority), word 1 the value, word 2 the
-// node's tower height.
+// node's tower height, word 3 the retire-handshake state (lstate).
 package pqueue
 
 import (
@@ -25,10 +43,24 @@ import (
 // DefaultMaxLevel is the tower height cap used by NewDefault.
 const DefaultMaxLevel = 8
 
+// lsWord is the value-word index of the retire-handshake state.
+const lsWord = 3
+
+// Retire-handshake states (see the package comment).  A node moves
+// lsLinking→lsLinked when its inserter finishes phase 2, or
+// lsLinking→lsAbandoned when the bottom-level unlinker gets there
+// first; lsLinked→lsUnlinking records the unlinker taking ownership.
+const (
+	lsLinking   = 0
+	lsLinked    = 1
+	lsUnlinking = 2
+	lsAbandoned = 3
+)
+
 // Config parameterizes a skiplist priority queue.
 type Config struct {
 	// MaxLevel caps tower heights.  The arena must provide at least
-	// MaxLevel links and 3 value words per node.  With hazard-pointer
+	// MaxLevel links and 4 value words per node.  With hazard-pointer
 	// memory management each thread needs about 2*MaxLevel+6 hazard
 	// slots.
 	MaxLevel int
@@ -61,8 +93,8 @@ func New(s mm.Scheme, cfg Config) (*PQueue, error) {
 		return nil, fmt.Errorf("pqueue: MaxLevel %d out of range [1,30]", ml)
 	}
 	ar := s.Arena()
-	if c := ar.Config(); c.LinksPerNode < ml || c.ValsPerNode < 3 {
-		return nil, fmt.Errorf("pqueue: arena needs ≥%d links and ≥3 values per node, have %d/%d",
+	if c := ar.Config(); c.LinksPerNode < ml || c.ValsPerNode < 4 {
+		return nil, fmt.Errorf("pqueue: arena needs ≥%d links and ≥4 values per node, have %d/%d",
 			ml, c.LinksPerNode, c.ValsPerNode)
 	}
 	pq := &PQueue{
@@ -123,6 +155,7 @@ type tower struct {
 	succs     []mm.Ptr       // guarded
 	hooked    []mm.Ptr       // Insert scratch: current targets of n's links
 	foundEq   bool           // some level-0 successor has key == search key
+	pend      []arena.Handle // bottom-unlinked nodes awaiting confirm+retire
 }
 
 func (tw *tower) release(t mm.Thread, pq *PQueue) {
@@ -137,6 +170,50 @@ func (tw *tower) release(t mm.Thread, pq *PQueue) {
 			t.Release(h)
 		}
 		tw.succs[i] = arena.NilPtr
+	}
+}
+
+// pendUnlinked resolves retire responsibility for a node just unlinked
+// from the bottom level (a unique event: only its inserter ever links a
+// node at level 0, pre-publication).  If the inserter has published
+// "linking done" we take the node: it goes on the pend list for a
+// confirmation pass and Retire in drainPend.  Otherwise the inserter is
+// still in phase 2 and may install more upper links, so abandon the
+// node to it — the failed lsLinking→lsLinked CAS at the end of Insert
+// hands it the same confirm+retire duty.
+func (pq *PQueue) pendUnlinked(tw *tower, h arena.Handle) {
+	c := pq.ar.ValCell(h, lsWord)
+	for {
+		switch c.Load() {
+		case lsLinked:
+			if c.CompareAndSwap(lsLinked, lsUnlinking) {
+				tw.pend = append(tw.pend, h)
+				return
+			}
+		case lsLinking:
+			if c.CompareAndSwap(lsLinking, lsAbandoned) {
+				return
+			}
+		default:
+			return // already owned elsewhere (unreachable: unlink is unique)
+		}
+	}
+}
+
+// drainPend confirms and retires every node on the op's pend list.  A
+// full find pass over the node's key unlinks it from any level where it
+// is still reachable — no new link can appear once its lstate has left
+// lsLinking — so afterwards the node is provably unreachable and safe
+// to retire under non-counting schemes.  The pass may bottom-unlink
+// further claimed nodes, which pendUnlinked appends; the loop drains
+// those too.  Must run inside the caller's BeginOp/EndOp section.
+func (pq *PQueue) drainPend(t mm.Thread, tw *tower) {
+	for len(tw.pend) > 0 {
+		h := tw.pend[len(tw.pend)-1]
+		tw.pend = tw.pend[:len(tw.pend)-1]
+		pq.find(t, pq.key(h), true, tw)
+		tw.release(t, pq)
+		t.Retire(h)
 	}
 }
 
@@ -188,7 +265,7 @@ retry:
 					// reason as in the ordered list.
 					t.CASLink(pq.link(cur.Handle(), lvl), next, arena.PoisonPtr)
 					if lvl == 0 {
-						t.Retire(cur.Handle())
+						pq.pendUnlinked(tw, cur.Handle())
 					}
 					t.Release(cur.Handle())
 					cur = target // adopt next's reference
@@ -250,6 +327,7 @@ func (pq *PQueue) Insert(t mm.Thread, key, value uint64) error {
 	pq.ar.SetVal(n, 0, key)
 	pq.ar.SetVal(n, 1, value)
 	pq.ar.SetVal(n, 2, uint64(h))
+	pq.ar.SetVal(n, lsWord, lsLinking)
 
 	tw := pq.towerFor(t)
 	hooked := tw.hooked[:h]
@@ -310,6 +388,13 @@ func (pq *PQueue) Insert(t mm.Thread, key, value uint64) error {
 			}
 		}
 	}
+	// End of phase 2: publish "linking done".  A failed CAS means the
+	// bottom-level unlinker ran while we were still linking and
+	// abandoned the node to us — confirm its unlink and retire it.
+	if !pq.ar.ValCell(n, lsWord).CompareAndSwap(lsLinking, lsLinked) {
+		tw.pend = append(tw.pend, n)
+	}
+	pq.drainPend(t, tw)
 	tw.release(t, pq)
 	t.Release(n)
 	return nil
@@ -318,6 +403,7 @@ func (pq *PQueue) Insert(t mm.Thread, key, value uint64) error {
 // DeleteMin removes and returns the minimum-key pair.  ok is false when
 // the queue is empty.
 func (pq *PQueue) DeleteMin(t mm.Thread) (key, value uint64, ok bool) {
+	tw := pq.towerFor(t)
 	t.BeginOp()
 	defer t.EndOp()
 retry:
@@ -328,6 +414,7 @@ retry:
 		for {
 			if cur.IsNil() {
 				t.Release(tprev)
+				pq.drainPend(t, tw)
 				return 0, 0, false
 			}
 			next := t.DeRef(pq.link(cur.Handle(), 0))
@@ -349,7 +436,7 @@ retry:
 				// Break the unlinked node's bottom-level chain (see
 				// arena.PoisonPtr).
 				t.CASLink(pq.link(cur.Handle(), 0), next, arena.PoisonPtr)
-				t.Retire(cur.Handle())
+				pq.pendUnlinked(tw, cur.Handle())
 				t.Release(cur.Handle())
 				cur = target
 				continue
@@ -373,9 +460,9 @@ retry:
 				key = pq.key(cur.Handle())
 				value = pq.value(cur.Handle())
 				// Physically unlink at every level via the helping search.
-				tw := pq.towerFor(t)
 				pq.find(t, key, false, tw)
 				tw.release(t, pq)
+				pq.drainPend(t, tw)
 				t.Release(next.Handle())
 				t.Release(cur.Handle())
 				t.Release(tprev)

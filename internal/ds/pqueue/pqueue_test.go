@@ -12,7 +12,7 @@ import (
 )
 
 func arenaCfg(nodes, maxLevel int) arena.Config {
-	return arena.Config{Nodes: nodes, LinksPerNode: maxLevel, ValsPerNode: 3, RootLinks: maxLevel + 2}
+	return arena.Config{Nodes: nodes, LinksPerNode: maxLevel, ValsPerNode: 4, RootLinks: maxLevel + 2}
 }
 
 func forEachScheme(t *testing.T, nodes, threads, maxLevel int, fn func(t *testing.T, s mm.Scheme, pq *PQueue)) {

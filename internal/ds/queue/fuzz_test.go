@@ -8,7 +8,7 @@ import (
 
 // FuzzQueue drives the Michael–Scott queue with byte-encoded operation
 // sequences and checks FIFO equivalence against a Go slice, over all
-// five memory-management schemes with a per-input audit.
+// seven memory-management schemes with a per-input audit.
 //
 // Run with `go test -fuzz FuzzQueue ./internal/ds/queue` to explore;
 // the seed corpus runs in normal `go test`.
@@ -16,6 +16,16 @@ func FuzzQueue(f *testing.F) {
 	f.Add([]byte{0x01, 0x02, 0x80, 0x80})
 	f.Add([]byte{0x10, 0x11, 0x12, 0x80, 0x13, 0x80, 0x80, 0x80})
 	f.Add([]byte{0x80, 0x01, 0xc0, 0x80, 0xc0})
+	// Hyaline regression seeds: enough enqueue/dequeue churn to cross
+	// the batch-dispatch threshold (64 retires) several times in one
+	// input, and a drain-to-empty tail so the final audit sees batches
+	// both in flight and fully reclaimed.
+	churn := make([]byte, 0, 200)
+	for i := 0; i < 100; i++ {
+		churn = append(churn, byte(0x01+i%0x3f), 0x80)
+	}
+	f.Add(churn)
+	f.Add(append(append([]byte{}, churn[:130]...), 0x80, 0x80, 0x80, 0x80, 0xc0))
 
 	f.Fuzz(func(t *testing.T, ops []byte) {
 		if len(ops) > 256 {

@@ -8,7 +8,7 @@ import (
 
 // FuzzStack drives the Treiber stack with byte-encoded operation
 // sequences and checks LIFO equivalence against a Go slice, over all
-// five memory-management schemes with a per-input audit.
+// seven memory-management schemes with a per-input audit.
 //
 // Run with `go test -fuzz FuzzStack ./internal/ds/stack` to explore;
 // the seed corpus runs in normal `go test`.
@@ -16,6 +16,14 @@ func FuzzStack(f *testing.F) {
 	f.Add([]byte{0x01, 0x02, 0x80, 0x80})
 	f.Add([]byte{0x10, 0x11, 0xc0, 0x80, 0x12, 0x80, 0x80})
 	f.Add([]byte{0x80, 0xc0, 0x01, 0xc0, 0x80, 0x80})
+	// Hyaline regression seed: push/pop churn past the batch-dispatch
+	// threshold (64 retires) with interleaved peeks, so retirement
+	// batches build and free while the stack stays non-empty.
+	churn := make([]byte, 0, 210)
+	for i := 0; i < 70; i++ {
+		churn = append(churn, byte(0x01+i%0x3f), 0xc0, 0x80)
+	}
+	f.Add(churn)
 
 	f.Fuzz(func(t *testing.T, ops []byte) {
 		if len(ops) > 256 {

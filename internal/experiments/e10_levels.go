@@ -33,7 +33,7 @@ func E10LevelAblation(p Params) ([]harness.Table, error) {
 		for _, ml := range []int{2, 4, 8, 12} {
 			acfg := arena.Config{
 				Nodes:        2*prefill + 64*threads + 4096,
-				LinksPerNode: ml, ValsPerNode: 3, RootLinks: ml + 2,
+				LinksPerNode: ml, ValsPerNode: 4, RootLinks: ml + 2,
 			}
 			s, err := f.New(acfg, schemes.Options{Threads: threads + 1})
 			if err != nil {

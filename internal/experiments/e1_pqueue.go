@@ -15,7 +15,7 @@ import (
 const pqMaxLevel = 8
 
 func pqArena(nodes int) arena.Config {
-	return arena.Config{Nodes: nodes, LinksPerNode: pqMaxLevel, ValsPerNode: 3, RootLinks: pqMaxLevel + 2}
+	return arena.Config{Nodes: nodes, LinksPerNode: pqMaxLevel, ValsPerNode: 4, RootLinks: pqMaxLevel + 2}
 }
 
 // E1PQueueThroughput reproduces the paper's experiment: the lock-free

@@ -1,0 +1,360 @@
+// Package matrix runs the automated reclamation shoot-out: every data
+// structure × every memory-management scheme × a thread-count sweep
+// that deliberately crosses into oversubscription × two contention
+// levels, following the methodology of Pöter & Träff's Stamp-it
+// comparison (structures × schemes × threads × contention, with
+// robustness measured where quiescence-based schemes actually differ —
+// under stalls and oversubscription).
+//
+// One invocation emits a single merged schema-v4 obs.BenchReport whose
+// rows carry their matrix cell coordinates, and the EXPERIMENTS.md
+// comparison tables are regenerated from that report (render.go), so
+// the prose tables can never drift from the machine-readable data.
+package matrix
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/ds/hashmap"
+	"wfrc/internal/ds/queue"
+	"wfrc/internal/ds/stack"
+	"wfrc/internal/harness"
+	"wfrc/internal/mm"
+	"wfrc/internal/obs"
+	"wfrc/internal/schemes"
+)
+
+// Structures is the canonical structure axis.
+var Structures = []string{"queue", "stack", "hashmap"}
+
+// Contentions is the canonical contention axis.  "high" runs every
+// thread against one shared instance with a narrow key range; "low"
+// gives each thread a private instance (queue, stack) or a disjoint
+// slice of a wide key space (hashmap).
+var Contentions = []string{"low", "high"}
+
+// Config tunes one shoot-out run.  Zero values select the full default
+// sweep.
+type Config struct {
+	// Structures to run; nil means all of Structures.
+	Structures []string
+	// Schemes to run; nil means every registered scheme.
+	Schemes []string
+	// ThreadCounts to sweep; nil means DefaultThreadCounts().
+	ThreadCounts []int
+	// OpsPerThread is the per-thread operation count per cell; 0 means
+	// 20000, or 2000 when Quick.
+	OpsPerThread int
+	// Quick marks the report as a quick pass and shrinks the default
+	// workload.
+	Quick bool
+	// Progress, when non-nil, is called once per completed cell.
+	Progress func(structure, scheme string, threads int, contention string)
+}
+
+func (c Config) structures() []string {
+	if len(c.Structures) == 0 {
+		return Structures
+	}
+	return c.Structures
+}
+
+func (c Config) schemes() []string {
+	if len(c.Schemes) == 0 {
+		return schemes.Names()
+	}
+	return c.Schemes
+}
+
+func (c Config) threadCounts() []int {
+	if len(c.ThreadCounts) == 0 {
+		return DefaultThreadCounts()
+	}
+	return c.ThreadCounts
+}
+
+func (c Config) opsPerThread() int {
+	if c.OpsPerThread > 0 {
+		return c.OpsPerThread
+	}
+	if c.Quick {
+		return 2000
+	}
+	return 20000
+}
+
+// DefaultThreadCounts returns the Stamp-it thread axis {1, 2, P, 2P}
+// for P = GOMAXPROCS, deduplicated and sorted, then padded by doubling
+// until it holds at least four distinct counts — so a 1-core host still
+// sweeps {1, 2, 4, 8} and the oversubscribed regime is always present.
+func DefaultThreadCounts() []int {
+	p := runtime.GOMAXPROCS(0)
+	set := map[int]bool{1: true, 2: true, p: true, 2 * p: true}
+	var out []int
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	for len(out) < 4 {
+		out = append(out, out[len(out)-1]*2)
+	}
+	return out
+}
+
+// Oversubscribed reports whether a cell with this thread count runs
+// more threads than the host schedules in parallel.
+func Oversubscribed(threads int) bool {
+	return threads > runtime.GOMAXPROCS(0)
+}
+
+// Run executes the full sweep and returns the merged schema-v4 report.
+// Cells run sequentially (each cell is internally concurrent), and the
+// result rows appear in deterministic axis order: structure, then
+// contention, then threads, then scheme.
+func Run(cfg Config) (*obs.BenchReport, error) {
+	rep := obs.NewBenchReport(cfg.Quick)
+	rep.Matrix = &obs.BenchMatrix{
+		Structures:   cfg.structures(),
+		Schemes:      cfg.schemes(),
+		ThreadCounts: cfg.threadCounts(),
+		Contentions:  Contentions,
+		OpsPerThread: cfg.opsPerThread(),
+	}
+	for _, structure := range cfg.structures() {
+		for _, contention := range Contentions {
+			for _, threads := range cfg.threadCounts() {
+				for _, schemeName := range cfg.schemes() {
+					res, err := runCell(structure, schemeName, threads, contention, cfg.opsPerThread())
+					if err != nil {
+						return nil, fmt.Errorf("matrix: %s/%s/%dthr/%s: %w",
+							structure, schemeName, threads, contention, err)
+					}
+					rep.Results = append(rep.Results, res)
+					if cfg.Progress != nil {
+						cfg.Progress(structure, schemeName, threads, contention)
+					}
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// arenaFor sizes the cell's arena: enough nodes that reclamation lag
+// (deferred schemes retain up to threads·threshold nodes) never turns
+// into spurious exhaustion, plus the structure's root-link needs.
+func arenaFor(structure string, threads int) arena.Config {
+	cfg := arena.Config{
+		Nodes:        96*threads + 1024,
+		LinksPerNode: 1,
+		ValsPerNode:  1,
+		RootLinks:    2*threads + 4,
+	}
+	if structure == "hashmap" {
+		// The hashmap's chained buckets store key+value and need one
+		// root per bucket; the low-contention key space spans 256
+		// buckets.
+		cfg.ValsPerNode = 2
+		cfg.RootLinks = 256 + 4
+	}
+	return cfg
+}
+
+// runCell measures one (structure, scheme, threads, contention) point
+// and audits the scheme for leaks at quiescence before reporting it.
+func runCell(structure, schemeName string, threads int, contention string, opsPer int) (obs.BenchResult, error) {
+	f, err := schemes.ByName(schemeName)
+	if err != nil {
+		return obs.BenchResult{}, err
+	}
+	// One extra slot for the setup/audit thread, registered before and
+	// after the workers but never concurrently with all of them.
+	s, err := f.New(arenaFor(structure, threads), schemes.Options{
+		Threads:         threads + 1,
+		RetireThreshold: 64,
+	})
+	if err != nil {
+		return obs.BenchResult{}, err
+	}
+
+	var res harness.Result
+	switch structure {
+	case "queue":
+		res, err = runQueue(s, threads, contention, opsPer)
+	case "stack":
+		res, err = runStack(s, threads, contention, opsPer)
+	case "hashmap":
+		res, err = runHashmap(s, threads, contention, opsPer)
+	default:
+		return obs.BenchResult{}, fmt.Errorf("unknown structure %q", structure)
+	}
+	if err != nil {
+		return obs.BenchResult{}, err
+	}
+
+	unreclaimed, err := auditCell(s)
+	if err != nil {
+		return obs.BenchResult{}, err
+	}
+	out := obs.BenchResultFrom("mx-"+structure, schemeName, threads, res.Ops, res.Elapsed, &res.Stats)
+	out.Structure = structure
+	out.Contention = contention
+	out.Oversubscribed = Oversubscribed(threads)
+	out.UnreclaimedEnd = unreclaimed
+	return out, nil
+}
+
+// auditCell runs the quiescence leak audit after a cell's workers have
+// unregistered: a fresh thread flushes any orphaned thread-local state
+// (Hyaline limbo batches, deferred ZCT leftovers), AuditRC checks the
+// scheme's own invariants, and the mm.Robust unreclaimed count is
+// captured for the report (-1 when the scheme does not expose one).
+func auditCell(s mm.Scheme) (int64, error) {
+	at, err := s.Register()
+	if err != nil {
+		return 0, fmt.Errorf("audit register: %w", err)
+	}
+	schemes.Flush(at)
+	errs := schemes.AuditRC(s, nil)
+	unreclaimed := int64(-1)
+	if r, ok := s.(mm.Robust); ok {
+		unreclaimed = int64(r.UnreclaimedNodes())
+	}
+	at.Unregister()
+	if len(errs) > 0 {
+		return unreclaimed, fmt.Errorf("leak audit: %v", errs[0])
+	}
+	return unreclaimed, nil
+}
+
+// runQueue measures enqueue/dequeue pairs.  High contention shares one
+// queue; low contention gives each worker its own.
+func runQueue(s mm.Scheme, threads int, contention string, opsPer int) (harness.Result, error) {
+	setup, err := s.Register()
+	if err != nil {
+		return harness.Result{}, err
+	}
+	n := 1
+	if contention == "low" {
+		n = threads
+	}
+	qs := make([]*queue.Queue, n)
+	for i := range qs {
+		q, err := queue.New(s, setup)
+		if err != nil {
+			setup.Unregister()
+			return harness.Result{}, err
+		}
+		qs[i] = q
+	}
+	setup.Unregister()
+
+	next := newInstancePicker(n)
+	return harness.Run(s, threads, func(t mm.Thread, rng *rand.Rand, _ *harness.Histogram) (uint64, error) {
+		q := qs[next()]
+		var ops uint64
+		for i := 0; i < opsPer; i++ {
+			if err := q.Enqueue(t, uint64(i)); err != nil {
+				return ops, err
+			}
+			q.Dequeue(t)
+			ops += 2
+		}
+		return ops, nil
+	})
+}
+
+// runStack measures push/pop pairs, shared or per-thread like runQueue.
+func runStack(s mm.Scheme, threads int, contention string, opsPer int) (harness.Result, error) {
+	n := 1
+	if contention == "low" {
+		n = threads
+	}
+	sts := make([]*stack.Stack, n)
+	for i := range sts {
+		st, err := stack.New(s)
+		if err != nil {
+			return harness.Result{}, err
+		}
+		sts[i] = st
+	}
+
+	next := newInstancePicker(n)
+	return harness.Run(s, threads, func(t mm.Thread, rng *rand.Rand, _ *harness.Histogram) (uint64, error) {
+		st := sts[next()]
+		var ops uint64
+		for i := 0; i < opsPer; i++ {
+			if err := st.Push(t, uint64(i)); err != nil {
+				return ops, err
+			}
+			st.Pop(t)
+			ops += 2
+		}
+		return ops, nil
+	})
+}
+
+// runHashmap measures a mixed set/get/contains/delete workload on one
+// map.  High contention funnels every thread into 16 keys over 8
+// buckets; low contention gives each worker a disjoint 64-key slice of
+// a 256-bucket space, so bucket chains rarely cross threads.
+func runHashmap(s mm.Scheme, threads int, contention string, opsPer int) (harness.Result, error) {
+	buckets := 256
+	if contention == "high" {
+		buckets = 8
+	}
+	m, err := hashmap.New(s, hashmap.Config{Buckets: buckets})
+	if err != nil {
+		return harness.Result{}, err
+	}
+
+	next := newInstancePicker(threads)
+	return harness.Run(s, threads, func(t mm.Thread, rng *rand.Rand, _ *harness.Histogram) (uint64, error) {
+		worker := next()
+		key := func() uint64 {
+			if contention == "high" {
+				return uint64(rng.Intn(16))
+			}
+			return uint64(worker)*64 + uint64(rng.Intn(64))
+		}
+		var ops uint64
+		for i := 0; i < opsPer; i++ {
+			switch i % 4 {
+			case 0:
+				if _, err := m.Set(t, key(), uint64(i)); err != nil {
+					return ops, err
+				}
+			case 1:
+				m.Get(t, key())
+			case 2:
+				m.Contains(t, key())
+			case 3:
+				m.Delete(t, key())
+			}
+			ops++
+		}
+		return ops, nil
+	})
+}
+
+// newInstancePicker hands each calling worker a distinct index in
+// [0, n); extra callers wrap around.  Worker goroutines race to pick,
+// so the assignment is arbitrary but the partition is exact.
+func newInstancePicker(n int) func() int {
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	return func() int {
+		select {
+		case i := <-ch:
+			return i
+		default:
+			return 0
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package matrix
+
+import (
+	"encoding/json"
+	"sort"
+	"testing"
+
+	"wfrc/internal/obs"
+	"wfrc/internal/schemes"
+)
+
+func TestDefaultThreadCounts(t *testing.T) {
+	counts := DefaultThreadCounts()
+	if len(counts) < 4 {
+		t.Fatalf("thread counts %v, want at least 4", counts)
+	}
+	if !sort.IntsAreSorted(counts) {
+		t.Fatalf("thread counts %v not sorted", counts)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] == counts[i-1] {
+			t.Fatalf("thread counts %v contain duplicates", counts)
+		}
+	}
+	if !Oversubscribed(counts[len(counts)-1]) {
+		t.Fatalf("largest count %d is not oversubscribed", counts[len(counts)-1])
+	}
+}
+
+// TestMatrixSweep runs a shrunken but complete sweep — every structure,
+// every scheme, an in-cap and an oversubscribed thread count — and
+// checks the merged report validates as schema v4 with every cell
+// present and correctly tagged.
+func TestMatrixSweep(t *testing.T) {
+	threadCounts := []int{1, 2}
+	cfg := Config{
+		ThreadCounts: threadCounts,
+		OpsPerThread: 200,
+		Quick:        true,
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantCells := len(Structures) * len(Contentions) * len(threadCounts) * len(schemes.Names())
+	if len(rep.Results) != wantCells {
+		t.Fatalf("got %d result rows, want %d", len(rep.Results), wantCells)
+	}
+
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := obs.ValidateBenchJSON(data)
+	if err != nil {
+		t.Fatalf("matrix report fails schema-v4 validation: %v", err)
+	}
+	if got.Matrix == nil || len(got.Matrix.Schemes) != len(schemes.Names()) {
+		t.Fatalf("matrix section = %+v", got.Matrix)
+	}
+
+	for _, r := range rep.Results {
+		if r.Experiment != "mx-"+r.Structure {
+			t.Errorf("row %s/%s: experiment %q does not match structure", r.Structure, r.Scheme, r.Experiment)
+		}
+		if r.Oversubscribed != Oversubscribed(r.Threads) {
+			t.Errorf("row %s/%s/%d: oversubscribed flag wrong", r.Structure, r.Scheme, r.Threads)
+		}
+		if r.Ops == 0 {
+			t.Errorf("row %s/%s/%d/%s: zero ops", r.Structure, r.Scheme, r.Threads, r.Contention)
+		}
+		switch r.Scheme {
+		case "hyaline":
+			// The per-cell audit already gates unreclaimed == 0 at
+			// quiescence; the row must record that robustness measurement.
+			if r.UnreclaimedEnd != 0 {
+				t.Errorf("hyaline row %s/%d: unreclaimed_end = %d, want 0", r.Structure, r.Threads, r.UnreclaimedEnd)
+			}
+		default:
+			if r.UnreclaimedEnd != -1 {
+				t.Errorf("%s row %s/%d: unreclaimed_end = %d, want -1 (no mm.Robust)", r.Scheme, r.Structure, r.Threads, r.UnreclaimedEnd)
+			}
+		}
+	}
+}
+
+// TestRenderByteReproducible pins the acceptance criterion that the
+// EXPERIMENTS.md tables regenerate byte-identically from one report:
+// render twice, splice twice, compare bytes.
+func TestRenderByteReproducible(t *testing.T) {
+	rep, err := Run(Config{
+		Structures:   []string{"queue"},
+		Schemes:      []string{"waitfree", "hyaline"},
+		ThreadCounts: []int{1, 2},
+		OpsPerThread: 100,
+		Quick:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := RenderMarkdown(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RenderMarkdown(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatal("rendering the same report twice differs")
+	}
+
+	doc := "prefix\n" + BeginMarker + "\nstale tables\n" + EndMarker + "\nsuffix\n"
+	once, err := SpliceMarkers(doc, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := SpliceMarkers(once, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if once != twice {
+		t.Fatal("splicing the same rendering twice is not idempotent")
+	}
+	if got, want := once[:len("prefix\n")], "prefix\n"; got != want {
+		t.Fatalf("prefix clobbered: %q", got)
+	}
+
+	// A report missing a swept cell must fail loudly, not render a hole.
+	broken := *rep
+	broken.Results = rep.Results[:len(rep.Results)-1]
+	if _, err := RenderMarkdown(&broken); err == nil {
+		t.Fatal("rendering a report with a missing cell succeeded")
+	}
+
+	if _, err := SpliceMarkers("no markers here", first); err == nil {
+		t.Fatal("splicing into a document without markers succeeded")
+	}
+}

@@ -23,7 +23,13 @@ import (
 // latency distribution — the place Brown's critique says reclamation
 // overheads hide — not just throughput averages.  Version 1 and 2
 // documents remain valid.
-const BenchSchemaVersion = 3
+// Version 4 adds the shoot-out matrix emitted by wfrc-matrix: an
+// optional top-level "matrix" section (BenchMatrix, the swept axes) and,
+// on each result row, the optional cell coordinates "structure",
+// "contention", "oversubscribed" and the robustness metric
+// "unreclaimed_end".  When "matrix" is present every result must carry
+// its cell coordinates; all four keys are forbidden below version 4.
+const BenchSchemaVersion = 4
 
 // BenchStepStats summarizes one per-operation step distribution (the
 // quantity Lemmas 2 and 9 bound) for one data point: quantiles read off
@@ -54,6 +60,18 @@ type BenchResult struct {
 	AllocHelped       uint64 `json:"alloc_helped"`
 	AnnScanViolations uint64 `json:"ann_scan_violations"`
 	CASFailures       uint64 `json:"cas_failures"`
+
+	// Schema-v4 matrix cell coordinates, set only on rows emitted by the
+	// shoot-out runner: the data structure exercised ("queue", "stack",
+	// "hashmap"), the contention level ("low", "high"), and whether the
+	// cell ran more threads than GOMAXPROCS.
+	Structure      string `json:"structure,omitempty"`
+	Contention     string `json:"contention,omitempty"`
+	Oversubscribed bool   `json:"oversubscribed,omitempty"`
+	// UnreclaimedEnd is the scheme's retired-but-unreclaimed node count
+	// after the cell's quiescent flush — the Stamp-it robustness metric.
+	// -1 means the scheme does not expose it (no mm.Robust support).
+	UnreclaimedEnd int64 `json:"unreclaimed_end,omitempty"`
 }
 
 // BenchServer is the schema-v2 "server" section: one wfrc-load run
@@ -146,6 +164,22 @@ type BenchReport struct {
 	// Server is the schema-v2 load-test section; nil for pure
 	// wfrc-bench reports.
 	Server *BenchServer `json:"server,omitempty"`
+	// Matrix is the schema-v4 shoot-out section; nil for reports that
+	// did not come from wfrc-matrix.
+	Matrix *BenchMatrix `json:"matrix,omitempty"`
+}
+
+// BenchMatrix is the schema-v4 "matrix" section: the axes one
+// wfrc-matrix invocation swept.  Every combination of the listed axes
+// appears as one result row tagged with its cell coordinates, so a
+// reader can check the sweep for holes without re-deriving the cross
+// product.
+type BenchMatrix struct {
+	Structures   []string `json:"structures"`
+	Schemes      []string `json:"schemes"`
+	ThreadCounts []int    `json:"thread_counts"`
+	Contentions  []string `json:"contentions"`
+	OpsPerThread int      `json:"ops_per_thread"`
 }
 
 // NewBenchReport returns an empty report stamped with the current time
@@ -267,6 +301,10 @@ func ValidateBenchJSON(data []byte) (*BenchReport, error) {
 	if hasServer && version < 2 {
 		return nil, fmt.Errorf("bench json: \"server\" section requires schema_version 2, document has %d", version)
 	}
+	matrixRaw, hasMatrix := raw["matrix"]
+	if hasMatrix && version < 4 {
+		return nil, fmt.Errorf("bench json: \"matrix\" section requires schema_version 4, document has %d", version)
+	}
 	var generated string
 	if err := json.Unmarshal(raw["generated_at"], &generated); err != nil {
 		return nil, fmt.Errorf("bench json: generated_at: %w", err)
@@ -283,6 +321,24 @@ func ValidateBenchJSON(data []byte) (*BenchReport, error) {
 		return nil, fmt.Errorf("bench json: results is empty")
 	}
 	for i, res := range results {
+		// Schema-v4 cell coordinates: forbidden below v4 (a v3 document
+		// carrying matrix keys is mislabelled), required on every row of
+		// a matrix report.
+		if version < 4 {
+			for _, key := range []string{"structure", "contention", "oversubscribed", "unreclaimed_end"} {
+				if _, ok := res[key]; ok {
+					return nil, fmt.Errorf("bench json: results[%d].%s requires schema_version 4, document has %d", i, key, version)
+				}
+			}
+		}
+		if hasMatrix {
+			for _, key := range []string{"structure", "contention"} {
+				var s string
+				if err := json.Unmarshal(res[key], &s); err != nil || s == "" {
+					return nil, fmt.Errorf("bench json: results[%d].%s: matrix reports need a non-empty string", i, key)
+				}
+			}
+		}
 		for _, key := range requiredResultKeys {
 			v, ok := res[key]
 			if !ok {
@@ -377,6 +433,34 @@ func ValidateBenchJSON(data []byte) (*BenchReport, error) {
 					}
 				}
 			}
+		}
+	}
+
+	if hasMatrix {
+		var matrix map[string]json.RawMessage
+		if err := json.Unmarshal(matrixRaw, &matrix); err != nil {
+			return nil, fmt.Errorf("bench json: matrix: %w", err)
+		}
+		for _, key := range []string{"structures", "schemes", "contentions"} {
+			v, ok := matrix[key]
+			if !ok {
+				return nil, fmt.Errorf("bench json: matrix: missing key %q", key)
+			}
+			var ss []string
+			if err := json.Unmarshal(v, &ss); err != nil || len(ss) == 0 {
+				return nil, fmt.Errorf("bench json: matrix.%s: want non-empty array of strings", key)
+			}
+		}
+		tc, ok := matrix["thread_counts"]
+		if !ok {
+			return nil, fmt.Errorf("bench json: matrix: missing key \"thread_counts\"")
+		}
+		var counts []int
+		if err := json.Unmarshal(tc, &counts); err != nil || len(counts) == 0 {
+			return nil, fmt.Errorf("bench json: matrix.thread_counts: want non-empty array of numbers")
+		}
+		if _, ok := matrix["ops_per_thread"]; !ok {
+			return nil, fmt.Errorf("bench json: matrix: missing key \"ops_per_thread\"")
 		}
 	}
 

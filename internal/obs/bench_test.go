@@ -275,3 +275,106 @@ func TestValidateBenchJSONRejects(t *testing.T) {
 		})
 	}
 }
+
+// sampleMatrixReport builds a small valid v4 shoot-out report.
+func sampleMatrixReport() *BenchReport {
+	rep := sampleReport()
+	rep.Matrix = &BenchMatrix{
+		Structures:   []string{"queue"},
+		Schemes:      []string{"waitfree-rc"},
+		ThreadCounts: []int{4},
+		Contentions:  []string{"high"},
+		OpsPerThread: 250,
+	}
+	rep.Results[0].Experiment = "mx-queue"
+	rep.Results[0].Structure = "queue"
+	rep.Results[0].Contention = "high"
+	rep.Results[0].Oversubscribed = true
+	rep.Results[0].UnreclaimedEnd = -1
+	return rep
+}
+
+// TestValidateBenchJSONMatrix covers the schema-v4 matrix section:
+// required at v4 when present, cell coordinates on every row, and the
+// whole family forbidden below v4.
+func TestValidateBenchJSONMatrix(t *testing.T) {
+	data, err := json.Marshal(sampleMatrixReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ValidateBenchJSON(data)
+	if err != nil {
+		t.Fatalf("v4 matrix report rejected: %v", err)
+	}
+	if got.Matrix == nil || len(got.Matrix.Structures) != 1 || got.Matrix.OpsPerThread != 250 {
+		t.Fatalf("matrix section lost in round trip: %+v", got.Matrix)
+	}
+	res := got.Results[0]
+	if res.Structure != "queue" || res.Contention != "high" || !res.Oversubscribed || res.UnreclaimedEnd != -1 {
+		t.Fatalf("cell coordinates lost in round trip: %+v", res)
+	}
+
+	mutateMatrix := func(fn func(doc map[string]interface{})) []byte {
+		t.Helper()
+		data, err := json.Marshal(sampleMatrixReport())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc map[string]interface{}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatal(err)
+		}
+		fn(doc)
+		out, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	cases := []struct {
+		name    string
+		data    []byte
+		wantErr string
+	}{
+		{"matrix below v4", mutateMatrix(func(d map[string]interface{}) {
+			d["schema_version"] = 3
+			res := d["results"].([]interface{})[0].(map[string]interface{})
+			delete(res, "structure")
+			delete(res, "contention")
+			delete(res, "oversubscribed")
+			delete(res, "unreclaimed_end")
+		}), `"matrix" section requires schema_version 4`},
+		{"cell coordinates below v4", mutateMatrix(func(d map[string]interface{}) {
+			d["schema_version"] = 3
+			delete(d, "matrix")
+		}), "requires schema_version 4"},
+		{"matrix row missing structure", mutateMatrix(func(d map[string]interface{}) {
+			res := d["results"].([]interface{})[0].(map[string]interface{})
+			delete(res, "structure")
+		}), "results[0].structure"},
+		{"matrix row empty contention", mutateMatrix(func(d map[string]interface{}) {
+			res := d["results"].([]interface{})[0].(map[string]interface{})
+			res["contention"] = ""
+		}), "results[0].contention"},
+		{"matrix missing schemes", mutateMatrix(func(d map[string]interface{}) {
+			delete(d["matrix"].(map[string]interface{}), "schemes")
+		}), `matrix: missing key "schemes"`},
+		{"matrix empty thread_counts", mutateMatrix(func(d map[string]interface{}) {
+			d["matrix"].(map[string]interface{})["thread_counts"] = []interface{}{}
+		}), "matrix.thread_counts"},
+		{"matrix missing ops_per_thread", mutateMatrix(func(d map[string]interface{}) {
+			delete(d["matrix"].(map[string]interface{}), "ops_per_thread")
+		}), `matrix: missing key "ops_per_thread"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ValidateBenchJSON(tc.data)
+			if err == nil {
+				t.Fatal("validation unexpectedly passed")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

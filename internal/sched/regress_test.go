@@ -93,6 +93,18 @@ var regressionSeeds = []struct {
 		minNotes: map[string]int64{"quarantines": 1, "leases": 4, "recycles": 4},
 	},
 	{
+		scenario: "hyaline-retire-vs-help",
+		seed:     3,
+		about:    "both dispatches lodge in the reader's slot; its leave traversal frees both batches",
+		minNotes: map[string]int64{"dispatches": 2, "reader-frees": 6, "retires": 6},
+	},
+	{
+		scenario: "hyaline-retire-vs-help",
+		seed:     6,
+		about:    "reader leaves between dispatches: its traversal frees batch one, the retirer's adjustment frees batch two",
+		minNotes: map[string]int64{"dispatches": 2, "reader-frees": 3, "retirer-frees": 3},
+	},
+	{
 		scenario:    "legacy-annindex",
 		seed:        7,
 		about:       "the announcement-answer schedule with the annRow.index fix reverted",

@@ -1,0 +1,134 @@
+package sched
+
+import (
+	"fmt"
+
+	"wfrc/internal/arena"
+	"wfrc/internal/baseline/hyaline"
+)
+
+// --- hyaline-retire-vs-help --------------------------------------------------
+
+// buildHyalineRetireVsHelp races a Hyaline batch dispatch against a
+// reader whose leave traversal finishes the reclamation for the retirer
+// (Hyaline's analogue of helping: the retirer hands the batch to every
+// active slot and whoever drops the last reference frees it).  The
+// reader enters its operation and holds the slot reference while the
+// retirer swaps the shared link and retires the unlinked nodes past the
+// dispatch threshold, so the retire scan must observe the reader's slot
+// as active, insert a batch node into its retirement list, and leave
+// the batch alive until the reader's EndOp traversal drops the final
+// reference.  Every hook point of both threads is a scheduling point,
+// so PCT can suspend the retirer between the slot snapshot, the
+// insertion CAS, and the reference adjustment — the windows where the
+// reader's concurrent leave CAS historically bites.  The end audit
+// (leak/conservation) runs on every schedule.
+func buildHyalineRetireVsHelp(w *World) {
+	ar := arena.MustNew(arena.Config{Nodes: 24, LinksPerNode: 1, ValsPerNode: 1, RootLinks: 2})
+	s := hyaline.MustNew(ar, hyaline.Config{Threads: 3, RetireThreshold: 3})
+	root := ar.NewRoot()
+
+	tR, err := s.RegisterHyaline()
+	if err != nil {
+		panic(err)
+	}
+	tW, err := s.RegisterHyaline()
+	if err != nil {
+		panic(err)
+	}
+
+	// Setup: one node linked from root, born in era 0 — at or below any
+	// access era the reader can publish, so the era-skip rule must treat
+	// the reader as a target once this node is retired.
+	h0, err := tW.Alloc()
+	if err != nil {
+		panic(err)
+	}
+	tW.StoreLink(root, arena.MakePtr(h0, false))
+
+	readerIn := false
+	dispatched := false
+
+	w.Spawn("reader", func(t *T) {
+		tR.SetHook(func(hyaline.Point) { t.Yield() })
+		tR.BeginOp()
+		if p := tR.DeRef(root); p.Handle() == arena.Nil {
+			panic("hyaline-retire-vs-help: reader saw an empty root")
+		}
+		w.Note("reads", 1)
+		readerIn = true
+		// Stay inside the operation until a batch has been dispatched at
+		// this slot's expense, so the leave traversal below has a
+		// retirement list to drain on every schedule.
+		t.BlockUntil(func() bool { return dispatched })
+		// Re-read across the era tick: DeRef's validation loop must
+		// converge even while dispatches advance the clock.
+		if p := tR.DeRef(root); p.Handle() == arena.Nil {
+			panic("hyaline-retire-vs-help: reader saw an empty root after dispatch")
+		}
+		w.Note("reads", 1)
+		tR.EndOp()
+	})
+
+	w.Spawn("retirer", func(t *T) {
+		tW.SetHook(func(hyaline.Point) { t.Yield() })
+		t.BlockUntil(func() bool { return readerIn })
+		for k := 0; k < 6; k++ {
+			h, err := tW.Alloc()
+			if err != nil {
+				panic(fmt.Sprintf("hyaline-retire-vs-help: alloc %d: %v", k, err))
+			}
+			old := tW.Load(root)
+			if !tW.CASLink(root, old, arena.MakePtr(h, false)) {
+				panic("hyaline-retire-vs-help: swap CAS failed with one writer")
+			}
+			tW.Retire(old.Handle())
+			w.Note("retires", 1)
+			if tW.Stats().Scans > 0 {
+				dispatched = true
+			}
+		}
+		// Threshold 3 with one active reader guarantees a dispatch above,
+		// but never leave the reader parked if a schedule dodges it.
+		dispatched = true
+	})
+
+	w.AtEnd(func() error {
+		tR.SetHook(nil)
+		tW.SetHook(nil)
+		w.Note("dispatches", int64(tW.Stats().Scans))
+		w.Note("reader-frees", int64(tR.Stats().Frees))
+		w.Note("retirer-frees", int64(tW.Stats().Frees))
+		w.Note("cas-failures", int64(tR.Stats().CASFailures+tW.Stats().CASFailures))
+		tR.Unregister()
+		tW.Unregister()
+		// Quiesce: a fresh thread adopts whatever Unregister parked in
+		// limbo and dispatches it against an empty slot set (two passes,
+		// matching schemes.Flush).
+		at, err := s.RegisterHyaline()
+		if err != nil {
+			return err
+		}
+		at.Flush()
+		at.Flush()
+		at.Unregister()
+		if w.notes["retires"] != 6 {
+			return fmt.Errorf("retired %d of 6 nodes", w.notes["retires"])
+		}
+		if w.notes["dispatches"] < 1 {
+			return fmt.Errorf("no batch dispatched while the reader held its slot reference")
+		}
+		if n := s.UnreclaimedNodes(); n != 0 {
+			return fmt.Errorf("%d retired node(s) unreclaimed after quiescent flush", n)
+		}
+		return SortedErrors(s.Audit(nil))
+	})
+}
+
+func init() {
+	Register(Scenario{
+		Name:  "hyaline-retire-vs-help",
+		About: "hyaline: batch dispatch races the reader whose leave traversal frees the batch",
+		Build: buildHyalineRetireVsHelp,
+	})
+}

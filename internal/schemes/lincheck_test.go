@@ -101,8 +101,8 @@ func TestAllocatorLinearizability(t *testing.T) {
 
 // TestFactoryBasics exercises the registry plumbing.
 func TestFactoryBasics(t *testing.T) {
-	if len(Names()) != 6 {
-		t.Fatalf("Names() = %v, want 6 schemes", Names())
+	if len(Names()) != 7 {
+		t.Fatalf("Names() = %v, want 7 schemes", Names())
 	}
 	for _, name := range Names() {
 		f, err := ByName(name)
@@ -124,7 +124,7 @@ func TestFactoryBasics(t *testing.T) {
 
 // TestAuditRCDispatch sanity-checks the audit helper across schemes.
 func TestAuditRCDispatch(t *testing.T) {
-	for _, name := range []string{"waitfree", "waitfree-deferred", "valois", "lockrc"} {
+	for _, name := range []string{"waitfree", "waitfree-deferred", "valois", "lockrc", "hyaline"} {
 		f, _ := ByName(name)
 		s, _ := f.New(arena.Config{Nodes: 4}, Options{Threads: 1})
 		if errs := AuditRC(s, nil); len(errs) != 0 {

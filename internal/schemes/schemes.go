@@ -10,6 +10,7 @@ import (
 	"wfrc/internal/arena"
 	"wfrc/internal/baseline/epoch"
 	"wfrc/internal/baseline/hazard"
+	"wfrc/internal/baseline/hyaline"
 	"wfrc/internal/baseline/lockrc"
 	"wfrc/internal/baseline/valois"
 	"wfrc/internal/core"
@@ -44,14 +45,15 @@ var OnNewWaitFree func(*core.Scheme)
 // Factory names and constructs one memory-management scheme.
 type Factory struct {
 	// Name is the scheme identifier used in test names and benchmark
-	// output: waitfree, waitfree-deferred, valois, hazard, epoch, lockrc.
+	// output: waitfree, waitfree-deferred, valois, hazard, epoch,
+	// hyaline, lockrc.
 	Name string
 	// New builds a fresh scheme over a fresh arena.
 	New func(acfg arena.Config, opts Options) (mm.Scheme, error)
 }
 
-// Factories returns all six schemes: the paper's wait-free contribution,
-// its deferred-decrement variant, and the four baselines.
+// Factories returns all seven schemes: the paper's wait-free
+// contribution, its deferred-decrement variant, and the five baselines.
 func Factories() []Factory {
 	newCore := func(deferred bool) func(acfg arena.Config, o Options) (mm.Scheme, error) {
 		return func(acfg arena.Config, o Options) (mm.Scheme, error) {
@@ -106,6 +108,17 @@ func Factories() []Factory {
 				RetireThreshold: o.RetireThreshold,
 			})
 		}},
+		{Name: "hyaline", New: func(acfg arena.Config, o Options) (mm.Scheme, error) {
+			ar, err := arena.New(acfg)
+			if err != nil {
+				return nil, err
+			}
+			return hyaline.New(ar, hyaline.Config{
+				Threads:         o.Threads,
+				RetireThreshold: o.RetireThreshold,
+				AllocRetryLimit: o.AllocRetryLimit,
+			})
+		}},
 		{Name: "lockrc", New: func(acfg arena.Config, o Options) (mm.Scheme, error) {
 			ar, err := arena.New(acfg)
 			if err != nil {
@@ -136,28 +149,31 @@ func Names() []string {
 	return names
 }
 
-// Flush applies any decrements buffered thread-locally by deferred
-// schemes (the waitfree-deferred delta cache and ZCT), so a subsequent
-// AuditRC sees exact counts; it is a no-op for threads without buffered
-// state.  Like AuditRC it is a quiescence-only call, and each thread
-// must be flushed from its own goroutine.
+// Flush applies any reclamation state buffered thread-locally (the
+// waitfree-deferred delta cache and ZCT, Hyaline's retirement batch) by
+// draining every thread that implements the mm.Flusher capability, so a
+// subsequent AuditRC sees exact counts; it is a no-op for threads
+// without buffered state.  Like AuditRC it is a quiescence-only call,
+// and each thread must be flushed from its own goroutine.
 func Flush(threads ...mm.Thread) {
 	// Two passes: a flush keeps ZCT candidates that another thread's
 	// sticky pin cache still publishes, and that cache is only purged by
 	// that thread's own flush — so a first round purges every cache and
 	// a second round reclaims the candidates the first round kept.
+	// (Hyaline's orphan adoption has the same shape: a first pass can
+	// park an undispatchable batch in limbo that a second pass adopts.)
 	for pass := 0; pass < 2; pass++ {
 		for _, th := range threads {
-			if f, ok := th.(interface{ Flush() }); ok {
+			if f, ok := th.(mm.Flusher); ok {
 				f.Flush()
 			}
 		}
 	}
 }
 
-// AuditRC runs the reference-counting audit on schemes that support it
-// (waitfree, valois, lockrc); for the others it returns nil.  Quiescence
-// only.
+// AuditRC runs the quiescence leak audit on schemes that support it —
+// exact reference counts on waitfree, valois and lockrc; retirement
+// conservation on hyaline — and returns nil for the others.
 func AuditRC(s mm.Scheme, extraRefs map[arena.Handle]int) []error {
 	switch cs := s.(type) {
 	case *core.Scheme:
@@ -165,6 +181,8 @@ func AuditRC(s mm.Scheme, extraRefs map[arena.Handle]int) []error {
 	case *valois.Scheme:
 		return cs.Audit(extraRefs)
 	case *lockrc.Scheme:
+		return cs.Audit(extraRefs)
+	case *hyaline.Scheme:
 		return cs.Audit(extraRefs)
 	default:
 		return nil

@@ -119,6 +119,17 @@ type Config struct {
 	// pins within a bounded number of their own steps, so a handful of
 	// yields normally suffices).
 	AuditRetries int
+	// PurgePinsOnRelease, when set, clears released sticky publications
+	// from each slot thread's pin cache (mm.PinPurger) on every
+	// voluntary Release, so a recycled slot hands the next lessee a cold
+	// cache instead of the previous lessee's pin set.  Measured slower
+	// than inheriting the warm cache (see BenchmarkLeaseHandoff* and
+	// DESIGN.md §9): the deferred scheme's ZCT drains already bound how
+	// long a stale pin can delay reclamation, so the purge buys nothing
+	// and costs a cache walk per release.  Off by default; the knob
+	// exists to re-measure on future hosts.  Reaper revocations never
+	// purge — the purge must run on the holder's goroutine.
+	PurgePinsOnRelease bool
 	// Hook, when set, observes every lifecycle point.  It must be safe
 	// for concurrent calls; chaos torture installs an Injector here.
 	Hook func(Point)
@@ -420,6 +431,16 @@ func (l *Lease) Renew() bool {
 func (l *Lease) Release() {
 	if !l.state.CompareAndSwap(leaseActive, leaseReleased) {
 		return
+	}
+	if l.p.cfg.PurgePinsOnRelease {
+		// Voluntary release runs on the holder's goroutine, the one
+		// place a pin purge is legal (owner-thread-only); the reaper's
+		// revoke path deliberately has no equivalent.
+		for _, th := range l.s.threads {
+			if pp, ok := th.(mm.PinPurger); ok {
+				pp.PurgePins()
+			}
+		}
 	}
 	l.p.m.releases.Add(1)
 	l.p.m.leased.Add(-1)

@@ -70,7 +70,7 @@ func TestPublicAPISchemes(t *testing.T) {
 // round trip through the façade types.
 func TestPublicAPIStructures(t *testing.T) {
 	ar := wfrc.MustNewArena(wfrc.ArenaConfig{
-		Nodes: 1 << 10, LinksPerNode: 8, ValsPerNode: 3, RootLinks: 80,
+		Nodes: 1 << 10, LinksPerNode: 8, ValsPerNode: 4, RootLinks: 80,
 	})
 	s := wfrc.MustNewWaitFree(ar, wfrc.SchemeConfig{Threads: 4})
 	th, err := s.Register()
