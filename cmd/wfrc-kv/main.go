@@ -73,7 +73,9 @@ func parseBytes(s string) (uint64, error) {
 
 func run() int {
 	var (
-		addr       = flag.String("addr", ":7700", "listen address for the KV protocol")
+		addr       = flag.String("addr", ":7700", "listen address for the KV protocol (native and RESP auto-detected per connection)")
+		respAddr   = flag.String("resp-addr", "", "optional second listener, conventionally :6379 for stock Redis tools; both listeners speak both protocols")
+		maxValue   = flag.Int("max-value", 16384, "largest RESP value payload in bytes (variable-size value layer); 0 disables it, native-only")
 		obsAddr    = flag.String("obs-addr", "", "serve /metrics and /debug/pprof on this address")
 		shards     = flag.Int("shards", 4, "shard count (power of two); each shard is its own arena + scheme")
 		slots      = flag.Int("slots", 8, "thread slots per shard scheme (NR_THREADS) = leasable connection slots")
@@ -100,6 +102,7 @@ func run() int {
 			Slots:         *slots,
 			NodesPerShard: *nodes,
 			Buckets:       *buckets,
+			MaxValue:      *maxValue,
 		},
 		LeaseTTL:     *leaseTTL,
 		LeaseMaxWait: *leaseWait,
@@ -213,16 +216,9 @@ func run() int {
 	}
 
 	if *obsAddr != "" {
-		collector := obs.NewCollector()
-		for i, cs := range srv.Store().CoreSchemes() {
-			scheme := fmt.Sprintf("waitfree-shard%d", i)
-			for _, th := range srv.Pool().SlotThreads(i) {
-				collector.Attach(scheme, th.ID(), th.Stats())
-			}
-			cs := cs
-			collector.AttachGauge("wfrc_ann_scan_violations", scheme, func() uint64 { return cs.AnnScanViolations() })
-		}
-		osrv, err := obs.Serve(*obsAddr, collector, ring)
+		// The server's own collector backs both /metrics and the RESP INFO
+		// command, so the two render the same snapshot.
+		osrv, err := obs.Serve(*obsAddr, srv.Collector(), ring)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "obs: %v\n", err)
 			return 1
@@ -232,6 +228,7 @@ func run() int {
 		osrv.AddProm(srv.Pool().WriteProm)
 		osrv.AddProm(srv.Store().WriteProm)
 		osrv.AddProm(srv.Hists().WriteProm)
+		osrv.AddProm(srv.WriteProm)
 		fmt.Printf("observability: http://%s/metrics\n", osrv.Addr())
 	}
 
@@ -260,6 +257,15 @@ func run() int {
 	}()
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
+	if *respAddr != "" {
+		rln, err := net.Listen("tcp", *respAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("wfrc-kv: RESP listener on %s (redis-benchmark/redis-cli compatible)\n", rln.Addr())
+		go func() { serveErr <- srv.Serve(rln) }()
+	}
 
 	select {
 	case err := <-serveErr:

@@ -1,13 +1,23 @@
-// Command wfrc-load is a closed-loop load generator for wfrc-kv.  It
-// opens more concurrent connections than the server has thread slots
-// (that is the point: the slotpool must multiplex them), churns
-// connections so slot leases cycle through many lessees, applies a
-// configurable key skew, and reports client-side latency plus the
-// server-side lease and shard counters it reads back through the STATS
-// protocol op.
+// Command wfrc-load is a load generator for wfrc-kv.  It opens more
+// concurrent connections than the server has thread slots (that is the
+// point: the slotpool must multiplex them), churns connections so slot
+// leases cycle through many lessees, applies a configurable key skew,
+// and reports client-side latency plus the server-side lease and shard
+// counters it reads back through the STATS protocol op.
 //
 //	wfrc-load -addr 127.0.0.1:7700 -conns 32 -duration 10s
-//	wfrc-load -addr 127.0.0.1:7700 -out BENCH_results.json   # schema-v3 report
+//	wfrc-load -addr 127.0.0.1:7700 -out BENCH_results.json     # schema-v4 report
+//	wfrc-load -proto resp -value-size 512                      # drive the RESP front-end
+//	wfrc-load -rate 20000 -slo 2ms                             # open loop, CO-free
+//
+// Closed loop (default): each connection issues its next request as
+// soon as the previous response lands, so offered load adapts to server
+// speed and stalls hide in a thinner arrival stream.  Open loop
+// (-rate): requests are due on a fixed schedule and every latency is
+// measured from its *scheduled* instant — the coordinated-omission
+// correction — so a server stall shows up as tail latency on every
+// request queued behind it.  The report's open_loop section carries the
+// fraction of requests that met -slo.
 //
 // The exit code is nonzero if the server reported any slot-reuse audit
 // violations, so CI can gate on it directly.
@@ -19,11 +29,14 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"wfrc/internal/harness"
 	"wfrc/internal/obs"
+	"wfrc/internal/resp"
 	"wfrc/internal/server"
 )
 
@@ -33,26 +46,45 @@ func main() {
 
 func run() int {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7700", "wfrc-kv address")
-		conns    = flag.Int("conns", 16, "concurrent connections (set this above the server's -slots)")
-		duration = flag.Duration("duration", 10*time.Second, "run length")
-		keys     = flag.Uint64("keys", 4096, "key space size")
-		skew     = flag.Float64("skew", 1.2, "zipf skew exponent (>1; <=1 selects uniform keys)")
-		reads    = flag.Float64("reads", 0.6, "fraction of GET requests; the rest split SET/DEL/CAS")
-		perConn  = flag.Int("reqs-per-conn", 200, "requests before a connection is churned (lease handed back)")
-		seed     = flag.Int64("seed", 1, "workload seed")
-		out      = flag.String("out", "", "write a schema-v2 BENCH_results.json here")
+		addr      = flag.String("addr", "127.0.0.1:7700", "wfrc-kv address")
+		proto     = flag.String("proto", "native", "wire protocol: native or resp")
+		conns     = flag.Int("conns", 16, "concurrent connections (set this above the server's -slots)")
+		duration  = flag.Duration("duration", 10*time.Second, "run length")
+		keys      = flag.Uint64("keys", 4096, "key space size")
+		skew      = flag.Float64("skew", 1.2, "zipf skew exponent (>1; <=1 selects uniform keys)")
+		reads     = flag.Float64("reads", 0.6, "fraction of GET requests; the rest split SET/DEL/CAS (native) or SET/DEL (resp)")
+		valueSize = flag.Int("value-size", 64, "SET payload bytes in -proto resp mode")
+		perConn   = flag.Int("reqs-per-conn", 200, "requests before a connection is churned (lease handed back)")
+		rate      = flag.Float64("rate", 0, "open-loop offered load in req/s across all connections (0 = closed loop)")
+		slo       = flag.Duration("slo", time.Millisecond, "open-loop latency SLO for the under-SLO fraction")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		out       = flag.String("out", "", "write a schema-v4 BENCH_results.json here")
 	)
 	flag.Parse()
+	if *proto != "native" && *proto != "resp" {
+		fmt.Fprintf(os.Stderr, "wfrc-load: -proto must be native or resp, got %q\n", *proto)
+		return 1
+	}
+	openLoop := *rate > 0
+	var interval time.Duration
+	if openLoop {
+		// Each worker owns a 1/conns slice of the arrival schedule.
+		interval = time.Duration(float64(time.Second) * float64(*conns) / *rate)
+		if interval <= 0 {
+			interval = time.Nanosecond
+		}
+	}
 
 	type workerResult struct {
 		hist      harness.Histogram
 		opHists   [4]harness.Histogram // get, set, del, cas
 		ops       uint64
+		underSLO  uint64
+		lateSends uint64
+		maxLag    time.Duration
 		busy      uint64
 		errs      uint64
 		lastErr   error
-		redialNil bool
 	}
 	results := make([]workerResult, *conns)
 	deadline := time.Now().Add(*duration)
@@ -74,16 +106,79 @@ func run() int {
 				}
 				return rng.Uint64() % *keys
 			}
-			var c *server.Client
-			defer func() {
-				if c != nil {
-					c.Close()
+			payload := make([]byte, *valueSize)
+			rng.Read(payload)
+
+			var nc *server.Client
+			var rc *resp.Client
+			closeConn := func() {
+				if nc != nil {
+					nc.Close()
+					nc = nil
 				}
-			}()
+				if rc != nil {
+					rc.Close()
+					rc = nil
+				}
+			}
+			defer closeConn()
+
+			// doOp issues one request on the live connection, returning the
+			// op index, whether the server pushed back Busy, and any error.
+			doOp := func() (opIdx int, busy bool, err error) {
+				k := pick()
+				p := rng.Float64()
+				if rc != nil {
+					key := strconv.FormatUint(k, 10)
+					var r resp.Reply
+					switch {
+					case p < *reads:
+						opIdx = 0
+						r, err = rc.Do("GET", key)
+					case p < *reads+(1-*reads)*0.75:
+						opIdx = 1
+						r, err = rc.DoBytes([]byte("SET"), []byte(key), payload)
+					default:
+						opIdx = 2
+						r, err = rc.Do("DEL", key)
+					}
+					if err == nil && r.IsError() {
+						if strings.HasPrefix(string(r.Str), "BUSY") {
+							return opIdx, true, nil
+						}
+						return opIdx, false, r.Err()
+					}
+					return opIdx, false, err
+				}
+				switch {
+				case p < *reads:
+					opIdx = 0
+					_, _, err = nc.Get(k)
+				case p < *reads+(1-*reads)*0.6:
+					opIdx = 1
+					_, err = nc.Set(k, k^0xdead)
+				case p < *reads+(1-*reads)*0.85:
+					opIdx = 2
+					_, err = nc.Delete(k)
+				default:
+					opIdx = 3
+					_, _, err = nc.CompareAndSet(k, k^0xdead, k^0xbeef)
+				}
+				if errors.Is(err, server.ErrBusy) {
+					return opIdx, true, nil
+				}
+				return opIdx, false, err
+			}
+
+			n := uint64(0) // this worker's position in the arrival schedule
 			for time.Now().Before(deadline) {
-				if c == nil {
+				if nc == nil && rc == nil {
 					var err error
-					c, err = server.Dial(*addr)
+					if *proto == "resp" {
+						rc, err = resp.Dial(*addr)
+					} else {
+						nc, err = server.Dial(*addr)
+					}
 					if err != nil {
 						res.errs++
 						res.lastErr = err
@@ -92,47 +187,52 @@ func run() int {
 					}
 				}
 				for i := 0; i < *perConn && time.Now().Before(deadline); i++ {
-					k := pick()
-					var err error
-					var opIdx int
-					t0 := time.Now()
-					switch p := rng.Float64(); {
-					case p < *reads:
-						opIdx = 0
-						_, _, err = c.Get(k)
-					case p < *reads+(1-*reads)*0.6:
-						opIdx = 1
-						_, err = c.Set(k, k^0xdead)
-					case p < *reads+(1-*reads)*0.85:
-						opIdx = 2
-						_, err = c.Delete(k)
-					default:
-						opIdx = 3
-						_, _, err = c.CompareAndSet(k, k^0xdead, k^0xbeef)
-					}
-					if err != nil {
-						if errors.Is(err, server.ErrBusy) {
-							res.busy++
-							time.Sleep(time.Duration(1+rng.Intn(4)) * time.Millisecond)
-						} else {
-							res.errs++
-							res.lastErr = err
+					// sched is the instant this request's latency is measured
+					// from: its due time on the open-loop schedule (even when
+					// we are running behind), or "now" in closed loop.
+					var sched time.Time
+					if openLoop {
+						sched = start.Add(time.Duration(n) * interval)
+						n++
+						if wait := time.Until(sched); wait > 0 {
+							time.Sleep(wait)
+						} else if lag := -wait; lag > 0 {
+							res.lateSends++
+							if lag > res.maxLag {
+								res.maxLag = lag
+							}
 						}
-						c.Close()
-						c = nil
+					} else {
+						sched = time.Now()
+					}
+					opIdx, busyRej, err := doOp()
+					if busyRej {
+						res.busy++
+						time.Sleep(time.Duration(1+rng.Intn(4)) * time.Millisecond)
+						if nc != nil {
+							// A native Busy closes the connection's lease path;
+							// redial.  RESP leases per batch, the conn stays good.
+							closeConn()
+						}
 						break
 					}
-					d := time.Since(t0)
+					if err != nil {
+						res.errs++
+						res.lastErr = err
+						closeConn()
+						break
+					}
+					d := time.Since(sched)
 					res.hist.Record(d)
 					res.opHists[opIdx].Record(d)
 					res.ops++
+					if d <= *slo {
+						res.underSLO++
+					}
 				}
 				// Churn: hand the slot lease back so another connection
 				// (and audit pass) gets it.
-				if c != nil {
-					c.Close()
-					c = nil
-				}
+				closeConn()
 			}
 		}(wkr)
 	}
@@ -141,7 +241,8 @@ func run() int {
 
 	var merged harness.Histogram
 	var mergedOps [4]harness.Histogram
-	var ops, busy, errCount uint64
+	var ops, busy, errCount, underSLO, lateSends uint64
+	var maxLag time.Duration
 	var lastErr error
 	for i := range results {
 		merged.Merge(&results[i].hist)
@@ -151,6 +252,11 @@ func run() int {
 		ops += results[i].ops
 		busy += results[i].busy
 		errCount += results[i].errs
+		underSLO += results[i].underSLO
+		lateSends += results[i].lateSends
+		if results[i].maxLag > maxLag {
+			maxLag = results[i].maxLag
+		}
 		if results[i].lastErr != nil {
 			lastErr = results[i].lastErr
 		}
@@ -179,9 +285,21 @@ func run() int {
 		OpLatency:       map[string]obs.BenchOpLatency{},
 		LeaseWaitP50NS:  stats.Pool.WaitP50Ns,
 		LeaseWaitP99NS:  stats.Pool.WaitP99Ns,
+		LeaseWaitMeanNS: stats.Pool.WaitMeanNs,
+		Protocol:        *proto,
 		BusyRejects:     busy + stats.Busy,
 		Expiries:        stats.Pool.Expiries,
 		AuditViolations: stats.Pool.Violations,
+	}
+	if openLoop {
+		sec.OpenLoop = &obs.BenchOpenLoop{
+			TargetRate:       *rate,
+			AchievedRate:     sec.OpsPerSec,
+			SLONS:            uint64(*slo),
+			UnderSLOFraction: float64(underSLO) / float64(ops),
+			LateSends:        lateSends,
+			MaxSchedLagNS:    uint64(maxLag),
+		}
 	}
 	opNames := [4]string{"get", "set", "del", "cas"}
 	for j, name := range opNames {
@@ -196,19 +314,31 @@ func run() int {
 	}
 	sec.SetShardOps(stats.ShardOps)
 
-	fmt.Printf("wfrc-load: %d conns over %d slots, %.0f ops/s (%d ops in %v)\n",
-		sec.Connections, sec.Slots, sec.OpsPerSec, ops, elapsed.Round(time.Millisecond))
+	mode := "closed loop"
+	if openLoop {
+		mode = fmt.Sprintf("open loop @ %.0f req/s", *rate)
+	}
+	fmt.Printf("wfrc-load: %s over %s, %d conns over %d slots, %.0f ops/s (%d ops in %v)\n",
+		mode, *proto, sec.Connections, sec.Slots, sec.OpsPerSec, ops, elapsed.Round(time.Millisecond))
 	fmt.Printf("  latency p50=%v p99=%v p999=%v max=%v\n",
 		time.Duration(sec.LatencyP50NS), time.Duration(sec.LatencyP99NS),
 		time.Duration(sec.LatencyP999NS), time.Duration(sec.LatencyMaxNS))
+	if openLoop {
+		fmt.Printf("  open loop: %.4f of requests under SLO %v; %d late sends, max sched lag %v\n",
+			sec.OpenLoop.UnderSLOFraction, *slo, lateSends, maxLag.Round(time.Microsecond))
+	}
 	for _, name := range opNames {
 		ol := sec.OpLatency[name]
+		if ol.Count == 0 {
+			continue
+		}
 		fmt.Printf("  %-5s n=%-8d p50=%v p99=%v p999=%v max=%v\n", name, ol.Count,
 			time.Duration(ol.P50NS), time.Duration(ol.P99NS),
 			time.Duration(ol.P999NS), time.Duration(ol.MaxNS))
 	}
-	fmt.Printf("  lease wait p50=%v p99=%v; busy rejects=%d, expiries=%d, client errors=%d\n",
-		time.Duration(sec.LeaseWaitP50NS), time.Duration(sec.LeaseWaitP99NS), sec.BusyRejects, sec.Expiries, errCount)
+	fmt.Printf("  lease wait p50=%v p99=%v mean=%v; busy rejects=%d, expiries=%d, client errors=%d\n",
+		time.Duration(sec.LeaseWaitP50NS), time.Duration(sec.LeaseWaitP99NS),
+		time.Duration(sec.LeaseWaitMeanNS), sec.BusyRejects, sec.Expiries, errCount)
 	fmt.Printf("  shard ops=%v balance=%.3f; audit violations=%d\n",
 		sec.ShardOps, sec.ShardBalance, sec.AuditViolations)
 	if errCount > 0 && lastErr != nil {

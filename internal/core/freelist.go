@@ -140,6 +140,11 @@ func (t *Thread) AllocNode() (arena.Handle, error) {
 // value of 2, matching the A9/A12 insertion path.
 func (t *Thread) freeNode(node arena.Handle) {
 	s := t.s
+	// The winner owns node exclusively here — run the free hook (value
+	// payload reclamation) before any other thread can see the node.
+	if fn := s.nodeFreeHook.Load(); fn != nil {
+		(*fn)(t.id, node)
+	}
 	helpID := s.helpCurrent.Load()                               // F1
 	s.helpCurrent.CompareAndSwap(helpID, (helpID+1)%int64(s.n)) // F2
 	t.at(PF3)

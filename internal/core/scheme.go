@@ -199,6 +199,10 @@ type Scheme struct {
 	// (see SetHelpTracer).
 	helpTracer atomic.Pointer[func(HelpEvent)]
 
+	// nodeFreeHook, when set, runs at the top of freeNode, before the
+	// node is offered to any other thread (see SetNodeFreeHook).
+	nodeFreeHook atomic.Pointer[func(threadID int, h arena.Handle)]
+
 	// tags holds one request tag per thread slot (see SetThreadTag).
 	// The tags are opaque to the scheme; the observability layer stores
 	// the active request-span ID of the goroutine currently operating
@@ -292,6 +296,29 @@ func (s *Scheme) SetHelpTracer(fn func(HelpEvent)) {
 		return
 	}
 	s.helpTracer.Store(&fn)
+}
+
+// SetNodeFreeHook installs fn to be invoked by the reclamation winner
+// at the top of freeNode — after the node's reference count reached
+// zero and the winner took the CAS(0,1) reclaim election, but before
+// the node is offered to any allocator through annAlloc or a free-list.
+// At that point the winner holds the node exclusively: no guard, link
+// or announcement row can still reach it (paper §3.2), so fn may read
+// and clear the node's value words without synchronization.  The value
+// layer uses this to free the size-classed payload blocks a node's
+// value word references (DESIGN.md §14); fn must also clear any such
+// word (arena.SetVal) so a later life of the node cannot double-free.
+//
+// fn receives the *winner's* thread slot (which is not necessarily the
+// slot that removed the node from the data structure) and must be
+// cheap and non-blocking: it executes inside ReleaseRef's R-line
+// obligations on both the immediate and deferred reclamation paths.
+func (s *Scheme) SetNodeFreeHook(fn func(threadID int, h arena.Handle)) {
+	if fn == nil {
+		s.nodeFreeHook.Store(nil)
+		return
+	}
+	s.nodeFreeHook.Store(&fn)
 }
 
 // SetThreadTag associates an opaque tag with thread slot id, read back

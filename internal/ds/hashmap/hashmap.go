@@ -86,6 +86,28 @@ func (m *Map) CompareAndSet(t mm.Thread, key, old, new uint64) (swapped, found b
 	return m.bucket(key).CompareAndSet(t, key, old, new)
 }
 
+// Replace stores key→value by node replacement (see list.Replace): the
+// old node is deleted and a fresh node inserted, never overwriting a
+// value word in place.  Required for values that reference external
+// storage.  It reports whether an existing entry was replaced.
+func (m *Map) Replace(t mm.Thread, key, value uint64) (existed bool, err error) {
+	return m.bucket(key).Replace(t, key, value)
+}
+
+// GetWith invokes fn with key's value word while the node's guard is
+// held (see list.GetWith), reporting whether the key was found.
+func (m *Map) GetWith(t mm.Thread, key uint64, fn func(value uint64)) bool {
+	return m.bucket(key).GetWith(t, key, fn)
+}
+
+// Range invokes fn with every live entry's key and value word.
+// Quiescence only.
+func (m *Map) Range(fn func(key, value uint64)) {
+	for _, b := range m.buckets {
+		b.Range(fn)
+	}
+}
+
 // Delete removes key, reporting whether it was present.
 func (m *Map) Delete(t mm.Thread, key uint64) bool {
 	return m.bucket(key).Delete(t, key)

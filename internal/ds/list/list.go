@@ -278,6 +278,98 @@ func (l *List) Get(t mm.Thread, key uint64) (value uint64, ok bool) {
 	return value, ok
 }
 
+// GetWith invokes fn with key's value word while the node's guarded
+// reference is still held, and reports whether the key was found.  This
+// is the read path for values that reference external storage (the
+// value layer's block refs): the guard keeps the node from being
+// reclaimed — and therefore the blocks from being freed by the
+// node-free hook — until fn returns, so fn may safely decode the
+// payload behind the word.  fn must not call back into the list.
+func (l *List) GetWith(t mm.Thread, key uint64, fn func(value uint64)) bool {
+	t.BeginOp()
+	defer t.EndOp()
+	p := l.find(t, key)
+	if p.found {
+		fn(l.ar.Val(p.cur.Handle(), 1))
+	}
+	ok := p.found
+	p.release(t)
+	return ok
+}
+
+// Replace stores key→value by node replacement: any existing node for
+// key is deleted (mark + unlink + retire) and a fresh private node
+// carrying value is inserted.  Unlike Set it never overwrites a value
+// word in place, which is the required discipline when values reference
+// external storage — the old node's blocks are freed only by the
+// node-free hook once every guard drops, and the new value ref is never
+// exposed in a node another thread might concurrently retire.  The
+// private node survives lost races (it is retired only if Replace
+// returns an error, which cannot happen after allocation), so a retry
+// can never double-free the new value's blocks.
+//
+// Replace is not atomic: a concurrent reader can observe the key absent
+// between the delete and the insert — the usual cache-tier SET
+// contract, not a linearizable map update.  It returns whether an
+// existing entry was replaced, and an error on arena exhaustion (in
+// which case the list is unmodified).
+func (l *List) Replace(t mm.Thread, key, value uint64) (existed bool, err error) {
+	n, err := t.Alloc() // outside the pinned section (see Insert)
+	if err != nil {
+		return false, err
+	}
+	l.ar.SetVal(n, 0, key)
+	l.ar.SetVal(n, 1, value)
+	t.BeginOp()
+	defer t.EndOp()
+	var hooked mm.Ptr // current target of n's private next link
+	for {
+		p := l.find(t, key)
+		if p.found {
+			// Delete the existing node (same two-phase discipline as
+			// Delete), then retry the find to insert our private node.
+			nextUnmarked := arena.MakePtr(p.next.Handle(), false)
+			if !t.CASLink(l.next(p.cur.Handle()), nextUnmarked, nextUnmarked.WithMark(true)) {
+				p.release(t)
+				continue
+			}
+			existed = true
+			if t.CASLink(p.prev, arena.MakePtr(p.cur.Handle(), false), nextUnmarked) {
+				// Break the unlinked node's chain (see arena.PoisonPtr).
+				t.CASLink(l.next(p.cur.Handle()), nextUnmarked.WithMark(true), arena.PoisonPtr)
+				t.Retire(p.cur.Handle())
+			}
+			p.release(t)
+			continue
+		}
+		curp := arena.MakePtr(p.cur.Handle(), false)
+		// n is private: this CAS cannot fail, it only moves references.
+		if !t.CASLink(l.next(n), hooked, curp) {
+			panic("list: private link CAS failed")
+		}
+		hooked = curp
+		if t.CASLink(p.prev, curp, arena.MakePtr(n, false)) {
+			p.release(t)
+			t.Release(n)
+			return existed, nil
+		}
+		p.release(t)
+	}
+}
+
+// Range invokes fn with every unmarked entry's key and value word, in
+// key order.  Quiescence only — the drain audit uses it to collect the
+// set of live value words before checking block conservation.
+func (l *List) Range(fn func(key, value uint64)) {
+	for p := l.ar.LoadLink(l.head); !p.IsNil(); {
+		nx := l.ar.LoadLink(l.next(p.Handle()))
+		if !nx.Marked() {
+			fn(l.ar.Val(p.Handle(), 0), l.ar.Val(p.Handle(), 1))
+		}
+		p = nx.WithMark(false)
+	}
+}
+
 // Contains reports whether key is present.
 func (l *List) Contains(t mm.Thread, key uint64) bool {
 	_, ok := l.Get(t, key)

@@ -1,0 +1,123 @@
+package list
+
+import (
+	"sync"
+	"testing"
+
+	"wfrc/internal/mm"
+)
+
+func TestReplaceSequential(t *testing.T) {
+	forEachScheme(t, 64, 1, func(t *testing.T, s mm.Scheme) {
+		th, _ := s.Register()
+		defer th.Unregister()
+		l := MustNew(s)
+
+		existed, err := l.Replace(th, 5, 50)
+		if err != nil || existed {
+			t.Fatalf("Replace fresh = %v,%v", existed, err)
+		}
+		if v, ok := l.Get(th, 5); !ok || v != 50 {
+			t.Fatalf("Get(5) = %d,%v", v, ok)
+		}
+		existed, err = l.Replace(th, 5, 51)
+		if err != nil || !existed {
+			t.Fatalf("Replace existing = %v,%v", existed, err)
+		}
+		if v, ok := l.Get(th, 5); !ok || v != 51 {
+			t.Fatalf("Get(5) after replace = %d,%v", v, ok)
+		}
+		if n := l.Len(); n != 1 {
+			t.Fatalf("Len = %d, want 1", n)
+		}
+		if !l.Delete(th, 5) {
+			t.Fatal("Delete(5) failed")
+		}
+	})
+}
+
+// TestReplaceNodeChurn verifies Replace actually retires the old node —
+// the property the value layer depends on: every replaced value word
+// must pass through the node-free hook exactly once.
+func TestReplaceNodeChurn(t *testing.T) {
+	forEachScheme(t, 32, 1, func(t *testing.T, s mm.Scheme) {
+		th, _ := s.Register()
+		defer th.Unregister()
+		l := MustNew(s)
+		// Far more replacements than nodes: reclamation must recycle.
+		for i := 0; i < 1000; i++ {
+			if _, err := l.Replace(th, 7, uint64(i)); err != nil {
+				t.Fatalf("replace %d: %v", i, err)
+			}
+		}
+		if v, ok := l.Get(th, 7); !ok || v != 999 {
+			t.Fatalf("Get(7) = %d,%v", v, ok)
+		}
+	})
+}
+
+func TestReplaceConcurrent(t *testing.T) {
+	const (
+		threads = 4
+		keys    = 8
+		rounds  = 300
+	)
+	forEachScheme(t, 256, threads, func(t *testing.T, s mm.Scheme) {
+		l := MustNew(s)
+		var wg sync.WaitGroup
+		for w := 0; w < threads; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				th, err := s.Register()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer th.Unregister()
+				for i := 0; i < rounds; i++ {
+					k := uint64(i % keys)
+					if _, err := l.Replace(th, k, uint64(w*rounds+i)); err != nil {
+						t.Errorf("worker %d replace: %v", w, err)
+						return
+					}
+					l.GetWith(th, k, func(uint64) {})
+				}
+			}(w)
+		}
+		wg.Wait()
+		// Every key must still resolve to exactly one live node.
+		if n := l.Len(); n != keys {
+			t.Fatalf("Len = %d, want %d", n, keys)
+		}
+	})
+}
+
+func TestGetWithAndRange(t *testing.T) {
+	forEachScheme(t, 64, 1, func(t *testing.T, s mm.Scheme) {
+		th, _ := s.Register()
+		defer th.Unregister()
+		l := MustNew(s)
+		for _, k := range []uint64{2, 4, 6} {
+			if _, err := l.Replace(th, k, k*100); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var got uint64
+		if !l.GetWith(th, 4, func(v uint64) { got = v }) {
+			t.Fatal("GetWith(4) = false")
+		}
+		if got != 400 {
+			t.Fatalf("GetWith(4) saw %d", got)
+		}
+		called := false
+		if l.GetWith(th, 5, func(uint64) { called = true }) || called {
+			t.Fatal("GetWith(5) on absent key invoked fn")
+		}
+		seen := map[uint64]uint64{}
+		l.Range(func(k, v uint64) { seen[k] = v })
+		if len(seen) != 3 || seen[2] != 200 || seen[4] != 400 || seen[6] != 600 {
+			t.Fatalf("Range saw %v", seen)
+		}
+	})
+}

@@ -29,6 +29,14 @@ import (
 // "contention", "oversubscribed" and the robustness metric
 // "unreclaimed_end".  When "matrix" is present every result must carry
 // its cell coordinates; all four keys are forbidden below version 4.
+// Version 4 also extends the server section: "lease_wait_mean_ns" is
+// required (closed-loop runs previously dropped the mean), "protocol"
+// names the wire protocol the load ran over ("native" or "resp"), and
+// the optional "open_loop" object (BenchOpenLoop) carries the
+// coordinated-omission-free fields — target arrival rate, the SLO
+// threshold and the fraction of requests served under it, with latency
+// measured from the *scheduled* send instant so a stalled server cannot
+// hide queueing delay.  All three are forbidden below version 4.
 const BenchSchemaVersion = 4
 
 // BenchStepStats summarizes one per-operation step distribution (the
@@ -98,8 +106,17 @@ type BenchServer struct {
 	// trajectory.
 	OpLatency map[string]BenchOpLatency `json:"op_latency,omitempty"`
 
-	LeaseWaitP50NS float64 `json:"lease_wait_p50_ns"`
-	LeaseWaitP99NS float64 `json:"lease_wait_p99_ns"`
+	LeaseWaitP50NS  float64 `json:"lease_wait_p50_ns"`
+	LeaseWaitP99NS  float64 `json:"lease_wait_p99_ns"`
+	LeaseWaitMeanNS float64 `json:"lease_wait_mean_ns"`
+
+	// Protocol names the wire protocol the load ran over ("native" or
+	// "resp"); empty in pre-v4 documents.
+	Protocol string `json:"protocol,omitempty"`
+
+	// OpenLoop carries the coordinated-omission-free fields when the
+	// run used a fixed arrival schedule; nil for closed-loop runs.
+	OpenLoop *BenchOpenLoop `json:"open_loop,omitempty"`
 
 	BusyRejects uint64 `json:"busy_rejects"`
 	Expiries    uint64 `json:"lease_expiries"`
@@ -129,6 +146,32 @@ func (b *BenchServer) SetShardOps(ops []uint64) {
 	if sum > 0 {
 		b.ShardBalance = float64(max) * float64(len(ops)) / float64(sum)
 	}
+}
+
+// BenchOpenLoop is the schema-v4 open-loop section of a server report.
+// The load generator sends on a fixed arrival schedule (request i is
+// due at start + i/rate) and measures each latency from the request's
+// *scheduled* instant, not its actual send — the Hdr-histogram
+// coordinated-omission correction — so server stalls surface as tail
+// latency instead of silently thinning the arrival stream.
+type BenchOpenLoop struct {
+	// TargetRate is the offered load in requests per second (all
+	// connections combined).
+	TargetRate float64 `json:"target_rate"`
+	// AchievedRate is completions per second actually measured.
+	AchievedRate float64 `json:"achieved_rate"`
+	// SLONS is the latency SLO threshold in nanoseconds.
+	SLONS uint64 `json:"slo_ns"`
+	// UnderSLOFraction is the fraction of requests whose
+	// schedule-corrected latency met the SLO (1.0 = all).
+	UnderSLOFraction float64 `json:"under_slo_fraction"`
+	// LateSends counts requests that could not start at their scheduled
+	// instant because the previous response was still outstanding; their
+	// wait is part of their reported latency.
+	LateSends uint64 `json:"late_sends"`
+	// MaxSchedLagNS is the largest gap between a request's scheduled
+	// and actual send instant.
+	MaxSchedLagNS uint64 `json:"max_sched_lag_ns"`
 }
 
 // BenchOpLatency is one op's latency distribution in the schema-v3
@@ -274,6 +317,12 @@ var requiredServerKeys = []string{
 // requiredOpLatencyKeys are the keys of each v3 op_latency entry.
 var requiredOpLatencyKeys = []string{"count", "p50_ns", "p99_ns", "p999_ns", "max_ns"}
 
+// requiredOpenLoopKeys are the keys of the v4 server.open_loop object.
+var requiredOpenLoopKeys = []string{
+	"target_rate", "achieved_rate", "slo_ns", "under_slo_fraction",
+	"late_sends", "max_sched_lag_ns",
+}
+
 // ValidateBenchJSON checks that data is a schema-valid BENCH_results
 // document — correct schema version, host provenance present, at least
 // one result, and every required key present with the right JSON type —
@@ -396,6 +445,46 @@ func ValidateBenchJSON(data []byte) (*BenchReport, error) {
 		var shardOps []uint64
 		if err := json.Unmarshal(ops, &shardOps); err != nil {
 			return nil, fmt.Errorf("bench json: server.shard_ops: want array of numbers")
+		}
+
+		// Schema-v4 server extensions: lease_wait_mean_ns is required at
+		// v4 and forbidden below; open_loop and protocol are optional at
+		// v4 and forbidden below.
+		openLoopRaw, hasOpenLoop := server["open_loop"]
+		_, hasMean := server["lease_wait_mean_ns"]
+		_, hasProto := server["protocol"]
+		if version < 4 {
+			for key, has := range map[string]bool{
+				"open_loop": hasOpenLoop, "lease_wait_mean_ns": hasMean, "protocol": hasProto,
+			} {
+				if has {
+					return nil, fmt.Errorf("bench json: server.%s requires schema_version 4, document has %d", key, version)
+				}
+			}
+		} else {
+			if !hasMean {
+				return nil, fmt.Errorf("bench json: server: missing key \"lease_wait_mean_ns\" (required at schema_version 4)")
+			}
+			var n float64
+			if err := json.Unmarshal(server["lease_wait_mean_ns"], &n); err != nil {
+				return nil, fmt.Errorf("bench json: server.lease_wait_mean_ns: want number")
+			}
+			if hasOpenLoop {
+				var ol map[string]json.RawMessage
+				if err := json.Unmarshal(openLoopRaw, &ol); err != nil {
+					return nil, fmt.Errorf("bench json: server.open_loop: want object: %w", err)
+				}
+				for _, key := range requiredOpenLoopKeys {
+					v, ok := ol[key]
+					if !ok {
+						return nil, fmt.Errorf("bench json: server.open_loop: missing key %q", key)
+					}
+					var n float64
+					if err := json.Unmarshal(v, &n); err != nil {
+						return nil, fmt.Errorf("bench json: server.open_loop.%s: want number", key)
+					}
+				}
+			}
 		}
 
 		// Schema-v3 latency trajectory: required at v3, forbidden below

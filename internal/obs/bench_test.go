@@ -155,9 +155,27 @@ func TestValidateBenchJSONAcceptsV2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// A genuine v2 document predates the v4 server keys; the Go struct
+	// always emits lease_wait_mean_ns, so strip it like history would.
+	var doc map[string]interface{}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	delete(doc["server"].(map[string]interface{}), "lease_wait_mean_ns")
+	if data, err = json.Marshal(doc); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := ValidateBenchJSON(data); err != nil {
 		t.Fatalf("v2 server document rejected: %v", err)
 	}
+
+	// A v2 document carrying the v4 mean is mislabelled.
+	doc["server"].(map[string]interface{})["lease_wait_mean_ns"] = 12.5
+	mislabelled, _ := json.Marshal(doc)
+	if _, err := ValidateBenchJSON(mislabelled); err == nil {
+		t.Fatal("v2 document with lease_wait_mean_ns accepted")
+	}
+	delete(doc["server"].(map[string]interface{}), "lease_wait_mean_ns")
 
 	// A v2 document carrying op_latency is mislabelled.
 	rep.Server = sampleServerSection()

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"wfrc/internal/mm"
+)
+
+func TestWriteInfo(t *testing.T) {
+	c := NewCollector()
+	st := &mm.OpStats{DeRefs: 42, HelpsGiven: 7}
+	defer c.Attach("waitfree-shard0", 0, st)()
+	defer c.AttachGauge("wfrc_core_ann_scan_violations", "waitfree-shard0", func() uint64 { return 3 })()
+
+	var sb strings.Builder
+	err := c.WriteInfo(&sb,
+		InfoSection{Name: "Server", Fields: []InfoField{
+			Field("wfrc_version", "dev"),
+			Field("tcp_port", 6379),
+		}},
+		InfoSection{Name: "Clients", Fields: []InfoField{
+			Field("connected_clients", 2),
+		}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# Server\r\n",
+		"wfrc_version:dev\r\n",
+		"tcp_port:6379\r\n",
+		"# Clients\r\n",
+		"connected_clients:2\r\n",
+		"# scheme_waitfree_shard0\r\n",
+		"derefs:42\r\n",
+		"helps_given:7\r\n",
+		"# gauges\r\n",
+		"wfrc_core_ann_scan_violations_waitfree_shard0:3\r\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("INFO output missing %q\n%s", want, out)
+		}
+	}
+	// Every line must be CRLF-terminated (redis-cli INFO parsing).
+	for _, line := range strings.Split(out, "\n") {
+		if line != "" && !strings.HasSuffix(line, "\r") {
+			t.Errorf("line %q not CRLF-terminated", line)
+		}
+	}
+}
+
+func TestValidateBenchJSONOpenLoop(t *testing.T) {
+	rep := NewBenchReport(false)
+	rep.Server = sampleServerSection()
+	rep.Server.Protocol = "resp"
+	rep.Server.OpenLoop = &BenchOpenLoop{
+		TargetRate: 5000, AchievedRate: 4998, SLONS: 1_000_000,
+		UnderSLOFraction: 0.997, LateSends: 12, MaxSchedLagNS: 2_500_000,
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ValidateBenchJSON(data)
+	if err != nil {
+		t.Fatalf("open-loop report rejected: %v", err)
+	}
+	if got.Server.OpenLoop == nil || got.Server.OpenLoop.UnderSLOFraction != 0.997 {
+		t.Fatalf("open_loop lost in round trip: %+v", got.Server.OpenLoop)
+	}
+	if got.Server.Protocol != "resp" {
+		t.Fatalf("protocol lost: %q", got.Server.Protocol)
+	}
+
+	// A v3 document must not carry the open-loop section.
+	var doc map[string]interface{}
+	json.Unmarshal(data, &doc)
+	doc["schema_version"] = 3
+	delete(doc["server"].(map[string]interface{}), "lease_wait_mean_ns")
+	delete(doc["server"].(map[string]interface{}), "protocol")
+	mislabelled, _ := json.Marshal(doc)
+	if _, err := ValidateBenchJSON(mislabelled); err == nil ||
+		!strings.Contains(err.Error(), "open_loop") {
+		t.Fatalf("v3 document with open_loop: err = %v", err)
+	}
+
+	// An open_loop object missing a required key is rejected.
+	json.Unmarshal(data, &doc)
+	delete(doc["server"].(map[string]interface{})["open_loop"].(map[string]interface{}), "under_slo_fraction")
+	truncated, _ := json.Marshal(doc)
+	if _, err := ValidateBenchJSON(truncated); err == nil ||
+		!strings.Contains(err.Error(), "under_slo_fraction") {
+		t.Fatalf("truncated open_loop: err = %v", err)
+	}
+}

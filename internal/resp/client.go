@@ -1,0 +1,188 @@
+package resp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+)
+
+// Reply is one decoded server reply.
+type Reply struct {
+	// Kind is the reply's RESP type byte: '+', '-', ':', '$', '*'.
+	Kind byte
+	// Str holds simple-string text, error messages and bulk payloads.
+	Str []byte
+	// Int holds integer replies.
+	Int int64
+	// Null reports a null bulk or null array.
+	Null bool
+	// Elems holds array elements.
+	Elems []Reply
+}
+
+// IsError reports whether the reply is an -ERR style error.
+func (r *Reply) IsError() bool { return r.Kind == '-' }
+
+// Err returns the reply as a Go error if it is an error reply.
+func (r *Reply) Err() error {
+	if r.IsError() {
+		return fmt.Errorf("resp: server error: %s", r.Str)
+	}
+	return nil
+}
+
+// Client is a pipelining RESP client: Send queues commands, Flush pushes
+// them out, Receive reads one reply.  Do is the blocking one-shot
+// convenience.  Not safe for concurrent use — one Client per goroutine,
+// like the native server.Client.
+type Client struct {
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	out     []byte
+	pending int
+}
+
+// Dial connects to a RESP server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Send queues one command without flushing — the client half of request
+// pipelining.  Pair every Send with one later Receive.
+func (c *Client) Send(args ...string) {
+	c.out = AppendCommandStrings(c.out[:0], args...)
+	c.bw.Write(c.out)
+	c.pending++
+}
+
+// SendBytes is Send for byte-slice arguments (binary values).
+func (c *Client) SendBytes(args ...[]byte) {
+	c.out = AppendCommand(c.out[:0], args...)
+	c.bw.Write(c.out)
+	c.pending++
+}
+
+// Flush pushes queued commands to the server.
+func (c *Client) Flush() error { return c.bw.Flush() }
+
+// Pending returns the number of commands sent but not yet received.
+func (c *Client) Pending() int { return c.pending }
+
+// Receive reads one reply, in send order.
+func (c *Client) Receive() (Reply, error) {
+	if err := c.bw.Flush(); err != nil {
+		return Reply{}, err
+	}
+	r, err := readReply(c.br)
+	if err == nil {
+		c.pending--
+	}
+	return r, err
+}
+
+// Do sends one command and waits for its reply — Send+Flush+Receive.
+// Any previously Sent commands are received first so ordering holds.
+func (c *Client) Do(args ...string) (Reply, error) {
+	c.Send(args...)
+	for c.pending > 1 {
+		if _, err := c.Receive(); err != nil {
+			return Reply{}, err
+		}
+	}
+	return c.Receive()
+}
+
+// DoBytes is Do for byte-slice arguments.
+func (c *Client) DoBytes(args ...[]byte) (Reply, error) {
+	c.SendBytes(args...)
+	for c.pending > 1 {
+		if _, err := c.Receive(); err != nil {
+			return Reply{}, err
+		}
+	}
+	return c.Receive()
+}
+
+// readReply parses one reply from br.
+func readReply(br *bufio.Reader) (Reply, error) {
+	kind, err := br.ReadByte()
+	if err != nil {
+		return Reply{}, err
+	}
+	line, err := readReplyLine(br)
+	if err != nil {
+		return Reply{}, err
+	}
+	switch kind {
+	case '+', '-':
+		return Reply{Kind: kind, Str: line}, nil
+	case ':':
+		n, ok := parseInt(line)
+		if !ok {
+			return Reply{}, protoErrf("resp: bad integer reply %q", line)
+		}
+		return Reply{Kind: kind, Int: n}, nil
+	case '$':
+		n, ok := parseInt(line)
+		if !ok || n < -1 || n > MaxBulk {
+			return Reply{}, protoErrf("resp: bad bulk length %q", line)
+		}
+		if n == -1 {
+			return Reply{Kind: kind, Null: true}, nil
+		}
+		buf := make([]byte, n+2)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return Reply{}, err
+		}
+		if buf[n] != '\r' || buf[n+1] != '\n' {
+			return Reply{}, protoErrf("resp: bulk reply missing CRLF")
+		}
+		return Reply{Kind: kind, Str: buf[:n]}, nil
+	case '*':
+		n, ok := parseInt(line)
+		if !ok || n < -1 || n > MaxArgs {
+			return Reply{}, protoErrf("resp: bad array length %q", line)
+		}
+		if n == -1 {
+			return Reply{Kind: kind, Null: true}, nil
+		}
+		out := Reply{Kind: kind, Elems: make([]Reply, 0, n)}
+		for i := int64(0); i < n; i++ {
+			el, err := readReply(br)
+			if err != nil {
+				return Reply{}, err
+			}
+			out.Elems = append(out.Elems, el)
+		}
+		return out, nil
+	default:
+		return Reply{}, protoErrf("resp: unexpected reply prefix '%c'", kind)
+	}
+}
+
+// readReplyLine reads a CRLF line on the client side, copying it (reply
+// payloads outlive the buffered reader's window).
+func readReplyLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return nil, protoErrf("resp: reply line missing CRLF")
+	}
+	return append([]byte(nil), line[:len(line)-2]...), nil
+}

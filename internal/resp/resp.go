@@ -1,0 +1,299 @@
+// Package resp implements the subset of the Redis RESP2 wire protocol
+// that wfrc-kv speaks, so standard tooling — redis-cli, redis-benchmark,
+// memtier_benchmark — can drive the wait-free KV store directly.
+//
+// The server side is a command Reader (client → server direction:
+// multi-bulk command arrays plus the legacy inline form) and reply
+// append functions (server → client: simple strings, errors, integers,
+// bulk strings, arrays).  The client side (client.go) speaks the reverse
+// direction and pipelines.
+//
+// RESP2 grammar, as much of it as a cache tier needs:
+//
+//	command  := "*" count CRLF (bulk){count}   — the multi-bulk form
+//	          | text CRLF                      — inline: space-split words
+//	bulk     := "$" len CRLF bytes{len} CRLF
+//	reply    := "+" text CRLF | "-" text CRLF | ":" int CRLF
+//	          | bulk | "$-1" CRLF              — null bulk
+//	          | "*" count CRLF reply{count} | "*-1" CRLF
+//
+// The Reader is defensive the way a network front-end must be: bulk
+// lengths above MaxBulk, element counts above MaxArgs, junk prefixes and
+// truncated frames all return a *ProtoError, which the server renders as
+// an -ERR reply and then closes the connection (the Redis behaviour for
+// protocol errors — once framing is lost, the stream cannot be
+// resynchronized).
+package resp
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Wire limits.  MaxBulk bounds one bulk-string payload (a value), and
+// MaxArgs one command's element count; both exist so a hostile or
+// corrupt length prefix cannot make the server allocate unboundedly.
+const (
+	MaxBulk = 64 << 20 // hard protocol ceiling; servers configure lower
+	MaxArgs = 1 << 20
+	// MaxInline bounds one inline-command line.
+	MaxInline = 64 << 10
+)
+
+// ProtoError is a protocol-framing error: the stream is no longer
+// parseable and the connection must close after reporting it.
+type ProtoError struct{ msg string }
+
+func (e *ProtoError) Error() string { return e.msg }
+
+func protoErrf(format string, args ...any) *ProtoError {
+	return &ProtoError{msg: fmt.Sprintf(format, args...)}
+}
+
+// Command is one parsed client command: Args[0] is the (case-preserved)
+// name, the rest its arguments.  The slices are freshly allocated per
+// command, so commands can be queued behind the parser (the pipelining
+// ring) without aliasing the read buffer.
+type Command struct {
+	Args [][]byte
+}
+
+// Name returns the upper-cased command name ("" for an empty command).
+func (c *Command) Name() string {
+	if len(c.Args) == 0 {
+		return ""
+	}
+	return string(bytes.ToUpper(c.Args[0]))
+}
+
+// Reader parses client commands from a stream.
+type Reader struct {
+	br *bufio.Reader
+	// maxBulk is the per-value ceiling this server accepts (≤ MaxBulk).
+	maxBulk int
+}
+
+// NewReader wraps r.  maxBulk bounds one bulk payload; zero selects
+// MaxBulk.
+func NewReader(r *bufio.Reader, maxBulk int) *Reader {
+	if maxBulk <= 0 || maxBulk > MaxBulk {
+		maxBulk = MaxBulk
+	}
+	return &Reader{br: r, maxBulk: maxBulk}
+}
+
+// readLine reads one CRLF-terminated line, returning it without the
+// terminator.  Bare LF is rejected: RESP lines are CRLF by definition,
+// and accepting LF would make inline parsing ambiguous.
+func (r *Reader) readLine(limit int) ([]byte, error) {
+	line, err := r.br.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		return nil, protoErrf("Protocol error: too big inline request")
+	}
+	if err != nil {
+		return nil, err // io.EOF / timeouts propagate as-is: connection teardown
+	}
+	if len(line) > limit {
+		return nil, protoErrf("Protocol error: too big inline request")
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return nil, protoErrf("Protocol error: expected CRLF line terminator")
+	}
+	return line[:len(line)-2], nil
+}
+
+// parseInt parses a decimal integer the way Redis does: an optional
+// sign, digits, nothing else.
+func parseInt(b []byte) (int64, bool) {
+	if len(b) == 0 || len(b) > 20 {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(string(b), 10, 64)
+	return n, err == nil
+}
+
+// ReadCommand parses one command, multi-bulk or inline.  io.EOF means a
+// clean end of stream between commands; a *ProtoError means the stream
+// is corrupt and the connection must close after the error reply.
+func (r *Reader) ReadCommand() (Command, error) {
+	for {
+		first, err := r.br.ReadByte()
+		if err != nil {
+			return Command{}, err
+		}
+		if first != '*' {
+			if err := r.br.UnreadByte(); err != nil {
+				return Command{}, err
+			}
+			cmd, err := r.readInline()
+			if err != nil {
+				return Command{}, err
+			}
+			if len(cmd.Args) == 0 {
+				continue // empty inline line: skip, as Redis does
+			}
+			return cmd, nil
+		}
+		return r.readMultiBulk()
+	}
+}
+
+// readInline parses the legacy inline form: space-separated words on one
+// line.  Quoting is not supported (redis-benchmark and redis-cli always
+// use multi-bulk; inline exists for telnet-style poking).
+func (r *Reader) readInline() (Command, error) {
+	line, err := r.readLine(MaxInline)
+	if err != nil {
+		return Command{}, err
+	}
+	var cmd Command
+	for _, f := range bytes.Fields(line) {
+		cmd.Args = append(cmd.Args, append([]byte(nil), f...))
+	}
+	return cmd, nil
+}
+
+// readMultiBulk parses the body of a "*count" command; the '*' has been
+// consumed.
+func (r *Reader) readMultiBulk() (Command, error) {
+	line, err := r.readLine(MaxInline)
+	if err != nil {
+		return Command{}, err
+	}
+	count, ok := parseInt(line)
+	if !ok || count < 0 || count > MaxArgs {
+		return Command{}, protoErrf("Protocol error: invalid multibulk length")
+	}
+	cmd := Command{Args: make([][]byte, 0, count)}
+	for i := int64(0); i < count; i++ {
+		prefix, err := r.br.ReadByte()
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF // torn mid-command
+			}
+			return Command{}, err
+		}
+		if prefix != '$' {
+			return Command{}, protoErrf("Protocol error: expected '$', got '%c'", prefix)
+		}
+		line, err := r.readLine(MaxInline)
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return Command{}, err
+		}
+		n, ok := parseInt(line)
+		if !ok || n < 0 {
+			return Command{}, protoErrf("Protocol error: invalid bulk length")
+		}
+		if n > int64(r.maxBulk) {
+			return Command{}, protoErrf("Protocol error: invalid bulk length (%d exceeds %d byte limit)", n, r.maxBulk)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r.br, buf); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return Command{}, err
+		}
+		var crlf [2]byte
+		if _, err := io.ReadFull(r.br, crlf[:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return Command{}, err
+		}
+		if crlf != [2]byte{'\r', '\n'} {
+			return Command{}, protoErrf("Protocol error: bulk string missing CRLF terminator")
+		}
+		cmd.Args = append(cmd.Args, buf)
+	}
+	return cmd, nil
+}
+
+// --- reply encoding ---------------------------------------------------------
+//
+// Replies are append-style so the server composes a whole pipeline
+// batch in one buffer and writes it with one syscall.
+
+var crlf = []byte("\r\n")
+
+// AppendSimple appends a "+text" simple-string reply.
+func AppendSimple(dst []byte, s string) []byte {
+	dst = append(dst, '+')
+	dst = append(dst, s...)
+	return append(dst, crlf...)
+}
+
+// AppendError appends a "-message" error reply.  Line breaks in msg are
+// flattened: an error reply is one line by grammar.
+func AppendError(dst []byte, msg string) []byte {
+	dst = append(dst, '-')
+	for i := 0; i < len(msg); i++ {
+		if c := msg[i]; c == '\r' || c == '\n' {
+			dst = append(dst, ' ')
+		} else {
+			dst = append(dst, c)
+		}
+	}
+	return append(dst, crlf...)
+}
+
+// AppendInt appends a ":n" integer reply.
+func AppendInt(dst []byte, n int64) []byte {
+	dst = append(dst, ':')
+	dst = strconv.AppendInt(dst, n, 10)
+	return append(dst, crlf...)
+}
+
+// AppendBulk appends a "$len\r\nbytes\r\n" bulk-string reply.
+func AppendBulk(dst, b []byte) []byte {
+	dst = append(dst, '$')
+	dst = strconv.AppendInt(dst, int64(len(b)), 10)
+	dst = append(dst, crlf...)
+	dst = append(dst, b...)
+	return append(dst, crlf...)
+}
+
+// AppendBulkString is AppendBulk for a string payload.
+func AppendBulkString(dst []byte, s string) []byte {
+	dst = append(dst, '$')
+	dst = strconv.AppendInt(dst, int64(len(s)), 10)
+	dst = append(dst, crlf...)
+	dst = append(dst, s...)
+	return append(dst, crlf...)
+}
+
+// AppendNull appends the RESP2 null bulk "$-1".
+func AppendNull(dst []byte) []byte { return append(dst, '$', '-', '1', '\r', '\n') }
+
+// AppendArrayHeader appends a "*count" array header; the caller appends
+// count replies after it.
+func AppendArrayHeader(dst []byte, count int) []byte {
+	dst = append(dst, '*')
+	dst = strconv.AppendInt(dst, int64(count), 10)
+	return append(dst, crlf...)
+}
+
+// AppendCommand appends the multi-bulk encoding of a command — the
+// client → server direction, also used by tests to feed the Reader.
+func AppendCommand(dst []byte, args ...[]byte) []byte {
+	dst = AppendArrayHeader(dst, len(args))
+	for _, a := range args {
+		dst = AppendBulk(dst, a)
+	}
+	return dst
+}
+
+// AppendCommandStrings is AppendCommand over string arguments.
+func AppendCommandStrings(dst []byte, args ...string) []byte {
+	dst = AppendArrayHeader(dst, len(args))
+	for _, a := range args {
+		dst = AppendBulkString(dst, a)
+	}
+	return dst
+}

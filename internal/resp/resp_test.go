@@ -1,0 +1,240 @@
+package resp
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func readerFor(s string, maxBulk int) *Reader {
+	return NewReader(bufio.NewReader(strings.NewReader(s)), maxBulk)
+}
+
+func TestReadCommandTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		maxBulk int
+		want    [][]string // one entry per expected command
+		wantErr string     // substring of the expected *ProtoError; "" = clean io.EOF
+	}{
+		{
+			name: "multibulk get",
+			in:   "*2\r\n$3\r\nGET\r\n$5\r\nkey:1\r\n",
+			want: [][]string{{"GET", "key:1"}},
+		},
+		{
+			name: "multibulk binary value",
+			in:   "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$4\r\n\x00\r\n\xff\r\n",
+			want: [][]string{{"SET", "k", "\x00\r\n\xff"}},
+		},
+		{
+			name: "pipelined commands",
+			in:   "*1\r\n$4\r\nPING\r\n*2\r\n$4\r\nECHO\r\n$2\r\nhi\r\n",
+			want: [][]string{{"PING"}, {"ECHO", "hi"}},
+		},
+		{
+			name: "inline",
+			in:   "PING\r\n",
+			want: [][]string{{"PING"}},
+		},
+		{
+			name: "inline with args and extra spaces",
+			in:   "SET  a   b\r\n",
+			want: [][]string{{"SET", "a", "b"}},
+		},
+		{
+			name: "empty inline skipped",
+			in:   "\r\n  \r\nPING\r\n",
+			want: [][]string{{"PING"}},
+		},
+		{
+			name: "zero-length bulk",
+			in:   "*2\r\n$4\r\nECHO\r\n$0\r\n\r\n",
+			want: [][]string{{"ECHO", ""}},
+		},
+		{
+			name: "empty multibulk then command",
+			in:   "*0\r\n*1\r\n$4\r\nPING\r\n",
+			want: [][]string{{}, {"PING"}},
+		},
+		{
+			name:    "oversized bulk rejected",
+			in:      "*2\r\n$3\r\nSET\r\n$1048577\r\nx",
+			maxBulk: 1 << 20,
+			wantErr: "invalid bulk length",
+		},
+		{
+			name:    "negative bulk length",
+			in:      "*2\r\n$3\r\nGET\r\n$-5\r\nhello\r\n",
+			wantErr: "invalid bulk length",
+		},
+		{
+			name:    "non-numeric multibulk count",
+			in:      "*lots\r\n",
+			wantErr: "invalid multibulk length",
+		},
+		{
+			name:    "huge multibulk count",
+			in:      "*99999999999\r\n",
+			wantErr: "invalid multibulk length",
+		},
+		{
+			name:    "wrong element prefix",
+			in:      "*1\r\n:42\r\n",
+			wantErr: "expected '$'",
+		},
+		{
+			name:    "bulk missing CRLF",
+			in:      "*1\r\n$4\r\nPINGxx",
+			wantErr: "missing CRLF",
+		},
+		{
+			name:    "bare LF line",
+			in:      "*1\n$4\r\nPING\r\n",
+			wantErr: "CRLF",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := readerFor(tc.in, tc.maxBulk)
+			for i, want := range tc.want {
+				cmd, err := r.ReadCommand()
+				if err != nil {
+					t.Fatalf("command %d: %v", i, err)
+				}
+				if len(cmd.Args) != len(want) {
+					t.Fatalf("command %d: got %d args, want %d", i, len(cmd.Args), len(want))
+				}
+				for j, w := range want {
+					if string(cmd.Args[j]) != w {
+						t.Fatalf("command %d arg %d: got %q, want %q", i, j, cmd.Args[j], w)
+					}
+				}
+			}
+			_, err := r.ReadCommand()
+			if tc.wantErr != "" {
+				var pe *ProtoError
+				if !errors.As(err, &pe) {
+					t.Fatalf("got err %v, want *ProtoError containing %q", err, tc.wantErr)
+				}
+				if !strings.Contains(pe.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not contain %q", pe.Error(), tc.wantErr)
+				}
+				return
+			}
+			if err != io.EOF {
+				t.Fatalf("after last command: got %v, want io.EOF", err)
+			}
+		})
+	}
+}
+
+// TestReadCommandTornReads feeds a command one byte at a time through a
+// half-duplex reader: the parser must block for more input at every
+// boundary and still produce the same command, never misparse a torn
+// prefix.
+func TestReadCommandTornReads(t *testing.T) {
+	full := "*3\r\n$4\r\nMSET\r\n$1\r\nk\r\n$11\r\nhello world\r\n"
+	r := NewReader(bufio.NewReader(&oneByteReader{s: full}), 0)
+	cmd, err := r.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"MSET", "k", "hello world"}
+	for i, w := range want {
+		if string(cmd.Args[i]) != w {
+			t.Fatalf("arg %d: got %q, want %q", i, cmd.Args[i], w)
+		}
+	}
+	// A command torn by EOF mid-bulk is an unexpected EOF, not a clean end.
+	r = readerFor("*2\r\n$3\r\nGET\r\n$5\r\nab", 0)
+	if _, err := r.ReadCommand(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn command: got %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+// oneByteReader returns one byte per Read call, forcing the parser to
+// hit every torn-read boundary.
+type oneByteReader struct {
+	s string
+	i int
+}
+
+func (r *oneByteReader) Read(p []byte) (int, error) {
+	if r.i >= len(r.s) {
+		return 0, io.EOF
+	}
+	p[0] = r.s[r.i]
+	r.i++
+	return 1, nil
+}
+
+func TestAppendReplies(t *testing.T) {
+	cases := []struct {
+		got  []byte
+		want string
+	}{
+		{AppendSimple(nil, "OK"), "+OK\r\n"},
+		{AppendError(nil, "ERR boom"), "-ERR boom\r\n"},
+		{AppendError(nil, "ERR two\r\nlines"), "-ERR two  lines\r\n"},
+		{AppendInt(nil, -7), ":-7\r\n"},
+		{AppendBulk(nil, []byte("abc")), "$3\r\nabc\r\n"},
+		{AppendBulk(nil, nil), "$0\r\n\r\n"},
+		{AppendBulkString(nil, "hi"), "$2\r\nhi\r\n"},
+		{AppendNull(nil), "$-1\r\n"},
+		{AppendArrayHeader(nil, 2), "*2\r\n"},
+		{AppendCommandStrings(nil, "GET", "k"), "*2\r\n$3\r\nGET\r\n$1\r\nk\r\n"},
+	}
+	for i, tc := range cases {
+		if string(tc.got) != tc.want {
+			t.Errorf("case %d: got %q, want %q", i, tc.got, tc.want)
+		}
+	}
+}
+
+// TestReplyRoundtrip drives the client-side reply parser over every
+// reply shape the server emits.
+func TestReplyRoundtrip(t *testing.T) {
+	var buf []byte
+	buf = AppendSimple(buf, "PONG")
+	buf = AppendError(buf, "ERR no")
+	buf = AppendInt(buf, 42)
+	buf = AppendBulk(buf, []byte("payload"))
+	buf = AppendNull(buf)
+	buf = AppendArrayHeader(buf, 2)
+	buf = AppendBulk(buf, []byte("a"))
+	buf = AppendNull(buf)
+
+	br := bufio.NewReader(bytes.NewReader(buf))
+	r1, err := readReply(br)
+	if err != nil || r1.Kind != '+' || string(r1.Str) != "PONG" {
+		t.Fatalf("simple: %+v %v", r1, err)
+	}
+	r2, err := readReply(br)
+	if err != nil || !r2.IsError() || r2.Err() == nil {
+		t.Fatalf("error: %+v %v", r2, err)
+	}
+	r3, err := readReply(br)
+	if err != nil || r3.Int != 42 {
+		t.Fatalf("int: %+v %v", r3, err)
+	}
+	r4, err := readReply(br)
+	if err != nil || string(r4.Str) != "payload" {
+		t.Fatalf("bulk: %+v %v", r4, err)
+	}
+	r5, err := readReply(br)
+	if err != nil || !r5.Null {
+		t.Fatalf("null: %+v %v", r5, err)
+	}
+	r6, err := readReply(br)
+	if err != nil || len(r6.Elems) != 2 || string(r6.Elems[0].Str) != "a" || !r6.Elems[1].Null {
+		t.Fatalf("array: %+v %v", r6, err)
+	}
+	if _, err := readReply(br); err != io.EOF {
+		t.Fatalf("end: %v", err)
+	}
+}

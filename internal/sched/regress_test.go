@@ -105,6 +105,18 @@ var regressionSeeds = []struct {
 		minNotes: map[string]int64{"dispatches": 2, "reader-frees": 3, "retirer-frees": 3},
 	},
 	{
+		scenario: "value-free-vs-help",
+		seed:     13,
+		about:    "reader's help answers the replacer's announcement while the displaced node's value blocks await the free hook",
+		minNotes: map[string]int64{"helps-given": 1, "helps-received": 1, "hook-frees": 3, "replaces": 3},
+	},
+	{
+		scenario: "value-free-vs-help",
+		seed:     9,
+		about:    "every read lands in Replace's delete-insert window; all three displaced value words still reach the hook",
+		minNotes: map[string]int64{"read-misses": 3, "hook-frees": 3, "reads": 3},
+	},
+	{
 		scenario:    "legacy-annindex",
 		seed:        7,
 		about:       "the announcement-answer schedule with the annRow.index fix reverted",

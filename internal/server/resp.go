@@ -1,0 +1,411 @@
+// RESP front-end: the server speaks enough of the Redis serialization
+// protocol (RESP2) that redis-benchmark, redis-cli, and memtier drive
+// the wait-free store directly.  Both protocols share every listener —
+// handleConn sniffs the first byte — and differ only in framing; all
+// operations land on the same shards through the same slotpool leases.
+//
+// The front-end is pipelined on both sides.  A reader goroutine parses
+// commands ahead into a bounded queue without ever blocking on store
+// execution; the executor drains the queue in batches, takes ONE slot
+// lease per batch (slotpool.LeaseBatch — the batch is the lease
+// amortization unit), executes in arrival order, and writes all replies
+// with a single flush.  A lone command costs a plain Lease; a pipeline
+// burst or a multi-key command (MGET/MSET/DEL) costs one batched lease
+// however many keys it touches, which is the acceptance criterion the
+// TestRESPMGETOneLease test pins down.
+//
+// Commands: GET SET DEL UNLINK EXISTS MGET MSET PING ECHO INFO SELECT
+// QUIT, plus tolerant no-ops for CONFIG/COMMAND/CLIENT so stock tools'
+// handshakes succeed.  Keys are mapped to the store's uint64 keyspace:
+// decimal strings map to their integer value (so native and RESP
+// clients can interoperate on numeric keys), everything else hashes
+// with FNV-1a.  Values ride the internal/value layer when the store has
+// one (StoreConfig.MaxValue), else they must be decimal uint64s.
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"strconv"
+
+	"wfrc/internal/obs"
+	"wfrc/internal/resp"
+	"wfrc/internal/slotpool"
+	"wfrc/internal/value"
+)
+
+const (
+	// respQueue is the parse-ahead depth per connection: how many
+	// commands the reader may buffer before it blocks on the executor.
+	respQueue = 128
+	// respMaxBatch bounds how many queued commands one executor batch
+	// drains (and so how many replies one flush carries).
+	respMaxBatch = 64
+)
+
+// respItem is one parsed command, or the parse error that ended the
+// stream (protocol errors are reported to the client before closing).
+type respItem struct {
+	cmd resp.Command
+	err error
+}
+
+// handleRESP serves one RESP connection.  br already holds the sniffed
+// first byte.
+func (s *Server) handleRESP(conn net.Conn, br *bufio.Reader) {
+	maxBulk := s.store.MaxValue()
+	if maxBulk < resp.MaxInline {
+		// Command arguments (keys, INFO section names) need headroom even
+		// when the value layer is off or tiny.
+		maxBulk = resp.MaxInline
+	}
+	rd := resp.NewReader(br, maxBulk)
+
+	ch := make(chan respItem, respQueue)
+	done := make(chan struct{})
+	defer close(done)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer close(ch)
+		for {
+			cmd, err := rd.ReadCommand()
+			it := respItem{cmd: cmd, err: err}
+			if err != nil {
+				var pe *resp.ProtoError
+				if !errors.As(err, &pe) {
+					return // EOF, death, or drain deadline: nothing to report
+				}
+			}
+			select {
+			case ch <- it:
+			case <-done:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	sess := respSession{s: s, w: bufio.NewWriter(conn)}
+	batch := make([]respItem, 0, respMaxBatch)
+	for {
+		it, ok := <-ch
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], it)
+	drain:
+		for len(batch) < respMaxBatch {
+			select {
+			case it, ok := <-ch:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, it)
+			default:
+				break drain
+			}
+		}
+		if !sess.serveBatch(batch) {
+			return
+		}
+		if s.draining.Load() {
+			return // replies flushed; part cleanly mid-drain
+		}
+	}
+}
+
+// respSession is one connection's executor state.
+type respSession struct {
+	s *Server
+	w *bufio.Writer
+	// out accumulates a batch's replies for the single flush; scratch
+	// holds decoded payloads between GetBytes and AppendBulk.
+	out     []byte
+	scratch []byte
+}
+
+// serveBatch leases, executes, and flushes one drained batch.  It
+// returns false when the connection should close (protocol error, QUIT,
+// or a dead socket).
+func (sess *respSession) serveBatch(batch []respItem) bool {
+	s := sess.s
+	ops := 0
+	for i := range batch {
+		if batch[i].err == nil {
+			ops += respOps(&batch[i].cmd)
+		}
+	}
+	var lease *slotpool.Lease
+	busy := false
+	if ops > 0 {
+		var err error
+		if ops == 1 && len(batch) == 1 {
+			lease, err = s.pool.Lease(context.Background())
+		} else {
+			lease, err = s.pool.LeaseBatch(context.Background(), ops)
+		}
+		if err != nil {
+			s.busy.Add(1)
+			busy = true
+		}
+	}
+
+	alive := true
+	sess.out = sess.out[:0]
+	for i := range batch {
+		it := &batch[i]
+		if it.err != nil {
+			s.protoErrors.Add(1)
+			sess.out = resp.AppendError(sess.out, "ERR Protocol error: "+it.err.Error())
+			alive = false
+			break
+		}
+		s.reqsRESP.Add(1)
+		if busy && respOps(&it.cmd) > 0 {
+			sess.out = resp.AppendError(sess.out, "BUSY no thread slot free, retry")
+			continue
+		}
+		if !sess.serveCommand(lease, &it.cmd) {
+			alive = false
+			break
+		}
+	}
+	if lease != nil {
+		lease.Release()
+	}
+	if _, err := sess.w.Write(sess.out); err != nil {
+		return false
+	}
+	if err := sess.w.Flush(); err != nil {
+		return false
+	}
+	return alive
+}
+
+// respOps counts the store operations a command will perform — the
+// batch's LeaseBatch amortization weight.  Protocol-only commands
+// (PING, INFO, ...) weigh zero and never need a lease.
+func respOps(cmd *resp.Command) int {
+	switch cmd.Name() {
+	case "GET", "SET":
+		return 1
+	case "DEL", "UNLINK", "EXISTS", "MGET":
+		return max(len(cmd.Args)-1, 1)
+	case "MSET":
+		return max((len(cmd.Args)-1)/2, 1)
+	default:
+		return 0
+	}
+}
+
+// serveCommand appends one command's reply to sess.out.  It returns
+// false to close the connection (QUIT).
+func (sess *respSession) serveCommand(l *slotpool.Lease, cmd *resp.Command) bool {
+	s := sess.s
+	args := cmd.Args
+	switch cmd.Name() {
+	case "PING":
+		if len(args) > 1 {
+			sess.out = resp.AppendBulk(sess.out, args[1])
+		} else {
+			sess.out = resp.AppendSimple(sess.out, "PONG")
+		}
+	case "ECHO":
+		if len(args) != 2 {
+			sess.out = respWrongArgs(sess.out, "echo")
+			break
+		}
+		sess.out = resp.AppendBulk(sess.out, args[1])
+	case "QUIT":
+		sess.out = resp.AppendSimple(sess.out, "OK")
+		return false
+	case "SELECT", "CLIENT":
+		// Single keyspace; client tracking options are irrelevant here.
+		sess.out = resp.AppendSimple(sess.out, "OK")
+	case "COMMAND":
+		sess.out = resp.AppendArrayHeader(sess.out, 0)
+	case "CONFIG":
+		if len(args) > 1 && bytes.EqualFold(args[1], []byte("GET")) {
+			sess.out = resp.AppendArrayHeader(sess.out, 0)
+		} else {
+			sess.out = resp.AppendSimple(sess.out, "OK")
+		}
+	case "GET":
+		if len(args) != 2 {
+			sess.out = respWrongArgs(sess.out, "get")
+			break
+		}
+		sess.appendGet(l, respKey(args[1]))
+	case "SET":
+		if len(args) < 3 {
+			sess.out = respWrongArgs(sess.out, "set")
+			break
+		}
+		// Expiry/conditional options (EX/PX/NX/XX) are accepted and
+		// ignored: the tier has no TTL reaper yet, and benchmarks set them
+		// rarely.
+		if err := sess.set(l, respKey(args[1]), args[2]); err != nil {
+			sess.out = resp.AppendError(sess.out, "ERR "+err.Error())
+		} else {
+			sess.out = resp.AppendSimple(sess.out, "OK")
+		}
+	case "DEL", "UNLINK":
+		if len(args) < 2 {
+			sess.out = respWrongArgs(sess.out, "del")
+			break
+		}
+		n := 0
+		for _, k := range args[1:] {
+			if s.store.Delete(l, respKey(k)) {
+				n++
+			}
+		}
+		sess.out = resp.AppendInt(sess.out, int64(n))
+	case "EXISTS":
+		if len(args) < 2 {
+			sess.out = respWrongArgs(sess.out, "exists")
+			break
+		}
+		n := 0
+		for _, k := range args[1:] {
+			if _, ok := s.store.Get(l, respKey(k)); ok {
+				n++
+			}
+		}
+		sess.out = resp.AppendInt(sess.out, int64(n))
+	case "MGET":
+		if len(args) < 2 {
+			sess.out = respWrongArgs(sess.out, "mget")
+			break
+		}
+		sess.out = resp.AppendArrayHeader(sess.out, len(args)-1)
+		for _, k := range args[1:] {
+			sess.appendGet(l, respKey(k))
+		}
+	case "MSET":
+		if len(args) < 3 || (len(args)-1)%2 != 0 {
+			sess.out = respWrongArgs(sess.out, "mset")
+			break
+		}
+		var firstErr error
+		for i := 1; i < len(args); i += 2 {
+			if err := sess.set(l, respKey(args[i]), args[i+1]); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if firstErr != nil {
+			sess.out = resp.AppendError(sess.out, "ERR "+firstErr.Error())
+		} else {
+			sess.out = resp.AppendSimple(sess.out, "OK")
+		}
+	case "INFO":
+		var buf bytes.Buffer
+		if err := s.collector.WriteInfo(&buf, s.infoSections()...); err != nil {
+			sess.out = resp.AppendError(sess.out, "ERR "+err.Error())
+			break
+		}
+		sess.out = resp.AppendBulk(sess.out, buf.Bytes())
+	default:
+		sess.out = resp.AppendError(sess.out, "ERR unknown command '"+cmd.Name()+"'")
+	}
+	return true
+}
+
+// appendGet appends key's value as a bulk string, or a null.
+func (sess *respSession) appendGet(l *slotpool.Lease, key uint64) {
+	sess.scratch = sess.scratch[:0]
+	b, ok := sess.s.store.GetBytes(l, key, sess.scratch)
+	sess.scratch = b
+	if !ok {
+		sess.out = resp.AppendNull(sess.out)
+		return
+	}
+	sess.out = resp.AppendBulk(sess.out, sess.scratch)
+}
+
+// set stores one payload, through the value layer when present, else as
+// a native decimal uint64.
+func (sess *respSession) set(l *slotpool.Lease, key uint64, payload []byte) error {
+	st := sess.s.store
+	if st.Values() == nil {
+		v, err := strconv.ParseUint(string(payload), 10, 64)
+		if err != nil || value.IsValue(v) {
+			return errors.New("value layer disabled (StoreConfig.MaxValue=0): values must be decimal uint64 under 2^63")
+		}
+		_, err = st.Set(l, key, v)
+		return err
+	}
+	if len(payload) > st.MaxValue() {
+		return &value.ErrTooLarge{N: len(payload), Max: st.MaxValue()}
+	}
+	return st.SetBytes(l, key, payload)
+}
+
+// infoSections builds the server-level INFO sections; the collector
+// appends the per-scheme counters after them.
+func (s *Server) infoSections() []obs.InfoSection {
+	pool := s.pool.Stats()
+	return []obs.InfoSection{
+		{Name: "Server", Fields: []obs.InfoField{
+			obs.Field("wfrc_version", "dev"),
+			obs.Field("shards", s.store.Shards()),
+			obs.Field("slots", pool.Slots),
+			obs.Field("max_value_bytes", s.store.MaxValue()),
+		}},
+		{Name: "Clients", Fields: []obs.InfoField{
+			obs.Field("connected_clients", s.curConns.Load()),
+			obs.Field("total_connections_received", s.connsTotal.Load()),
+		}},
+		{Name: "Stats", Fields: []obs.InfoField{
+			obs.Field("requests_native", s.reqsNative.Load()),
+			obs.Field("requests_resp", s.reqsRESP.Load()),
+			obs.Field("busy_rejects", s.busy.Load()),
+			obs.Field("proto_errors", s.protoErrors.Load()),
+			obs.Field("leases", pool.Leases),
+			obs.Field("leases_batched", pool.LeasesBatched),
+			obs.Field("batched_ops", pool.BatchedOps),
+		}},
+	}
+}
+
+// respKey maps a RESP key to the store's uint64 keyspace.  Decimal
+// strings that fit uint64 map to their value — numeric keys interop
+// with native clients — and everything else hashes with FNV-1a (64).
+// Hash collisions alias keys, the usual trade of a fixed-width
+// keyspace; at 2^64 they are negligible for cache workloads.
+func respKey(b []byte) uint64 {
+	if n := len(b); n >= 1 && n <= 19 {
+		v := uint64(0)
+		numeric := true
+		for _, c := range b {
+			if c < '0' || c > '9' {
+				numeric = false
+				break
+			}
+			v = v*10 + uint64(c-'0')
+		}
+		if numeric {
+			return v
+		}
+	}
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+func respWrongArgs(dst []byte, cmd string) []byte {
+	return resp.AppendError(dst, "ERR wrong number of arguments for '"+cmd+"' command")
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"runtime/pprof"
 	"strconv"
@@ -61,6 +62,10 @@ type StatsReply struct {
 	// store each entry reports Segments == 1 and Nodes == MaxNodes.
 	Growable bool            `json:"growable"`
 	Capacity []ShardCapacity `json:"capacity"`
+	// RequestsNative and RequestsRESP count requests by front-end
+	// protocol (RESP commands count one each, including multi-key ones).
+	RequestsNative uint64 `json:"requests_native"`
+	RequestsRESP   uint64 `json:"requests_resp"`
 }
 
 // Server serves the KV protocol over TCP.  One slot lease per
@@ -81,7 +86,7 @@ type Server struct {
 	labelBase context.Context
 
 	mu    sync.Mutex
-	ln    net.Listener
+	lns   []net.Listener // every Serve'd listener (native + RESP ports share the Server)
 	conns map[net.Conn]struct{}
 	wg    sync.WaitGroup
 
@@ -91,6 +96,12 @@ type Server struct {
 	connsTotal  atomic.Uint64
 	busy        atomic.Uint64
 	protoErrors atomic.Uint64
+	reqsNative  atomic.Uint64
+	reqsRESP    atomic.Uint64
+
+	// collector aggregates per-scheme counters for the INFO command and
+	// for /metrics (wfrc-kv registers it on the obs HTTP server).
+	collector *obs.Collector
 }
 
 // New builds the store and its slot pool.
@@ -122,13 +133,25 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:   cfg,
-		store: store,
-		pool:  pool,
-		spans: cfg.Spans,
-		cores: store.CoreSchemes(),
-		hists: obs.NewOpShardHist(OpNames[1:], store.Shards()),
-		conns: make(map[net.Conn]struct{}),
+		cfg:       cfg,
+		store:     store,
+		pool:      pool,
+		spans:     cfg.Spans,
+		cores:     store.CoreSchemes(),
+		hists:     obs.NewOpShardHist(OpNames[1:], store.Shards()),
+		conns:     make(map[net.Conn]struct{}),
+		collector: obs.NewCollector(),
+	}
+	for i, cs := range s.cores {
+		if cs == nil {
+			continue
+		}
+		scheme := fmt.Sprintf("waitfree-shard%d", i)
+		for _, th := range pool.SlotThreads(i) {
+			s.collector.Attach(scheme, th.ID(), th.Stats())
+		}
+		cs := cs
+		s.collector.AttachGauge("wfrc_ann_scan_violations", scheme, func() uint64 { return cs.AnnScanViolations() })
 	}
 	if cfg.ProfLabels {
 		s.labelBase = context.Background()
@@ -154,10 +177,17 @@ func (s *Server) Store() *Store { return s.store }
 // Pool returns the slot pool, for observability attachment.
 func (s *Server) Pool() *slotpool.Pool { return s.pool }
 
-// Serve accepts connections on ln until Shutdown closes it.
+// Collector returns the per-scheme counter collector that backs the
+// INFO command; wfrc-kv registers it on the obs HTTP server so /metrics
+// and INFO render the same snapshot.
+func (s *Server) Collector() *obs.Collector { return s.collector }
+
+// Serve accepts connections on ln until Shutdown closes it.  It may be
+// called for several listeners (e.g. a native port and a conventional
+// :6379 RESP port); every listener serves both protocols by sniffing.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
-	s.ln = ln
+	s.lns = append(s.lns, ln)
 	s.mu.Unlock()
 	for {
 		conn, err := ln.Accept()
@@ -189,12 +219,29 @@ func (s *Server) dropConn(conn net.Conn) {
 	s.wg.Done()
 }
 
+// handleConn sniffs the protocol and dispatches.  A native frame's
+// first byte is always 0x00 (the length prefix is big-endian and
+// MaxFrame is 1<<16), while a RESP command starts with '*', '$', or an
+// inline command character — so one peeked byte disambiguates and both
+// protocols share every listener.
 func (s *Server) handleConn(conn net.Conn) {
 	s.curConns.Add(1)
 	s.connsTotal.Add(1)
 	defer s.dropConn(conn)
 
 	r := bufio.NewReader(conn)
+	first, err := r.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] != 0x00 {
+		s.handleRESP(conn, r)
+		return
+	}
+	s.handleNative(conn, r)
+}
+
+func (s *Server) handleNative(conn net.Conn, r *bufio.Reader) {
 	w := bufio.NewWriter(conn)
 
 	lease, err := s.pool.Lease(context.Background())
@@ -222,6 +269,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			w.Flush()
 			return
 		}
+		s.reqsNative.Add(1)
 		// A long-idle connection's lease may have been reaped; do not
 		// touch the slot bundle through a dead lease.
 		if !lease.Renew() {
@@ -254,7 +302,7 @@ func (s *Server) observeRequest(dst []byte, l *slotpool.Lease, req Request) []by
 		return s.serveRequest(dst, l, req) // unknown op: protocol error path
 	}
 	shard := 0
-	if req.Op != OpStats {
+	if req.Op != OpStats && req.Op != OpBatch {
 		shard = s.store.Shard(req.Key)
 	}
 	if s.labelCtx != nil {
@@ -265,7 +313,7 @@ func (s *Server) observeRequest(dst []byte, l *slotpool.Lease, req Request) []by
 	var helps0 uint64
 	if s.spans != nil {
 		id := s.spans.Start(slot, req.Op, shard, req.Key)
-		if req.Op != OpStats && s.cores[shard] != nil {
+		if req.Op != OpStats && req.Op != OpBatch && s.cores[shard] != nil {
 			// Reading our own thread's counter is race-free: the lessee
 			// goroutine is the thread.
 			helps0 = l.Thread(shard).Stats().HelpsReceived
@@ -317,6 +365,12 @@ func (s *Server) serveRequest(dst []byte, l *slotpool.Lease, req Request) []byte
 		}
 		return append(dst, StatusNotFound)
 	case OpCAS:
+		// With the value layer on, reserved-bit words are rejected so a
+		// tagged (block-ref) word can never match old: the in-place CAS
+		// then cannot overwrite a block-backed value (see Store.Set).
+		if s.store.MaxValue() > 0 && (req.Old|req.Value)>>63 != 0 {
+			return appendErr(dst, ErrReservedBit)
+		}
 		swapped, found := s.store.CompareAndSet(l, req.Key, req.Old, req.Value)
 		switch {
 		case !found:
@@ -332,6 +386,18 @@ func (s *Server) serveRequest(dst []byte, l *slotpool.Lease, req Request) []byte
 			return appendErr(dst, err)
 		}
 		return append(append(dst, StatusOK), body...)
+	case OpBatch:
+		// One frame, one lease, many ops: sub-responses are
+		// length-prefixed because Get bodies and error bodies differ in
+		// size.  Decode already restricted sub-ops to Get/Set/Del/CAS.
+		dst = append(dst, StatusOK)
+		var sub []byte
+		for _, r := range req.Sub {
+			sub = s.serveRequest(sub[:0], l, r)
+			dst = append(dst, byte(len(sub)>>8), byte(len(sub)))
+			dst = append(dst, sub...)
+		}
+		return dst
 	default:
 		return appendErr(dst, fmt.Errorf("unknown op %d", req.Op))
 	}
@@ -357,7 +423,21 @@ func (s *Server) Stats() StatsReply {
 		ProtoErrors: s.protoErrors.Load(),
 		Growable:    s.store.Growable(),
 		Capacity:    s.store.Capacity(),
+
+		RequestsNative: s.reqsNative.Load(),
+		RequestsRESP:   s.reqsRESP.Load(),
 	}
+}
+
+// WriteProm writes the server's front-end counters in Prometheus text
+// format — one requests-total family labelled by protocol, so dashboards
+// can split native from RESP traffic.
+func (s *Server) WriteProm(w io.Writer) error {
+	const name = "wfrc_server_requests_total"
+	_, err := fmt.Fprintf(w,
+		"# HELP %s Requests served, by front-end protocol.\n# TYPE %s counter\n%s{proto=\"native\"} %d\n%s{proto=\"resp\"} %d\n",
+		name, name, name, s.reqsNative.Load(), name, s.reqsRESP.Load())
+	return err
 }
 
 // Shutdown drains the server: stop accepting, nudge every connection
@@ -368,8 +448,8 @@ func (s *Server) Stats() StatsReply {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.mu.Lock()
-	if s.ln != nil {
-		s.ln.Close()
+	for _, ln := range s.lns {
+		ln.Close()
 	}
 	// Connections blocked in ReadFrame wake up via the read deadline;
 	// handlers already mid-request notice the draining flag after

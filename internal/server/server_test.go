@@ -44,7 +44,8 @@ func TestProtoRoundtrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("op %d: %v", want.Op, err)
 		}
-		if got != want {
+		if got.Op != want.Op || got.Key != want.Key || got.Value != want.Value ||
+			got.Old != want.Old || len(got.Sub) != 0 {
 			t.Fatalf("roundtrip: got %+v, want %+v", got, want)
 		}
 	}

@@ -1,8 +1,10 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"strconv"
 	"sync/atomic"
 
 	"wfrc/internal/arena"
@@ -10,6 +12,7 @@ import (
 	"wfrc/internal/ds/hashmap"
 	"wfrc/internal/mm"
 	"wfrc/internal/slotpool"
+	"wfrc/internal/value"
 )
 
 // StoreConfig parameterizes a sharded store.
@@ -32,6 +35,14 @@ type StoreConfig struct {
 	// Buckets is each shard's hashmap bucket count (power of two,
 	// default 256).
 	Buckets int
+	// MaxValue, when positive, enables the variable-size value layer
+	// (internal/value): RESP SETs carry byte payloads up to MaxValue
+	// bytes, stored in size-classed blocks and freed by the node-free
+	// hook when the owning node's reference count reclaims it
+	// (DESIGN.md §14).  Zero keeps the store native-only: values are
+	// bare uint64 words and nothing outside the arenas is allocated.
+	// MaxValue may not exceed the largest default value class (16 KiB).
+	MaxValue int
 }
 
 func (c *StoreConfig) defaults() {
@@ -56,6 +67,12 @@ type Store struct {
 	cfg    StoreConfig
 	shards []storeShard
 	mask   uint64
+	// values is the variable-size payload layer, nil when
+	// StoreConfig.MaxValue is zero.  Its Thread handles are indexed by
+	// slot (lease) ID: one goroutine drives a slot at a time, across
+	// every shard, so slot index is the correct single-owner key even
+	// though the blocks are shared by all shards.
+	values *value.Store
 }
 
 type storeShard struct {
@@ -102,7 +119,43 @@ func NewStore(cfg StoreConfig) (*Store, error) {
 		}
 		st.shards = append(st.shards, storeShard{scheme: s, m: m, ops: new(atomic.Uint64)})
 	}
+	if cfg.MaxValue > 0 {
+		vs, err := value.New(value.Config{Threads: cfg.Slots})
+		if err != nil {
+			return nil, fmt.Errorf("server: value store: %w", err)
+		}
+		if cfg.MaxValue > vs.MaxPayload() {
+			return nil, fmt.Errorf("server: MaxValue %d exceeds the largest value class (%d bytes)",
+				cfg.MaxValue, vs.MaxPayload())
+		}
+		st.values = vs
+		for i := range st.shards {
+			// The hook runs on the reclamation winner's thread with
+			// exclusive ownership of the node (core lines R4/F1): free the
+			// blocks behind a ref-tagged value word and clear the word, so
+			// a reused node can never carry a stale ref into a second free.
+			ar := st.shards[i].scheme.Arena()
+			st.shards[i].scheme.SetNodeFreeHook(func(threadID int, h arena.Handle) {
+				if w := ar.Val(h, 1); value.IsRef(w) {
+					vs.Free(threadID, w)
+					ar.SetVal(h, 1, 0)
+				}
+			})
+		}
+	}
 	return st, nil
+}
+
+// Values returns the variable-size value layer, nil when disabled.
+func (st *Store) Values() *value.Store { return st.values }
+
+// MaxValue is the largest byte payload the store accepts (0 when the
+// value layer is disabled).
+func (st *Store) MaxValue() int {
+	if st.values == nil {
+		return 0
+	}
+	return st.cfg.MaxValue
 }
 
 // Schemes returns the shard schemes in shard order — exactly the
@@ -145,10 +198,29 @@ func (st *Store) Get(l *slotpool.Lease, key uint64) (uint64, bool) {
 	return st.shards[sh].m.Get(l.Thread(sh), key)
 }
 
+// ErrReservedBit rejects native Set/CAS words that collide with the
+// value layer's tag bit (proto doc: bit 63 is reserved).
+var ErrReservedBit = errors.New("server: value bit 63 is reserved for the value layer (see protocol doc)")
+
 // Set upserts key→value; it reports whether a new entry was inserted.
+//
+// With the value layer enabled the word is installed by node
+// replacement, not in-place overwrite: the key may currently hold a
+// block-backed payload, and overwriting its tagged word in place would
+// orphan the blocks (and free them under a concurrent reader if we
+// freed eagerly).  Replacement retires the old node, so the node-free
+// hook releases any blocks exactly once.  Tagged words are rejected —
+// a native client must not be able to forge a block ref.
 func (st *Store) Set(l *slotpool.Lease, key, value uint64) (bool, error) {
 	sh := st.Shard(key)
 	st.shards[sh].ops.Add(1)
+	if st.values != nil {
+		if value>>63 != 0 {
+			return false, ErrReservedBit
+		}
+		existed, err := st.shards[sh].m.Replace(l.Thread(sh), key, value)
+		return !existed, err
+	}
 	return st.shards[sh].m.Set(l.Thread(sh), key, value)
 }
 
@@ -159,7 +231,48 @@ func (st *Store) Delete(l *slotpool.Lease, key uint64) bool {
 	return st.shards[sh].m.Delete(l.Thread(sh), key)
 }
 
-// CompareAndSet replaces key's value with new iff it equals old.
+// SetBytes stores a byte payload under key.  The payload is encoded
+// into a tagged value word (inline or block-ref, see internal/value)
+// and installed by node replacement — never by overwriting a value word
+// in place, which would free the old payload's blocks under a
+// concurrent reader.  The value layer must be enabled.
+func (st *Store) SetBytes(l *slotpool.Lease, key uint64, payload []byte) error {
+	w, err := st.values.Alloc(l.Slot(), payload)
+	if err != nil {
+		return err
+	}
+	sh := st.Shard(key)
+	st.shards[sh].ops.Add(1)
+	if _, err := st.shards[sh].m.Replace(l.Thread(sh), key, w); err != nil {
+		// The word never reached a node, so it is ours to free.
+		st.values.Free(l.Slot(), w)
+		return err
+	}
+	return nil
+}
+
+// GetBytes appends key's payload to dst, decoding it while the node's
+// guard is still held (a concurrent delete cannot free the blocks under
+// us — the guard keeps the node, the node keeps the blocks).  Native
+// uint64 values render as decimal, matching their RESP representation.
+func (st *Store) GetBytes(l *slotpool.Lease, key uint64, dst []byte) ([]byte, bool) {
+	sh := st.Shard(key)
+	st.shards[sh].ops.Add(1)
+	found := st.shards[sh].m.GetWith(l.Thread(sh), key, func(w uint64) {
+		if st.values != nil && value.IsValue(w) {
+			dst = st.values.AppendPayload(dst, w)
+		} else {
+			dst = strconv.AppendUint(dst, w, 10)
+		}
+	})
+	return dst, found
+}
+
+// CompareAndSet replaces key's value with new iff it equals old.  The
+// in-place CAS stays safe with the value layer enabled because the
+// server rejects reserved-bit old/new words (serveRequest): a tagged
+// word can then never match old, so a block-backed value can never be
+// overwritten in place — the CAS just fails.
 func (st *Store) CompareAndSet(l *slotpool.Lease, key, old, new uint64) (swapped, found bool) {
 	sh := st.Shard(key)
 	st.shards[sh].ops.Add(1)
@@ -198,6 +311,24 @@ func (st *Store) Audit() []error {
 	for i := range st.shards {
 		for _, err := range st.shards[i].scheme.Audit(nil) {
 			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	if st.values != nil {
+		// Value-block conservation: every block slot must be either free
+		// or referenced by exactly one live node's value word.  Nodes
+		// retired before quiescence have been through the free hook by
+		// now (pool Close unregisters every thread, flushing deferred
+		// decrements), so any extra live slot here is a leaked payload.
+		live := make(map[uint64]bool)
+		for i := range st.shards {
+			st.shards[i].m.Range(func(_, w uint64) {
+				if value.IsRef(w) {
+					live[w] = true
+				}
+			})
+		}
+		for _, err := range st.values.Audit(live) {
+			errs = append(errs, fmt.Errorf("values: %w", err))
 		}
 	}
 	return errs

@@ -73,6 +73,8 @@ type poolMetrics struct {
 	slots       atomic.Int64 // configured slot count (constant gauge)
 	leased      atomic.Int64 // currently leased slots (gauge)
 	leases      atomic.Uint64
+	batched     atomic.Uint64 // leases granted through LeaseBatch
+	batchedOps  atomic.Uint64 // operations those batched leases carried
 	releases    atomic.Uint64
 	expiries    atomic.Uint64
 	timeouts    atomic.Uint64
@@ -86,19 +88,25 @@ type poolMetrics struct {
 // Stats is a point-in-time snapshot of the pool's counters, shaped for
 // JSON (the server's STATS protocol op returns it verbatim).
 type Stats struct {
-	Slots       int64   `json:"slots"`
-	Leased      int64   `json:"leased"`
-	Leases      uint64  `json:"leases"`
-	Releases    uint64  `json:"releases"`
-	Expiries    uint64  `json:"expiries"`
-	Timeouts    uint64  `json:"timeouts"`
-	Cancels     uint64  `json:"cancels"`
-	AuditDirty  uint64  `json:"audit_dirty"`
-	Violations  uint64  `json:"audit_violations"`
-	Quarantined int64   `json:"quarantined"`
-	WaitP50Ns   float64 `json:"wait_p50_ns"`
-	WaitP99Ns   float64 `json:"wait_p99_ns"`
-	WaitMeanNs  float64 `json:"wait_mean_ns"`
+	Slots  int64  `json:"slots"`
+	Leased int64  `json:"leased"`
+	Leases uint64 `json:"leases"`
+	// LeasesBatched counts leases granted through LeaseBatch;
+	// Leases - LeasesBatched is the single-op grant count.  BatchedOps
+	// is the operations those batched leases carried, so
+	// BatchedOps / LeasesBatched is the realized amortization factor.
+	LeasesBatched uint64  `json:"leases_batched"`
+	BatchedOps    uint64  `json:"batched_ops"`
+	Releases      uint64  `json:"releases"`
+	Expiries      uint64  `json:"expiries"`
+	Timeouts      uint64  `json:"timeouts"`
+	Cancels       uint64  `json:"cancels"`
+	AuditDirty    uint64  `json:"audit_dirty"`
+	Violations    uint64  `json:"audit_violations"`
+	Quarantined   int64   `json:"quarantined"`
+	WaitP50Ns     float64 `json:"wait_p50_ns"`
+	WaitP99Ns     float64 `json:"wait_p99_ns"`
+	WaitMeanNs    float64 `json:"wait_mean_ns"`
 }
 
 // Stats snapshots the pool's counters.
@@ -109,18 +117,20 @@ func (p *Pool) Stats() Stats {
 		count += c
 	}
 	st := Stats{
-		Slots:       p.m.slots.Load(),
-		Leased:      p.m.leased.Load(),
-		Leases:      p.m.leases.Load(),
-		Releases:    p.m.releases.Load(),
-		Expiries:    p.m.expiries.Load(),
-		Timeouts:    p.m.timeouts.Load(),
-		Cancels:     p.m.cancels.Load(),
-		AuditDirty:  p.m.dirty.Load(),
-		Violations:  p.m.violations.Load(),
-		Quarantined: p.m.quarantined.Load(),
-		WaitP50Ns:   quantile(buckets, 0.50),
-		WaitP99Ns:   quantile(buckets, 0.99),
+		Slots:         p.m.slots.Load(),
+		Leased:        p.m.leased.Load(),
+		Leases:        p.m.leases.Load(),
+		LeasesBatched: p.m.batched.Load(),
+		BatchedOps:    p.m.batchedOps.Load(),
+		Releases:      p.m.releases.Load(),
+		Expiries:      p.m.expiries.Load(),
+		Timeouts:      p.m.timeouts.Load(),
+		Cancels:       p.m.cancels.Load(),
+		AuditDirty:    p.m.dirty.Load(),
+		Violations:    p.m.violations.Load(),
+		Quarantined:   p.m.quarantined.Load(),
+		WaitP50Ns:     quantile(buckets, 0.50),
+		WaitP99Ns:     quantile(buckets, 0.99),
 	}
 	if count > 0 {
 		st.WaitMeanNs = float64(sumNs) / float64(count)
@@ -152,7 +162,10 @@ func (p *Pool) WriteProm(w io.Writer) error {
 		name, help string
 		v          uint64
 	}{
-		{"wfrc_slotpool_leases_total", "Leases granted.", st.Leases},
+		{"wfrc_slotpool_leases_total", "Leases granted (single and batched).", st.Leases},
+		{"wfrc_slotpool_leases_single_total", "Leases granted for one operation.", st.Leases - st.LeasesBatched},
+		{"wfrc_slotpool_leases_batched_total", "Leases granted through LeaseBatch (one lease per multi-op batch).", st.LeasesBatched},
+		{"wfrc_slotpool_batched_ops_total", "Operations carried by batched leases.", st.BatchedOps},
 		{"wfrc_slotpool_releases_total", "Leases released by their holders.", st.Releases},
 		{"wfrc_slotpool_expiries_total", "Leases revoked by the TTL reaper.", st.Expiries},
 		{"wfrc_slotpool_timeouts_total", "Lease waits that hit MaxWait (backpressure).", st.Timeouts},

@@ -1,0 +1,280 @@
+// Package value stores variable-size byte payloads in size-classed
+// blocks from the internal/alloc Allocator, addressed by a single
+// tagged 64-bit "value word" that fits a node's value slot.
+//
+// The point of the layer is to let the wait-free KV nodes — whose value
+// slots are plain uint64 words — carry real cache payloads without
+// giving up the paper's reclamation story.  A payload lives in exactly
+// one alloc slot; the node's value word holds the slot's Ref; and the
+// blocks are freed by the node-free hook (core.Scheme.SetNodeFreeHook)
+// when the node's reference count reclaims it.  Readers decode the
+// payload while they still hold the node guard, so a concurrent delete
+// cannot free the blocks under them — the same protection the paper's
+// DeRef/ReleaseRef pair gives the node itself (DESIGN.md §14).
+//
+// Value-word encoding (bit 63 downward):
+//
+//	bit 63      value-layer tag.  0 means the word is an untagged
+//	            native value (wfrc-kv's original uint64 payloads).
+//	bit 62      0 = inline, 1 = block ref
+//	inline:     bits 58..56 hold the payload length (0..7); the payload
+//	            occupies the low 7 bytes, little-endian.
+//	block ref:  the low 62 bits hold the alloc.Ref verbatim (a Ref uses
+//	            well under 40 bits: class+1 in bits 32.., slot below).
+//
+// Native clients must therefore avoid setting bit 63 of their values;
+// the native protocol documents the top bit as reserved.
+package value
+
+import (
+	"fmt"
+
+	"wfrc/internal/alloc"
+)
+
+// Tag layout.
+const (
+	tagValue       = uint64(1) << 63
+	tagRef         = uint64(1) << 62
+	inlineLenShift = 56
+	inlineLenMask  = uint64(7) << inlineLenShift
+	refMask        = (uint64(1) << 56) - 1
+
+	// InlineMax is the largest payload encoded directly in the word.
+	InlineMax = 7
+)
+
+// IsValue reports whether the word carries a value-layer payload (as
+// opposed to a native untagged uint64).
+func IsValue(w uint64) bool { return w&tagValue != 0 }
+
+// IsRef reports whether the word references alloc blocks that must be
+// freed when the owning node is reclaimed.
+func IsRef(w uint64) bool { return w&(tagValue|tagRef) == tagValue|tagRef }
+
+// RefOf extracts the alloc.Ref from a block-ref word.
+func RefOf(w uint64) alloc.Ref { return alloc.Ref(w & refMask) }
+
+// Class describes one payload size class.
+type Class struct {
+	// MaxPayload is the largest payload (bytes) the class accepts.
+	MaxPayload int
+	// InitialSlots / MaxSlots size the backing alloc class (values, not
+	// blocks; see alloc.ClassConfig).
+	InitialSlots int
+	MaxSlots     int
+}
+
+// Config sizes a Store.
+type Config struct {
+	// Threads is the number of Thread handles (= slotpool slots): all
+	// operations for thread i — allocations from requests and frees
+	// from the node-free hook — run on lease i's goroutine.
+	Threads int
+	// Classes lists payload classes in ascending MaxPayload order.
+	// Empty selects DefaultClasses.
+	Classes []Class
+}
+
+// DefaultClasses covers cache-tier payloads up to 16 KiB.
+func DefaultClasses() []Class {
+	return []Class{
+		{MaxPayload: 64, InitialSlots: 4096, MaxSlots: 1 << 17},
+		{MaxPayload: 512, InitialSlots: 1024, MaxSlots: 1 << 15},
+		{MaxPayload: 4096, InitialSlots: 256, MaxSlots: 1 << 13},
+		{MaxPayload: 16384, InitialSlots: 64, MaxSlots: 1 << 11},
+	}
+}
+
+// wordsFor returns the slot size in words for a payload ceiling: one
+// header word carrying the byte length, then the payload rounded up.
+func wordsFor(maxPayload int) int { return 1 + (maxPayload+7)/8 }
+
+// Store is the variable-size value layer.  Thread handles are
+// single-goroutine, like alloc.Thread.
+type Store struct {
+	cfg     Config
+	classes []Class
+	a       *alloc.Allocator
+	threads []*alloc.Thread
+}
+
+// New builds a Store over a fresh Allocator.
+func New(cfg Config) (*Store, error) {
+	if cfg.Threads <= 0 {
+		return nil, fmt.Errorf("value: Threads must be positive, got %d", cfg.Threads)
+	}
+	classes := cfg.Classes
+	if len(classes) == 0 {
+		classes = DefaultClasses()
+	}
+	acfg := alloc.Config{Threads: cfg.Threads}
+	prev := 0
+	for i, c := range classes {
+		if c.MaxPayload <= prev {
+			return nil, fmt.Errorf("value: class %d MaxPayload %d not ascending", i, c.MaxPayload)
+		}
+		prev = c.MaxPayload
+		acfg.Classes = append(acfg.Classes, alloc.ClassConfig{
+			SlotWords:    wordsFor(c.MaxPayload),
+			BlockSlots:   8,
+			InitialSlots: c.InitialSlots,
+			MaxSlots:     c.MaxSlots,
+		})
+	}
+	a, err := alloc.New(acfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{cfg: cfg, classes: classes, a: a}
+	for i := 0; i < cfg.Threads; i++ {
+		s.threads = append(s.threads, a.Thread(i))
+	}
+	return s, nil
+}
+
+// MustNew is New or panic.
+func MustNew(cfg Config) *Store {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// MaxPayload is the largest payload the store accepts.
+func (s *Store) MaxPayload() int { return s.classes[len(s.classes)-1].MaxPayload }
+
+// Allocator exposes the backing allocator (stats, Prometheus export).
+func (s *Store) Allocator() *alloc.Allocator { return s.a }
+
+// SetHook installs fn at every alloc hook point of thread's handle —
+// the deterministic scheduler yields here.
+func (s *Store) SetHook(thread int, fn func(alloc.Point)) { s.threads[thread].SetHook(fn) }
+
+// ErrTooLarge is returned by Alloc for payloads over MaxPayload.
+type ErrTooLarge struct{ N, Max int }
+
+func (e *ErrTooLarge) Error() string {
+	return fmt.Sprintf("value: payload of %d bytes exceeds %d byte limit", e.N, e.Max)
+}
+
+// Alloc stores payload and returns its tagged value word.  Payloads of
+// at most InlineMax bytes are encoded inline (no allocation); larger
+// ones take one slot from the smallest fitting class.  thread must be
+// the caller's leased slot index.
+func (s *Store) Alloc(thread int, payload []byte) (uint64, error) {
+	n := len(payload)
+	if n <= InlineMax {
+		w := tagValue | uint64(n)<<inlineLenShift
+		for i, b := range payload {
+			w |= uint64(b) << (8 * i)
+		}
+		return w, nil
+	}
+	ci := -1
+	for i, c := range s.classes {
+		if n <= c.MaxPayload {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return 0, &ErrTooLarge{N: n, Max: s.MaxPayload()}
+	}
+	ref, err := s.threads[thread].Alloc(ci)
+	if err != nil {
+		return 0, err
+	}
+	words := s.a.Words(ref)
+	words[0] = uint64(n)
+	dst := words[1:]
+	var i int
+	for ; i+8 <= n; i += 8 {
+		dst[i/8] = uint64(payload[i]) | uint64(payload[i+1])<<8 |
+			uint64(payload[i+2])<<16 | uint64(payload[i+3])<<24 |
+			uint64(payload[i+4])<<32 | uint64(payload[i+5])<<40 |
+			uint64(payload[i+6])<<48 | uint64(payload[i+7])<<56
+	}
+	if i < n {
+		var last uint64
+		for j := i; j < n; j++ {
+			last |= uint64(payload[j]) << (8 * (j - i))
+		}
+		dst[i/8] = last
+	}
+	return tagValue | tagRef | uint64(ref), nil
+}
+
+// Free releases the blocks behind a block-ref word; inline and native
+// words are no-ops.  thread must be the caller's leased slot index.
+// Free is what the node-free hook calls: it runs on the reclamation
+// winner's thread, after the node's refcount has hit zero, so no reader
+// can still hold the payload.
+func (s *Store) Free(thread int, w uint64) {
+	if !IsRef(w) {
+		return
+	}
+	s.threads[thread].Free(RefOf(w))
+}
+
+// Len returns the payload length of a value word (0 for native words).
+func (s *Store) Len(w uint64) int {
+	if !IsValue(w) {
+		return 0
+	}
+	if !IsRef(w) {
+		return int((w & inlineLenMask) >> inlineLenShift)
+	}
+	return int(s.a.Words(RefOf(w))[0])
+}
+
+// AppendPayload appends the payload behind w to dst.  For block-ref
+// words the caller must still hold the owning node's guard (the blocks
+// are freed when the node is reclaimed).  Native untagged words are not
+// value-layer payloads; AppendPayload returns dst unchanged for them —
+// render those with strconv instead.
+func (s *Store) AppendPayload(dst []byte, w uint64) []byte {
+	if !IsValue(w) {
+		return dst
+	}
+	if !IsRef(w) {
+		n := int((w & inlineLenMask) >> inlineLenShift)
+		for i := 0; i < n; i++ {
+			dst = append(dst, byte(w>>(8*i)))
+		}
+		return dst
+	}
+	words := s.a.Words(RefOf(w))
+	n := int(words[0])
+	src := words[1:]
+	var i int
+	for ; i+8 <= n; i += 8 {
+		v := src[i/8]
+		dst = append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	if i < n {
+		v := src[i/8]
+		for j := i; j < n; j++ {
+			dst = append(dst, byte(v>>(8*(j-i))))
+		}
+	}
+	return dst
+}
+
+// Stats returns the backing allocator's counters.
+func (s *Store) Stats() alloc.Stats { return s.a.Stats() }
+
+// Audit checks slot conservation against the set of live value words
+// (as collected from a quiescent walk of the store's nodes).  Inline
+// and native words are ignored.
+func (s *Store) Audit(liveWords map[uint64]bool) []error {
+	live := make(map[alloc.Ref]bool, len(liveWords))
+	for w := range liveWords {
+		if IsRef(w) {
+			live[RefOf(w)] = true
+		}
+	}
+	return s.a.Audit(live)
+}

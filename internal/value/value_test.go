@@ -1,0 +1,183 @@
+package value
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"wfrc/internal/alloc"
+)
+
+func smallStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := New(Config{Threads: 2, Classes: []Class{
+		{MaxPayload: 64, InitialSlots: 16, MaxSlots: 64},
+		{MaxPayload: 4096, InitialSlots: 8, MaxSlots: 32},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestInlineRoundtrip(t *testing.T) {
+	s := smallStore(t)
+	for n := 0; n <= InlineMax; n++ {
+		payload := []byte("0123456")[:n]
+		w, err := s.Alloc(0, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsValue(w) || IsRef(w) {
+			t.Fatalf("len %d: want inline value word, got %#x", n, w)
+		}
+		if got := s.Len(w); got != n {
+			t.Fatalf("len %d: Len = %d", n, got)
+		}
+		if got := s.AppendPayload(nil, w); !bytes.Equal(got, payload) {
+			t.Fatalf("len %d: got %q, want %q", n, got, payload)
+		}
+		s.Free(0, w) // no-op, must not panic
+	}
+}
+
+func TestBlockRoundtrip(t *testing.T) {
+	s := smallStore(t)
+	for _, n := range []int{8, 63, 64, 65, 100, 4095, 4096} {
+		payload := make([]byte, n)
+		for i := range payload {
+			payload[i] = byte(i * 31)
+		}
+		w, err := s.Alloc(0, payload)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !IsRef(w) {
+			t.Fatalf("n=%d: want block ref, got %#x", n, w)
+		}
+		if got := s.Len(w); got != n {
+			t.Fatalf("n=%d: Len = %d", n, got)
+		}
+		if got := s.AppendPayload(nil, w); !bytes.Equal(got, payload) {
+			t.Fatalf("n=%d: payload mismatch", n)
+		}
+		s.Free(0, w)
+	}
+	if errs := s.Audit(nil); len(errs) != 0 {
+		t.Fatalf("audit after free-all: %v", errs)
+	}
+}
+
+func TestTooLarge(t *testing.T) {
+	s := smallStore(t)
+	_, err := s.Alloc(0, make([]byte, 4097))
+	var tl *ErrTooLarge
+	if !errors.As(err, &tl) {
+		t.Fatalf("want *ErrTooLarge, got %T %v", err, err)
+	}
+	if tl.N != 4097 || tl.Max != 4096 {
+		t.Fatalf("bad limits in error: %+v", tl)
+	}
+}
+
+func TestNativeWordsPassThrough(t *testing.T) {
+	s := smallStore(t)
+	for _, w := range []uint64{0, 1, 42, 1<<62 - 1} {
+		if IsValue(w) || IsRef(w) {
+			t.Fatalf("native word %#x misclassified", w)
+		}
+		if got := s.AppendPayload(nil, w); len(got) != 0 {
+			t.Fatalf("native word %#x decoded to %q", w, got)
+		}
+		s.Free(0, w) // no-op
+	}
+}
+
+// TestAuditLeak proves the audit actually catches a lost ref.
+func TestAuditLeak(t *testing.T) {
+	s := smallStore(t)
+	w, err := s.Alloc(0, make([]byte, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := s.Audit(nil); len(errs) == 0 {
+		t.Fatal("audit missed a leaked slot")
+	}
+	if errs := s.Audit(map[uint64]bool{w: true}); len(errs) != 0 {
+		t.Fatalf("audit with live set: %v", errs)
+	}
+	s.Free(0, w)
+	if errs := s.Audit(nil); len(errs) != 0 {
+		t.Fatalf("audit after free: %v", errs)
+	}
+}
+
+func TestClassSelection(t *testing.T) {
+	s := smallStore(t)
+	w64, _ := s.Alloc(0, make([]byte, 64))
+	w65, _ := s.Alloc(0, make([]byte, 65))
+	if c := RefOf(w64).Class(); c != 0 {
+		t.Fatalf("64B payload in class %d, want 0", c)
+	}
+	if c := RefOf(w65).Class(); c != 1 {
+		t.Fatalf("65B payload in class %d, want 1", c)
+	}
+	s.Free(0, w64)
+	s.Free(0, w65)
+}
+
+func TestHookFires(t *testing.T) {
+	s := smallStore(t)
+	var points []alloc.Point
+	s.SetHook(1, func(p alloc.Point) { points = append(points, p) })
+	w, err := s.Alloc(1, make([]byte, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Free(1, w)
+	if len(points) == 0 {
+		t.Fatal("alloc hook never fired through value layer")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Threads: 0}); err == nil {
+		t.Fatal("want error for zero threads")
+	}
+	if _, err := New(Config{Threads: 1, Classes: []Class{
+		{MaxPayload: 64, InitialSlots: 8},
+		{MaxPayload: 64, InitialSlots: 8},
+	}}); err == nil {
+		t.Fatal("want error for non-ascending classes")
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	s, err := New(Config{Threads: 1, Classes: []Class{
+		{MaxPayload: 64, InitialSlots: 8, MaxSlots: 8},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var words []uint64
+	for i := 0; ; i++ {
+		w, err := s.Alloc(0, []byte(fmt.Sprintf("payload-%04d", i)))
+		if err != nil {
+			if err != alloc.ErrOutOfMemory {
+				t.Fatalf("want ErrOutOfMemory, got %v", err)
+			}
+			break
+		}
+		words = append(words, w)
+		if i > 1000 {
+			t.Fatal("class never exhausted")
+		}
+	}
+	for _, w := range words {
+		s.Free(0, w)
+	}
+	if errs := s.Audit(nil); len(errs) != 0 {
+		t.Fatalf("audit: %v", errs)
+	}
+}
