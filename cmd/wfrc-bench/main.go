@@ -204,9 +204,11 @@ func deltaFiles(arg string) int {
 		return 2
 	}
 	type point struct {
-		path   string
-		scheme string
-		ops    float64
+		path     string
+		scheme   string
+		ops      float64
+		lagP99NS uint64
+		lagCount uint64
 	}
 	load := func(path string) (point, bool) {
 		data, err := os.ReadFile(path)
@@ -222,7 +224,10 @@ func deltaFiles(arg string) int {
 		var pts []point
 		for _, r := range rep.Results {
 			if r.Experiment == "e1" && r.Threads == 1 {
-				pts = append(pts, point{path: path, scheme: r.Scheme, ops: r.OpsPerSec})
+				pts = append(pts, point{
+					path: path, scheme: r.Scheme, ops: r.OpsPerSec,
+					lagP99NS: r.ReclaimLagP99NS, lagCount: r.ReclaimLagCount,
+				})
 			}
 		}
 		if len(pts) != 1 {
@@ -245,13 +250,31 @@ func deltaFiles(arg string) int {
 			next.path, next.scheme, next.ops, base.path, base.scheme, base.ops, next.ops/base.ops)
 		return 1
 	}
-	fmt.Printf("bench delta OK: e1/1-thread %s %.0f ops/s > %s %.0f ops/s (%.2fx)\n",
-		next.scheme, next.ops, base.scheme, base.ops, next.ops/base.ops)
+	// Schema-v5 reclamation-lag gate: the new file's retire→free p99 may
+	// not regress past lagDeltaTolerance× the base's.  The histogram
+	// buckets quantize to powers of two, so any measured p99 can read one
+	// bucket (2×) above its true value; 4× leaves one genuine doubling of
+	// headroom beyond that quantization before the gate trips.  Only
+	// enforced when both runs actually recorded reclaims — pre-v5 files
+	// decode with zero counts and skip the gate.
+	const lagDeltaTolerance = 4
+	if base.lagCount > 0 && next.lagCount > 0 && base.lagP99NS > 0 &&
+		next.lagP99NS > lagDeltaTolerance*base.lagP99NS {
+		fmt.Fprintf(os.Stderr, "bench delta FAIL: %s e1/1-thread reclaim-lag p99 %dns is over %d× %s's %dns — reclamation is falling behind\n",
+			next.path, next.lagP99NS, lagDeltaTolerance, base.path, base.lagP99NS)
+		return 1
+	}
+	lagNote := ""
+	if next.lagCount > 0 {
+		lagNote = fmt.Sprintf(", reclaim-lag p99 %dns vs %dns", next.lagP99NS, base.lagP99NS)
+	}
+	fmt.Printf("bench delta OK: e1/1-thread %s %.0f ops/s > %s %.0f ops/s (%.2fx)%s\n",
+		next.scheme, next.ops, base.scheme, base.ops, next.ops/base.ops, lagNote)
 	return 0
 }
 
 // deltaMatrix implements the single-file form of -delta: inside one
-// schema-v4 matrix report, waitfree-deferred must beat waitfree on the
+// schema-v5 matrix report, waitfree-deferred must beat waitfree on the
 // geometric mean over every matched (structure, contention, threads)
 // cell — the same "deferred fast path is no slower than the counted
 // path" promise the two-file e1 gate makes, now checked on every

@@ -91,6 +91,7 @@ func run() int {
 		traceN     = flag.Int("trace", 4096, "help-event ring capacity (0 disables help tracing)")
 		helpStir   = flag.Int("help-stir", 0, "testing aid: stall every Nth announcement window (core line D4) for a few µs so the helping path actually fires under load; 0 disables")
 		spansN     = flag.Int("spans", 8192, "flight-recorder capacity in completed request spans (0 disables span tracing)")
+		memSample  = flag.Duration("mem-sample", time.Second, "memory-lifecycle sampling interval for the published snapshot (0 disables the periodic sampler; INFO and STATS still sample on demand)")
 		flightPath = flag.String("flight-dump", "wfrc-kv-flight.json", "flight-recorder dump destination for SIGQUIT/audit-failure (\"-\" = stderr)")
 		profLabels = flag.Bool("pprof-labels", true, "attach pprof labels (op, shard) to request handling")
 	)
@@ -229,7 +230,14 @@ func run() int {
 		osrv.AddProm(srv.Store().WriteProm)
 		osrv.AddProm(srv.Hists().WriteProm)
 		osrv.AddProm(srv.WriteProm)
+		osrv.AddProm(srv.MemCollector().WriteProm)
 		fmt.Printf("observability: http://%s/metrics\n", osrv.Addr())
+	}
+	if *memSample > 0 {
+		// Keep the published memory snapshot fresh so wfrc-top, INFO and
+		// STATS read a recent sample without forcing one per probe.
+		stopSampler := srv.MemCollector().Start(*memSample)
+		defer stopSampler()
 	}
 
 	ln, err := net.Listen("tcp", *addr)

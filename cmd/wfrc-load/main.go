@@ -6,7 +6,7 @@
 // counters it reads back through the STATS protocol op.
 //
 //	wfrc-load -addr 127.0.0.1:7700 -conns 32 -duration 10s
-//	wfrc-load -addr 127.0.0.1:7700 -out BENCH_results.json     # schema-v4 report
+//	wfrc-load -addr 127.0.0.1:7700 -out BENCH_results.json     # schema-v5 report
 //	wfrc-load -proto resp -value-size 512                      # drive the RESP front-end
 //	wfrc-load -rate 20000 -slo 2ms                             # open loop, CO-free
 //
@@ -58,7 +58,9 @@ func run() int {
 		rate      = flag.Float64("rate", 0, "open-loop offered load in req/s across all connections (0 = closed loop)")
 		slo       = flag.Duration("slo", time.Millisecond, "open-loop latency SLO for the under-SLO fraction")
 		seed      = flag.Int64("seed", 1, "workload seed")
-		out       = flag.String("out", "", "write a schema-v4 BENCH_results.json here")
+		out       = flag.String("out", "", "write a schema-v5 BENCH_results.json here")
+		maxHWM    = flag.Int64("max-floating-hwm", 0,
+			"fail (exit 1) if the server's floating-garbage high-water mark, summed over shards, exceeds this node count (0 = no gate); CI derives the bound from the paper's Lemma 3")
 	)
 	flag.Parse()
 	if *proto != "native" && *proto != "resp" {
@@ -290,6 +292,7 @@ func run() int {
 		BusyRejects:     busy + stats.Busy,
 		Expiries:        stats.Pool.Expiries,
 		AuditViolations: stats.Pool.Violations,
+		Memory:          stats.Memory,
 	}
 	if openLoop {
 		sec.OpenLoop = &obs.BenchOpenLoop{
@@ -341,6 +344,19 @@ func run() int {
 		time.Duration(sec.LeaseWaitMeanNS), sec.BusyRejects, sec.Expiries, errCount)
 	fmt.Printf("  shard ops=%v balance=%.3f; audit violations=%d\n",
 		sec.ShardOps, sec.ShardBalance, sec.AuditViolations)
+	var floating, floatingHWM int64
+	var lagP99 uint64
+	if stats.Memory != nil {
+		for _, ls := range stats.Memory.Schemes {
+			floating += ls.Floating
+			floatingHWM += ls.FloatingHWM
+			if ls.Lag.P99NS > lagP99 {
+				lagP99 = ls.Lag.P99NS
+			}
+		}
+		fmt.Printf("  memory: floating=%d floating-hwm=%d reclaim-lag p99=%v (summed over %d shards)\n",
+			floating, floatingHWM, time.Duration(lagP99), len(stats.Memory.Schemes))
+	}
 	if errCount > 0 && lastErr != nil {
 		fmt.Printf("  last client error: %v\n", lastErr)
 	}
@@ -357,6 +373,18 @@ func run() int {
 	if sec.AuditViolations > 0 {
 		fmt.Fprintf(os.Stderr, "wfrc-load: server reported %d slot-reuse audit violations\n", sec.AuditViolations)
 		return 1
+	}
+	if *maxHWM > 0 {
+		if stats.Memory == nil {
+			fmt.Fprintln(os.Stderr, "wfrc-load: -max-floating-hwm set but the server reported no memory snapshot (old server build?)")
+			return 1
+		}
+		if floatingHWM > *maxHWM {
+			fmt.Fprintf(os.Stderr, "wfrc-load: floating-garbage HWM %d exceeds the Lemma-3 bound %d — retired nodes are outliving their reclamation budget\n",
+				floatingHWM, *maxHWM)
+			return 1
+		}
+		fmt.Printf("  floating-garbage HWM %d within bound %d\n", floatingHWM, *maxHWM)
 	}
 	return 0
 }

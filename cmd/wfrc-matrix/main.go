@@ -10,7 +10,7 @@
 //	            [-update-experiments EXPERIMENTS.md] [-obs-addr :8080]
 //	            [-from BENCH_matrix.json]
 //
-// It writes one merged schema-v4 report (wfrc-bench -validate checks
+// It writes one merged schema-v5 report (wfrc-bench -validate checks
 // it) and, with -update-experiments, regenerates the marker-delimited
 // comparison tables of EXPERIMENTS.md from that report.  -from skips
 // the sweep and renders from an existing report — rendering is a pure
@@ -38,9 +38,9 @@ func main() {
 		structs    = flag.String("structures", "", "comma-separated structure subset (default: queue,stack,hashmap)")
 		threadList = flag.String("threads", "", "comma-separated thread counts (default: {1,2,P,2P} padded to 4 distinct)")
 		ops        = flag.Int("ops", 0, "operations per thread per cell (default: 20000, quick: 2000)")
-		out        = flag.String("out", "BENCH_matrix.json", "write the merged schema-v4 report here ('' disables)")
+		out        = flag.String("out", "BENCH_matrix.json", "write the merged schema-v5 report here ('' disables)")
 		updateExp  = flag.String("update-experiments", "", "regenerate the matrix tables between the markers of this markdown file")
-		from       = flag.String("from", "", "skip the sweep: render from this existing schema-v4 report instead")
+		from       = flag.String("from", "", "skip the sweep: render from this existing schema-v5 report instead")
 		obsAddr    = flag.String("obs-addr", "", "serve /metrics and /debug/pprof on this address during the run")
 	)
 	flag.Parse()

@@ -363,6 +363,10 @@ func (a *Allocator) MaxSlots(ci int) int {
 // SegmentsAttached returns how many segments class ci holds.
 func (a *Allocator) SegmentsAttached(ci int) int { return int(a.classes[ci].nSegs.Load()) }
 
+// Classes returns the number of size classes, so observability code can
+// sweep SegmentsAttached/Slots over all of them.
+func (a *Allocator) Classes() int { return len(a.classes) }
+
 // Stats merges every registered thread's counters.
 func (a *Allocator) Stats() Stats {
 	a.mu.Lock()

@@ -49,6 +49,10 @@ type Scheme struct {
 
 	head atomic.Uint64 // tagged free-list head (same layout as hazard)
 
+	// lifeSink receives retire/reclaim telemetry (mm.LifecycleSource);
+	// nil when no tracker is attached.
+	lifeSink atomic.Pointer[mm.LifecycleSink]
+
 	limboMu sync.Mutex
 	limbo   []limboEntry
 
@@ -107,6 +111,27 @@ func MustNew(ar *arena.Arena, cfg Config) *Scheme {
 
 // Name implements mm.Scheme.
 func (s *Scheme) Name() string { return "epoch" }
+
+// SetLifecycleSink implements mm.LifecycleSource.  A nil sink detaches.
+func (s *Scheme) SetLifecycleSink(sink mm.LifecycleSink) {
+	if sink == nil {
+		s.lifeSink.Store(nil)
+		return
+	}
+	s.lifeSink.Store(&sink)
+}
+
+func (s *Scheme) noteRetired(h arena.Handle) {
+	if sp := s.lifeSink.Load(); sp != nil {
+		(*sp).NoteRetired(h)
+	}
+}
+
+func (s *Scheme) noteReclaimed(h arena.Handle) {
+	if sp := s.lifeSink.Load(); sp != nil {
+		(*sp).NoteReclaimed(h)
+	}
+}
 
 // Arena implements mm.Scheme.
 func (s *Scheme) Arena() *arena.Arena { return s.ar }
@@ -194,6 +219,9 @@ func (s *Scheme) drainLimbo(now uint64) {
 
 func (s *Scheme) scrubAndFree(h arena.Handle) {
 	s.ar.LinkRange(h, func(id mm.LinkID) { s.ar.StoreLink(id, arena.NilPtr) })
+	// Telemetry: every epoch-safe free funnels through here — the reclaim
+	// edge of the retire→free lag.
+	s.noteReclaimed(h)
 	s.pushFree(h)
 }
 
@@ -316,6 +344,9 @@ func (t *Thread) Retire(h arena.Handle) {
 	}
 	now := t.s.epoch.Load()
 	t.observe(now)
+	// Telemetry: Retire is this scheme's retire instant — the node floats
+	// in its epoch bucket until two global advances prove it unreachable.
+	t.s.noteRetired(h)
 	b := int(now % 3)
 	t.retired[b] = append(t.retired[b], h)
 	t.stats.Retired++

@@ -58,6 +58,10 @@ type Scheme struct {
 	// pointers do not protect the allocator's own pop/push races.
 	head atomic.Uint64
 
+	// lifeSink receives retire/reclaim telemetry (mm.LifecycleSource);
+	// nil when no tracker is attached.
+	lifeSink atomic.Pointer[mm.LifecycleSink]
+
 	limboMu sync.Mutex
 	limbo   []arena.Handle // retirements orphaned by Unregister
 
@@ -112,6 +116,27 @@ func MustNew(ar *arena.Arena, cfg Config) *Scheme {
 
 // Name implements mm.Scheme.
 func (s *Scheme) Name() string { return "hazard" }
+
+// SetLifecycleSink implements mm.LifecycleSource.  A nil sink detaches.
+func (s *Scheme) SetLifecycleSink(sink mm.LifecycleSink) {
+	if sink == nil {
+		s.lifeSink.Store(nil)
+		return
+	}
+	s.lifeSink.Store(&sink)
+}
+
+func (s *Scheme) noteRetired(h arena.Handle) {
+	if sp := s.lifeSink.Load(); sp != nil {
+		(*sp).NoteRetired(h)
+	}
+}
+
+func (s *Scheme) noteReclaimed(h arena.Handle) {
+	if sp := s.lifeSink.Load(); sp != nil {
+		(*sp).NoteReclaimed(h)
+	}
+}
 
 // Arena implements mm.Scheme.
 func (s *Scheme) Arena() *arena.Arena { return s.ar }
@@ -296,6 +321,9 @@ func (t *Thread) Retire(h arena.Handle) {
 	if h == arena.Nil {
 		return
 	}
+	// Telemetry: Retire is this scheme's retire instant — the node floats
+	// on the retire list until a scan proves no hazard protects it.
+	t.s.noteRetired(h)
 	t.retired = append(t.retired, h)
 	t.stats.Retired++
 	if len(t.retired) >= t.s.threshold {
@@ -322,6 +350,7 @@ func (t *Thread) scan() {
 		// Scrub the node before reuse so stale links cannot leak into the
 		// next owner.
 		t.s.ar.LinkRange(h, func(id mm.LinkID) { t.s.ar.StoreLink(id, arena.NilPtr) })
+		t.s.noteReclaimed(h)
 		t.s.pushFree(h)
 	}
 	t.retired = kept

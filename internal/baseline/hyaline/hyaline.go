@@ -144,6 +144,10 @@ type Scheme struct {
 	outstanding atomic.Int64
 	unreclaimed atomic.Int64
 
+	// lifeSink receives retire/reclaim telemetry (mm.LifecycleSource);
+	// nil when no tracker is attached.
+	lifeSink atomic.Pointer[mm.LifecycleSink]
+
 	// Per-node side state, indexed by handle.  lnext chains a slot's
 	// retirement list, bnext chains the nodes of one batch, blink points
 	// every batch member at its reference-carrier node, birth holds the
@@ -213,6 +217,27 @@ func MustNew(ar *arena.Arena, cfg Config) *Scheme {
 
 // Name implements mm.Scheme.
 func (s *Scheme) Name() string { return "hyaline" }
+
+// SetLifecycleSink implements mm.LifecycleSource.  A nil sink detaches.
+func (s *Scheme) SetLifecycleSink(sink mm.LifecycleSink) {
+	if sink == nil {
+		s.lifeSink.Store(nil)
+		return
+	}
+	s.lifeSink.Store(&sink)
+}
+
+func (s *Scheme) noteRetired(h arena.Handle) {
+	if sp := s.lifeSink.Load(); sp != nil {
+		(*sp).NoteRetired(h)
+	}
+}
+
+func (s *Scheme) noteReclaimed(h arena.Handle) {
+	if sp := s.lifeSink.Load(); sp != nil {
+		(*sp).NoteReclaimed(h)
+	}
+}
 
 // Arena implements mm.Scheme.
 func (s *Scheme) Arena() *arena.Arena { return s.ar }
@@ -499,6 +524,9 @@ func (t *Thread) Retire(h arena.Handle) {
 	}
 	t.stats.Retired++
 	t.s.unreclaimed.Add(1)
+	// Telemetry: Retire is this scheme's retire instant — the node floats
+	// in the batch and then in slot lists until its counter hits zero.
+	t.s.noteRetired(h)
 	t.batch = append(t.batch, h)
 	if len(t.batch) >= t.s.threshold {
 		t.dispatchBatch()
@@ -514,6 +542,7 @@ func (t *Thread) RetireBatch(hs []arena.Handle) {
 		}
 		t.stats.Retired++
 		t.s.unreclaimed.Add(1)
+		t.s.noteRetired(h)
 		t.batch = append(t.batch, h)
 	}
 	if len(t.batch) >= t.s.threshold {
@@ -625,6 +654,7 @@ func (t *Thread) freeBatch(c arena.Handle) {
 		t.s.ar.LinkRange(h, func(id mm.LinkID) { t.s.ar.StoreLink(id, arena.NilPtr) })
 		t.s.unreclaimed.Add(-1)
 		t.s.outstanding.Add(-1)
+		t.s.noteReclaimed(h)
 		t.stats.NoteFree(1)
 		t.s.pushFree(h)
 		h = nh

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"wfrc/internal/arena"
 	"wfrc/internal/mm"
@@ -31,6 +32,10 @@ type Scheme struct {
 
 	mu   sync.Mutex
 	free arena.Handle // free-list head, guarded by mu
+
+	// lifeSink receives retire/reclaim telemetry (mm.LifecycleSource);
+	// nil when no tracker is attached.
+	lifeSink atomic.Pointer[mm.LifecycleSink]
 
 	regMu   sync.Mutex
 	regUsed []bool
@@ -64,6 +69,27 @@ func MustNew(ar *arena.Arena, cfg Config) *Scheme {
 
 // Name implements mm.Scheme.
 func (s *Scheme) Name() string { return "lock-rc" }
+
+// SetLifecycleSink implements mm.LifecycleSource.  A nil sink detaches.
+func (s *Scheme) SetLifecycleSink(sink mm.LifecycleSink) {
+	if sink == nil {
+		s.lifeSink.Store(nil)
+		return
+	}
+	s.lifeSink.Store(&sink)
+}
+
+func (s *Scheme) noteRetired(h arena.Handle) {
+	if sp := s.lifeSink.Load(); sp != nil {
+		(*sp).NoteRetired(h)
+	}
+}
+
+func (s *Scheme) noteReclaimed(h arena.Handle) {
+	if sp := s.lifeSink.Load(); sp != nil {
+		(*sp).NoteReclaimed(h)
+	}
+}
 
 // Arena implements mm.Scheme.
 func (s *Scheme) Arena() *arena.Arena { return s.ar }
@@ -167,6 +193,9 @@ func (t *Thread) releaseLocked(h arena.Handle) {
 		ref := ar.Ref(n)
 		if ref.Add(-2) == 0 {
 			ref.Store(1)
+			// Telemetry: under the global lock retire and reclaim are
+			// adjacent; the near-zero lag is this scheme's baseline.
+			t.s.noteRetired(n)
 			ar.LinkRange(n, func(id mm.LinkID) {
 				p := ar.LoadLink(id)
 				if p != arena.NilPtr {
@@ -176,6 +205,7 @@ func (t *Thread) releaseLocked(h arena.Handle) {
 					}
 				}
 			})
+			t.s.noteReclaimed(n)
 			ar.Next(n).Store(uint64(t.s.free))
 			t.s.free = n
 			t.stats.NoteFree(1)

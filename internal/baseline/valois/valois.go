@@ -47,6 +47,10 @@ type Scheme struct {
 
 	head padU64 // single free-list head holding a raw Handle
 
+	// lifeSink receives retire/reclaim telemetry (mm.LifecycleSource);
+	// nil when no tracker is attached.
+	lifeSink atomic.Pointer[mm.LifecycleSink]
+
 	regMu   sync.Mutex
 	regUsed []bool
 }
@@ -89,6 +93,27 @@ func MustNew(ar *arena.Arena, cfg Config) *Scheme {
 
 // Name implements mm.Scheme.
 func (s *Scheme) Name() string { return "valois-rc" }
+
+// SetLifecycleSink implements mm.LifecycleSource.  A nil sink detaches.
+func (s *Scheme) SetLifecycleSink(sink mm.LifecycleSink) {
+	if sink == nil {
+		s.lifeSink.Store(nil)
+		return
+	}
+	s.lifeSink.Store(&sink)
+}
+
+func (s *Scheme) noteRetired(h arena.Handle) {
+	if sp := s.lifeSink.Load(); sp != nil {
+		(*sp).NoteRetired(h)
+	}
+}
+
+func (s *Scheme) noteReclaimed(h arena.Handle) {
+	if sp := s.lifeSink.Load(); sp != nil {
+		(*sp).NoteReclaimed(h)
+	}
+}
 
 // Arena implements mm.Scheme.
 func (s *Scheme) Arena() *arena.Arena { return s.ar }
@@ -210,6 +235,8 @@ func (t *Thread) release(h arena.Handle) {
 		ref := ar.Ref(n)
 		ref.Add(-2)
 		if ref.Load() == 0 && ref.CompareAndSwap(0, 1) {
+			// Telemetry: the election win is this scheme's retire instant.
+			t.s.noteRetired(n)
 			ar.LinkRange(n, func(id mm.LinkID) {
 				p := ar.LoadLink(id)
 				if p != arena.NilPtr {
@@ -257,6 +284,9 @@ func (t *Thread) Alloc() (arena.Handle, error) {
 
 func (t *Thread) freeNode(h arena.Handle) {
 	s := t.s
+	// Telemetry: h's memory returns to the free-list here — the reclaim
+	// edge of the retire→free lag.
+	s.noteReclaimed(h)
 	var steps uint64
 	for {
 		steps++

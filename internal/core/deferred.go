@@ -259,6 +259,7 @@ func (t *Thread) deferDec(h arena.Handle, n uint32) {
 	case arena.Nil:
 		e.h, e.dec = h, n
 		t.dLive++
+		t.s.dcacheLive[t.id].v.Store(int64(t.dLive))
 		return
 	}
 	old, dec := e.h, e.dec
@@ -291,7 +292,13 @@ const zctDrainThreshold = 64
 // zctDrainThreshold outside a flush is drained on the spot, keeping
 // per-thread dead-node residency bounded regardless of decrement volume.
 func (t *Thread) zctPush(h arena.Handle) {
+	// Telemetry: entering the ZCT is the deferred variant's retire
+	// instant (idempotent for duplicate pushes); the mirror lets
+	// cross-thread gauges read the table's depth without touching the
+	// owner-private slice.
+	t.s.noteRetired(h)
 	t.zct = append(t.zct, h)
+	t.s.zctDepth[t.id].v.Store(int64(len(t.zct)))
 	if len(t.zct) >= zctDrainThreshold && !t.inFlush {
 		t.inFlush = true
 		t.drainZCT()
@@ -348,6 +355,7 @@ func (t *Thread) flushDeferred(purge bool) (freed int) {
 				t.applyDec(h, dec)
 				applied = true
 			}
+			t.s.dcacheLive[t.id].v.Store(int64(t.dLive))
 		}
 		n := t.drainZCT()
 		freed += n
@@ -373,6 +381,12 @@ func (t *Thread) drainZCT() (freed int) {
 	for _, h := range pending {
 		ref := t.s.ar.Ref(h)
 		if ref.Load() != 0 {
+			// Resurrected (re-linked or copied back to life) or already
+			// claimed by another flusher.  Either way the node left the
+			// retired state as far as this table is concerned: cancel
+			// the retire stamp (no-op if the claimer's freeNode got
+			// there first), recording its ZCT residency as the lag.
+			t.s.noteReclaimed(h)
 			continue
 		}
 		if t.pinnedBySelf(h) || t.s.pinnedByOther(t.id, h) {
@@ -385,6 +399,7 @@ func (t *Thread) drainZCT() (freed int) {
 			freed++
 		}
 	}
+	t.s.zctDepth[t.id].v.Store(int64(len(t.zct)))
 	return freed
 }
 
@@ -459,6 +474,7 @@ func (t *Thread) retireDeferred() {
 		s.orphanN.Store(int64(len(s.orphans)))
 		s.orphanMu.Unlock()
 		t.zct = nil
+		s.zctDepth[t.id].v.Store(0)
 	}
 }
 

@@ -168,6 +168,10 @@ func (t *Thread) ReleaseRef(h arena.Handle) {
 		ref.Add(-2) // R1
 		t.at(PR2)
 		if ref.Load() == 0 && ref.CompareAndSwap(0, 1) { // R2
+			// Telemetry: the election win is the immediate variant's
+			// retire instant — from here n is garbage until freeNode
+			// returns it to the free structures moments later.
+			s.noteRetired(n)
 			// R3: this thread now exclusively owns n.  Clear its link
 			// cells with plain stores (including poison markers — see
 			// the data structures' chain-breaking rule) and queue the

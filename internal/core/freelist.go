@@ -145,6 +145,9 @@ func (t *Thread) freeNode(node arena.Handle) {
 	if fn := s.nodeFreeHook.Load(); fn != nil {
 		(*fn)(t.id, node)
 	}
+	// Telemetry: node's memory is returning to the free structures —
+	// the reclaim edge of the retire→free lag (mm.LifecycleSink).
+	s.noteReclaimed(node)
 	helpID := s.helpCurrent.Load()                               // F1
 	s.helpCurrent.CompareAndSwap(helpID, (helpID+1)%int64(s.n)) // F2
 	t.at(PF3)

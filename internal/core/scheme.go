@@ -203,6 +203,21 @@ type Scheme struct {
 	// node is offered to any other thread (see SetNodeFreeHook).
 	nodeFreeHook atomic.Pointer[func(threadID int, h arena.Handle)]
 
+	// lifeSink, when set, receives retire/reclaim lifecycle transitions
+	// (see SetLifecycleSink).  It is deliberately separate from
+	// nodeFreeHook: the value layer owns that hook (DESIGN.md §14), and
+	// telemetry must not displace it.
+	lifeSink atomic.Pointer[mm.LifecycleSink]
+
+	// zctDepth and dcacheLive mirror each thread's ZCT length and
+	// delta-cache occupancy for cross-thread gauges (deferred variant
+	// only; nil otherwise).  Owner-written at the points where the
+	// private values change, so a concurrent snapshotter reads a
+	// slightly stale but never torn occupancy — the same discipline as
+	// pinRow.live.
+	zctDepth   []padI64
+	dcacheLive []padI64
+
 	// tags holds one request tag per thread slot (see SetThreadTag).
 	// The tags are opaque to the scheme; the observability layer stores
 	// the active request-span ID of the goroutine currently operating
@@ -321,6 +336,55 @@ func (s *Scheme) SetNodeFreeHook(fn func(threadID int, h arena.Handle)) {
 	s.nodeFreeHook.Store(&fn)
 }
 
+// SetLifecycleSink implements mm.LifecycleSource: sink receives a
+// NoteRetired the instant a node becomes garbage — the winner of the
+// zero-count CAS(0,1) reclaim election on the immediate variant, the
+// ZCT push on the deferred one — and a NoteReclaimed from freeNode when
+// the node's memory returns to the free lists.  A deferred-variant node
+// resurrected out of the ZCT (its count rose again before the drain)
+// reports NoteReclaimed at the failed election, cancelling the retire.
+// sink must be wait-free and allocation-free (mm.LifecycleTracker is);
+// nil detaches.  Production servers attach one tracker per shard; the
+// only cost when unset is one atomic pointer load per reclamation.
+func (s *Scheme) SetLifecycleSink(sink mm.LifecycleSink) {
+	if sink == nil {
+		s.lifeSink.Store(nil)
+		return
+	}
+	s.lifeSink.Store(&sink)
+}
+
+// noteRetired reports h's retire transition to the lifecycle sink.
+func (s *Scheme) noteRetired(h arena.Handle) {
+	if p := s.lifeSink.Load(); p != nil {
+		(*p).NoteRetired(h)
+	}
+}
+
+// noteReclaimed reports h's reclaim transition to the lifecycle sink.
+func (s *Scheme) noteReclaimed(h arena.Handle) {
+	if p := s.lifeSink.Load(); p != nil {
+		(*p).NoteReclaimed(h)
+	}
+}
+
+// DeferredOccupancy sums the deferred variant's cross-thread occupancy
+// mirrors: how many reclaim candidates sit in ZCTs (plus the orphan
+// list) and how many delta-cache entries hold buffered decrements,
+// over all thread slots.  Both zero on the immediate variant.  Safe
+// for concurrent use; values are momentary.
+func (s *Scheme) DeferredOccupancy() (zct, dcache int64) {
+	if s.zctDepth == nil {
+		return 0, 0
+	}
+	for i := range s.zctDepth {
+		zct += s.zctDepth[i].v.Load()
+		dcache += s.dcacheLive[i].v.Load()
+	}
+	zct += s.orphanN.Load()
+	return zct, dcache
+}
+
 // SetThreadTag associates an opaque tag with thread slot id, read back
 // into HelpEvent.HelperTag/HelpeeTag when a help involving that slot is
 // traced.  The KV server stores the active request-span ID here for the
@@ -368,6 +432,8 @@ func New(ar *arena.Arena, cfg Config) (*Scheme, error) {
 	}
 	if cfg.Deferred {
 		s.pins = make([]pinRow, n)
+		s.zctDepth = make([]padI64, n)
+		s.dcacheLive = make([]padI64, n)
 	}
 	for i := range s.ann {
 		s.ann[i].slots = make([]annSlot, n)

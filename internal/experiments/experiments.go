@@ -44,7 +44,12 @@ type Params struct {
 // experiments that run several workloads (e.g. "e6-stack").
 func (p Params) emit(experiment, scheme string, threads int, res harness.Result) {
 	if p.Sink != nil {
-		p.Sink(obs.BenchResultFrom(experiment, scheme, threads, res.Ops, res.Elapsed, &res.Stats))
+		var life *mm.LifecycleSnap
+		if res.Lifecycle != nil {
+			snap := res.Lifecycle.Snapshot()
+			life = &snap
+		}
+		p.Sink(obs.BenchResultFrom(experiment, scheme, threads, res.Ops, res.Elapsed, &res.Stats, life))
 	}
 }
 

@@ -40,6 +40,12 @@ type Result struct {
 	Elapsed time.Duration
 	Hist    Histogram
 	Stats   mm.OpStats
+	// Lifecycle is the run's memory-lifecycle tracker, attached when the
+	// scheme implements mm.LifecycleSource (all seven do) and left
+	// attached after Run returns so post-run cleanup (a Flush before an
+	// audit, say) still lands in the same tracker.  Callers wanting the
+	// steady-state picture snapshot before such cleanup.
+	Lifecycle *mm.LifecycleTracker
 }
 
 // OpsPerSec returns the aggregate throughput.
@@ -84,6 +90,14 @@ func Run(s mm.Scheme, threads int, body Body) (Result, error) {
 		done := (*p).ObserveRun(s.Name(), ths)
 		defer done()
 	}
+	// Attach a fresh lifecycle tracker for this run when the scheme can
+	// publish retire/reclaim transitions.  Sized by MaxNodes so segments
+	// attached mid-run stay covered.
+	var life *mm.LifecycleTracker
+	if src, ok := s.(mm.LifecycleSource); ok {
+		life = mm.NewLifecycleTracker(s.Arena().MaxNodes())
+		src.SetLifecycleSink(life)
+	}
 
 	start := make(chan struct{})
 	var wg sync.WaitGroup
@@ -104,7 +118,7 @@ func Run(s mm.Scheme, threads int, body Body) (Result, error) {
 	wg.Wait()
 	elapsed := time.Since(t0)
 
-	res := Result{Threads: threads, Elapsed: elapsed}
+	res := Result{Threads: threads, Elapsed: elapsed, Lifecycle: life}
 	var firstErr error
 	for i := range outs {
 		res.Ops += outs[i].ops

@@ -6,7 +6,7 @@
 // robustness measured where quiescence-based schemes actually differ —
 // under stalls and oversubscription).
 //
-// One invocation emits a single merged schema-v4 obs.BenchReport whose
+// One invocation emits a single merged schema-v5 obs.BenchReport whose
 // rows carry their matrix cell coordinates, and the EXPERIMENTS.md
 // comparison tables are regenerated from that report (render.go), so
 // the prose tables can never drift from the machine-readable data.
@@ -111,7 +111,7 @@ func Oversubscribed(threads int) bool {
 	return threads > runtime.GOMAXPROCS(0)
 }
 
-// Run executes the full sweep and returns the merged schema-v4 report.
+// Run executes the full sweep and returns the merged schema-v5 report.
 // Cells run sequentially (each cell is internally concurrent), and the
 // result rows appear in deterministic axis order: structure, then
 // contention, then threads, then scheme.
@@ -200,11 +200,23 @@ func runCell(structure, schemeName string, threads int, contention string, opsPe
 	if err != nil {
 		return obs.BenchResult{}, err
 	}
-	out := obs.BenchResultFrom("mx-"+structure, schemeName, threads, res.Ops, res.Elapsed, &res.Stats)
+	// Snapshot the lifecycle tracker after the audit flush so the lag
+	// histogram covers the quiescent drain too (the tracker stays
+	// attached across harness.Run's return for exactly this reason).
+	var life *mm.LifecycleSnap
+	if res.Lifecycle != nil {
+		snap := res.Lifecycle.Snapshot()
+		life = &snap
+	}
+	out := obs.BenchResultFrom("mx-"+structure, schemeName, threads, res.Ops, res.Elapsed, &res.Stats, life)
 	out.Structure = structure
 	out.Contention = contention
 	out.Oversubscribed = Oversubscribed(threads)
-	out.UnreclaimedEnd = unreclaimed
+	if unreclaimed >= 0 {
+		// The scheme's own mm.Robust count is authoritative where
+		// available; the tracker's floating gauge covers the rest.
+		out.UnreclaimedEnd = unreclaimed
+	}
 	return out, nil
 }
 

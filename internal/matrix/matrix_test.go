@@ -78,8 +78,20 @@ func TestMatrixSweep(t *testing.T) {
 				t.Errorf("hyaline row %s/%d: unreclaimed_end = %d, want 0", r.Structure, r.Threads, r.UnreclaimedEnd)
 			}
 		default:
-			if r.UnreclaimedEnd != -1 {
-				t.Errorf("%s row %s/%d: unreclaimed_end = %d, want -1 (no mm.Robust)", r.Scheme, r.Structure, r.Threads, r.UnreclaimedEnd)
+			// Schema v5: every scheme reports a non-negative count via its
+			// lifecycle tracker (the -1 "not exposed" sentinel is retired).
+			if r.UnreclaimedEnd < 0 {
+				t.Errorf("%s row %s/%d: unreclaimed_end = %d, want >= 0", r.Scheme, r.Structure, r.Threads, r.UnreclaimedEnd)
+			}
+		}
+		if r.Scheme != "epoch" && r.ReclaimLagCount == 0 {
+			// Every cell allocates and frees nodes, so the lag histogram
+			// must have entries.  (Epoch cells can end with everything
+			// parked in limbo at tiny workloads, but even they drain on the
+			// audit flush path; require entries there too once any free
+			// happened.)
+			if r.FreeSteps.Max > 0 {
+				t.Errorf("%s row %s/%d: reclaim_lag_count = 0 with frees recorded", r.Scheme, r.Structure, r.Threads)
 			}
 		}
 	}

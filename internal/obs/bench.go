@@ -37,7 +37,18 @@ import (
 // threshold and the fraction of requests served under it, with latency
 // measured from the *scheduled* send instant so a stalled server cannot
 // hide queueing delay.  All three are forbidden below version 4.
-const BenchSchemaVersion = 4
+// Version 5 adds the memory-lifecycle trajectory: every result row
+// carries the retire→free reclamation-lag quantiles
+// ("reclaim_lag_p50_ns", "reclaim_lag_p99_ns", "reclaim_lag_max_ns",
+// "reclaim_lag_count") and the floating-garbage high-water mark
+// ("floating_hwm") read from the run's mm.LifecycleTracker, and
+// "unreclaimed_end" — previously only set by the matrix path — is
+// required on every row (≥ 0; the tracker covers every scheme, so the
+// old -1 "not exposed" sentinel is retired).  The server section gains
+// the optional "memory" object (a LifecycleCollector MemSnapshot).  All
+// six keys are forbidden below version 5, except "unreclaimed_end"
+// which stays optional at version 4 with -1 permitted.
+const BenchSchemaVersion = 5
 
 // BenchStepStats summarizes one per-operation step distribution (the
 // quantity Lemmas 2 and 9 bound) for one data point: quantiles read off
@@ -77,9 +88,20 @@ type BenchResult struct {
 	Contention     string `json:"contention,omitempty"`
 	Oversubscribed bool   `json:"oversubscribed,omitempty"`
 	// UnreclaimedEnd is the scheme's retired-but-unreclaimed node count
-	// after the cell's quiescent flush — the Stamp-it robustness metric.
-	// -1 means the scheme does not expose it (no mm.Robust support).
-	UnreclaimedEnd int64 `json:"unreclaimed_end,omitempty"`
+	// after the run (post-flush for matrix cells) — the Stamp-it
+	// robustness metric.  Required ≥ 0 at schema v5 (the lifecycle
+	// tracker covers every scheme); pre-v5 matrix documents used -1 for
+	// schemes without mm.Robust support.
+	UnreclaimedEnd int64 `json:"unreclaimed_end"`
+
+	// Schema-v5 memory-lifecycle trajectory: the retire→free lag
+	// distribution over the run's reclaims and the floating-garbage
+	// high-water mark, read from the run's mm.LifecycleTracker.
+	ReclaimLagP50NS uint64 `json:"reclaim_lag_p50_ns"`
+	ReclaimLagP99NS uint64 `json:"reclaim_lag_p99_ns"`
+	ReclaimLagMaxNS uint64 `json:"reclaim_lag_max_ns"`
+	ReclaimLagCount uint64 `json:"reclaim_lag_count"`
+	FloatingHWM     int64  `json:"floating_hwm"`
 }
 
 // BenchServer is the schema-v2 "server" section: one wfrc-load run
@@ -118,6 +140,11 @@ type BenchServer struct {
 	// run used a fixed arrival schedule; nil for closed-loop runs.
 	OpenLoop *BenchOpenLoop `json:"open_loop,omitempty"`
 
+	// Memory is the schema-v5 memory section: the server's last
+	// lifecycle sample (per-scheme floating garbage, lag quantiles and
+	// occupancy gauges), as returned in the STATS reply.
+	Memory *MemSnapshot `json:"memory,omitempty"`
+
 	BusyRejects uint64 `json:"busy_rejects"`
 	Expiries    uint64 `json:"lease_expiries"`
 
@@ -148,7 +175,7 @@ func (b *BenchServer) SetShardOps(ops []uint64) {
 	}
 }
 
-// BenchOpenLoop is the schema-v4 open-loop section of a server report.
+// BenchOpenLoop is the open-loop section (schema v4+) of a server report.
 // The load generator sends on a fixed arrival schedule (request i is
 // due at start + i/rate) and measures each latency from the request's
 // *scheduled* instant, not its actual send — the Hdr-histogram
@@ -207,12 +234,12 @@ type BenchReport struct {
 	// Server is the schema-v2 load-test section; nil for pure
 	// wfrc-bench reports.
 	Server *BenchServer `json:"server,omitempty"`
-	// Matrix is the schema-v4 shoot-out section; nil for reports that
+	// Matrix is the shoot-out section (schema v4+); nil for reports that
 	// did not come from wfrc-matrix.
 	Matrix *BenchMatrix `json:"matrix,omitempty"`
 }
 
-// BenchMatrix is the schema-v4 "matrix" section: the axes one
+// BenchMatrix is the "matrix" section (schema v4+): the axes one
 // wfrc-matrix invocation swept.  Every combination of the listed axes
 // appears as one result row tagged with its cell coordinates, so a
 // reader can check the sweep for holes without re-deriving the cross
@@ -242,13 +269,16 @@ func NewBenchReport(quick bool) *BenchReport {
 	}
 }
 
-// BenchResultFrom builds one data point from a run's merged stats.
-func BenchResultFrom(experiment, scheme string, threads int, ops uint64, elapsed time.Duration, st *mm.OpStats) BenchResult {
+// BenchResultFrom builds one data point from a run's merged stats and
+// its lifecycle summary.  life may be nil (no tracker attached): the
+// lag fields stay zero and UnreclaimedEnd falls back to the pre-v5 -1
+// sentinel.
+func BenchResultFrom(experiment, scheme string, threads int, ops uint64, elapsed time.Duration, st *mm.OpStats, life *mm.LifecycleSnap) BenchResult {
 	opsPerSec := 0.0
 	if elapsed > 0 {
 		opsPerSec = float64(ops) / elapsed.Seconds()
 	}
-	return BenchResult{
+	res := BenchResult{
 		Experiment: experiment,
 		Scheme:     scheme,
 		Threads:    threads,
@@ -272,7 +302,21 @@ func BenchResultFrom(experiment, scheme string, threads int, ops uint64, elapsed
 		AllocHelped:       st.AllocHelped,
 		AnnScanViolations: st.AnnScanViolations,
 		CASFailures:       st.CASFailures,
+		UnreclaimedEnd:    -1,
 	}
+	if life != nil {
+		res.ReclaimLagP50NS = life.Lag.P50NS
+		res.ReclaimLagP99NS = life.Lag.P99NS
+		res.ReclaimLagMaxNS = life.Lag.MaxNS
+		res.ReclaimLagCount = life.Lag.Count
+		res.FloatingHWM = life.FloatingHWM
+		floating := life.Floating
+		if floating < 0 {
+			floating = 0
+		}
+		res.UnreclaimedEnd = floating
+	}
+	return res
 }
 
 // TotalAnnScanViolations sums the violation counter over every data
@@ -321,6 +365,13 @@ var requiredOpLatencyKeys = []string{"count", "p50_ns", "p99_ns", "p999_ns", "ma
 var requiredOpenLoopKeys = []string{
 	"target_rate", "achieved_rate", "slo_ns", "under_slo_fraction",
 	"late_sends", "max_sched_lag_ns",
+}
+
+// requiredLagKeys are the per-result v5 memory-lifecycle keys, required
+// at schema version 5 and forbidden below.
+var requiredLagKeys = []string{
+	"reclaim_lag_p50_ns", "reclaim_lag_p99_ns", "reclaim_lag_max_ns",
+	"reclaim_lag_count", "floating_hwm",
 }
 
 // ValidateBenchJSON checks that data is a schema-valid BENCH_results
@@ -378,6 +429,48 @@ func ValidateBenchJSON(data []byte) (*BenchReport, error) {
 				if _, ok := res[key]; ok {
 					return nil, fmt.Errorf("bench json: results[%d].%s requires schema_version 4, document has %d", i, key, version)
 				}
+			}
+		}
+		// Schema-v5 memory-lifecycle keys: forbidden below v5, required
+		// (numbers, non-negative) at v5, where unreclaimed_end also
+		// becomes mandatory.  A present unreclaimed_end below -1 is
+		// rejected at every version (-1 is the pre-v5 "not exposed"
+		// sentinel; anything lower is corrupt accounting).
+		if version < 5 {
+			for _, key := range requiredLagKeys {
+				if _, ok := res[key]; ok {
+					return nil, fmt.Errorf("bench json: results[%d].%s requires schema_version 5, document has %d", i, key, version)
+				}
+			}
+		} else {
+			for _, key := range requiredLagKeys {
+				v, ok := res[key]
+				if !ok {
+					return nil, fmt.Errorf("bench json: results[%d]: missing key %q (required at schema_version 5)", i, key)
+				}
+				var n float64
+				if err := json.Unmarshal(v, &n); err != nil {
+					return nil, fmt.Errorf("bench json: results[%d].%s: want number", i, key)
+				}
+				if n < 0 {
+					return nil, fmt.Errorf("bench json: results[%d].%s: negative value %v", i, key, n)
+				}
+			}
+			if _, ok := res["unreclaimed_end"]; !ok {
+				return nil, fmt.Errorf("bench json: results[%d]: missing key \"unreclaimed_end\" (required at schema_version 5)", i)
+			}
+		}
+		if v, ok := res["unreclaimed_end"]; ok {
+			var n float64
+			if err := json.Unmarshal(v, &n); err != nil {
+				return nil, fmt.Errorf("bench json: results[%d].unreclaimed_end: want number", i)
+			}
+			floor := -1.0
+			if version >= 5 {
+				floor = 0
+			}
+			if n < floor {
+				return nil, fmt.Errorf("bench json: results[%d].unreclaimed_end: negative value %v", i, n)
 			}
 		}
 		if hasMatrix {
@@ -483,6 +576,38 @@ func ValidateBenchJSON(data []byte) (*BenchReport, error) {
 					if err := json.Unmarshal(v, &n); err != nil {
 						return nil, fmt.Errorf("bench json: server.open_loop.%s: want number", key)
 					}
+				}
+			}
+		}
+
+		// Schema-v5 memory section: optional at v5, forbidden below.
+		memRaw, hasMem := server["memory"]
+		if version < 5 {
+			if hasMem {
+				return nil, fmt.Errorf("bench json: server.memory requires schema_version 5, document has %d", version)
+			}
+		} else if hasMem {
+			var mem map[string]json.RawMessage
+			if err := json.Unmarshal(memRaw, &mem); err != nil {
+				return nil, fmt.Errorf("bench json: server.memory: want object: %w", err)
+			}
+			schemesRaw, ok := mem["schemes"]
+			if !ok {
+				return nil, fmt.Errorf("bench json: server.memory: missing key \"schemes\"")
+			}
+			var schemes map[string]map[string]json.RawMessage
+			if err := json.Unmarshal(schemesRaw, &schemes); err != nil {
+				return nil, fmt.Errorf("bench json: server.memory.schemes: want object of objects: %w", err)
+			}
+			for name, fields := range schemes {
+				for _, key := range []string{"retired", "reclaimed", "floating", "floating_hwm", "lag"} {
+					if _, ok := fields[key]; !ok {
+						return nil, fmt.Errorf("bench json: server.memory.schemes[%q]: missing key %q", name, key)
+					}
+				}
+				var floating float64
+				if err := json.Unmarshal(fields["floating"], &floating); err != nil || floating < 0 {
+					return nil, fmt.Errorf("bench json: server.memory.schemes[%q].floating: want non-negative number", name)
 				}
 			}
 		}

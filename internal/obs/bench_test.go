@@ -22,10 +22,31 @@ func sampleReport() *BenchReport {
 	var merged mm.OpStats
 	merged.AddTagged(&st, 1)
 
+	// A real tracker cycle so the v5 lag fields are nonzero.
+	tr := mm.NewLifecycleTracker(8)
+	tr.NoteRetired(1)
+	tr.NoteReclaimed(1)
+	life := tr.Snapshot()
+
 	rep := NewBenchReport(true)
 	rep.Results = append(rep.Results,
-		BenchResultFrom("e1-pqueue", "waitfree-rc", 4, 1000, 250*time.Millisecond, &merged))
+		BenchResultFrom("e1-pqueue", "waitfree-rc", 4, 1000, 250*time.Millisecond, &merged, &life))
 	return rep
+}
+
+// stripPostV3ResultKeys removes the v4/v5 per-result keys the Go struct
+// always emits, turning a marshalled sample into a genuine pre-v4
+// document the way history would have written it.
+func stripPostV3ResultKeys(d map[string]interface{}) {
+	for _, ri := range d["results"].([]interface{}) {
+		res := ri.(map[string]interface{})
+		delete(res, "unreclaimed_end")
+		delete(res, "reclaim_lag_p50_ns")
+		delete(res, "reclaim_lag_p99_ns")
+		delete(res, "reclaim_lag_max_ns")
+		delete(res, "reclaim_lag_count")
+		delete(res, "floating_hwm")
+	}
 }
 
 func TestBenchReportRoundTrip(t *testing.T) {
@@ -189,12 +210,16 @@ func TestValidateBenchJSONAcceptsV2(t *testing.T) {
 // pre-server document that declares schema_version 1 must keep
 // validating, and must not be allowed to smuggle a server section.
 func TestValidateBenchJSONAcceptsV1(t *testing.T) {
-	v1 := mutateJSON(t, func(d map[string]interface{}) { d["schema_version"] = 1 })
+	v1 := mutateJSON(t, func(d map[string]interface{}) {
+		d["schema_version"] = 1
+		stripPostV3ResultKeys(d)
+	})
 	if _, err := ValidateBenchJSON(v1); err != nil {
 		t.Fatalf("v1 document rejected: %v", err)
 	}
 	bad := mutateJSON(t, func(d map[string]interface{}) {
 		d["schema_version"] = 1
+		stripPostV3ResultKeys(d)
 		d["server"] = map[string]interface{}{}
 	})
 	if _, err := ValidateBenchJSON(bad); err == nil {
@@ -308,7 +333,6 @@ func sampleMatrixReport() *BenchReport {
 	rep.Results[0].Structure = "queue"
 	rep.Results[0].Contention = "high"
 	rep.Results[0].Oversubscribed = true
-	rep.Results[0].UnreclaimedEnd = -1
 	return rep
 }
 
@@ -328,7 +352,7 @@ func TestValidateBenchJSONMatrix(t *testing.T) {
 		t.Fatalf("matrix section lost in round trip: %+v", got.Matrix)
 	}
 	res := got.Results[0]
-	if res.Structure != "queue" || res.Contention != "high" || !res.Oversubscribed || res.UnreclaimedEnd != -1 {
+	if res.Structure != "queue" || res.Contention != "high" || !res.Oversubscribed || res.UnreclaimedEnd != 0 {
 		t.Fatalf("cell coordinates lost in round trip: %+v", res)
 	}
 

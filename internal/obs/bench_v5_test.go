@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"wfrc/internal/mm"
+)
+
+// Schema-v5 validator cases: the memory-lifecycle keys are required
+// (non-negative numbers) at v5 and forbidden below, unreclaimed_end
+// loses its -1 "not exposed" sentinel at v5, and the server section may
+// carry a "memory" object only at v5.
+
+// remarshal round-trips v through JSON into out (a pointer), for
+// splicing typed sections into generic mutateJSON documents.
+func remarshal(t *testing.T, v interface{}, out interface{}) {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sampleOpStats() *mm.OpStats {
+	var st mm.OpStats
+	st.NoteDeRef(2)
+	st.NoteAlloc(1)
+	st.NoteFree(1)
+	var merged mm.OpStats
+	merged.AddTagged(&st, 0)
+	return &merged
+}
+
+// sampleLifecycleSnap is one completed retire→reclaim cycle: Lag.Count
+// 1, nonzero quantiles, floating back at 0 with an HWM of 1.
+func sampleLifecycleSnap(t *testing.T) mm.LifecycleSnap {
+	t.Helper()
+	tr := mm.NewLifecycleTracker(8)
+	tr.NoteRetired(1)
+	tr.NoteReclaimed(1)
+	return tr.Snapshot()
+}
+
+func TestValidateBenchJSONV5LagKeys(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(doc map[string]interface{})
+		wantErr string
+	}{
+		{
+			name: "lag keys forbidden below v5",
+			mutate: func(doc map[string]interface{}) {
+				doc["schema_version"] = 4
+				// Leave the lag keys in place; only unreclaimed_end is
+				// legal on a v4 row.
+			},
+			wantErr: "requires schema_version 5",
+		},
+		{
+			name: "missing lag key at v5",
+			mutate: func(doc map[string]interface{}) {
+				res := doc["results"].([]interface{})[0].(map[string]interface{})
+				delete(res, "reclaim_lag_p99_ns")
+			},
+			wantErr: `missing key "reclaim_lag_p99_ns"`,
+		},
+		{
+			name: "missing floating_hwm at v5",
+			mutate: func(doc map[string]interface{}) {
+				res := doc["results"].([]interface{})[0].(map[string]interface{})
+				delete(res, "floating_hwm")
+			},
+			wantErr: `missing key "floating_hwm"`,
+		},
+		{
+			name: "negative lag quantile",
+			mutate: func(doc map[string]interface{}) {
+				res := doc["results"].([]interface{})[0].(map[string]interface{})
+				res["reclaim_lag_p50_ns"] = -5
+			},
+			wantErr: "negative value",
+		},
+		{
+			name: "negative floating_hwm",
+			mutate: func(doc map[string]interface{}) {
+				res := doc["results"].([]interface{})[0].(map[string]interface{})
+				res["floating_hwm"] = -1
+			},
+			wantErr: "negative value",
+		},
+		{
+			name: "non-numeric lag count",
+			mutate: func(doc map[string]interface{}) {
+				res := doc["results"].([]interface{})[0].(map[string]interface{})
+				res["reclaim_lag_count"] = "many"
+			},
+			wantErr: "want number",
+		},
+		{
+			name: "missing unreclaimed_end at v5",
+			mutate: func(doc map[string]interface{}) {
+				res := doc["results"].([]interface{})[0].(map[string]interface{})
+				delete(res, "unreclaimed_end")
+			},
+			wantErr: `missing key "unreclaimed_end"`,
+		},
+		{
+			name: "unreclaimed_end sentinel -1 rejected at v5",
+			mutate: func(doc map[string]interface{}) {
+				res := doc["results"].([]interface{})[0].(map[string]interface{})
+				res["unreclaimed_end"] = -1
+			},
+			wantErr: "unreclaimed_end: negative value",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := mutateJSON(t, tc.mutate)
+			_, err := ValidateBenchJSON(data)
+			if err == nil {
+				t.Fatalf("validated despite %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestValidateBenchJSONV4UnreclaimedSentinel(t *testing.T) {
+	// A v4 matrix-era document may carry unreclaimed_end == -1 ("scheme
+	// does not expose the count") but nothing lower.
+	accept := mutateJSON(t, func(doc map[string]interface{}) {
+		doc["schema_version"] = 4
+		stripPostV3ResultKeys(doc)
+		res := doc["results"].([]interface{})[0].(map[string]interface{})
+		res["unreclaimed_end"] = -1
+	})
+	if _, err := ValidateBenchJSON(accept); err != nil {
+		t.Fatalf("v4 with -1 sentinel rejected: %v", err)
+	}
+	reject := mutateJSON(t, func(doc map[string]interface{}) {
+		doc["schema_version"] = 4
+		stripPostV3ResultKeys(doc)
+		res := doc["results"].([]interface{})[0].(map[string]interface{})
+		res["unreclaimed_end"] = -2
+	})
+	if _, err := ValidateBenchJSON(reject); err == nil || !strings.Contains(err.Error(), "negative value") {
+		t.Fatalf("v4 with -2 accepted or wrong error: %v", err)
+	}
+}
+
+func TestValidateBenchJSONServerMemory(t *testing.T) {
+	// A valid v5 report with a populated server.memory round-trips.
+	rep := sampleReport()
+	rep.Server = sampleServerSection()
+	rep.Server.LeaseWaitMeanNS = 2000
+	c := sampleMemCollector()
+	rep.Server.Memory = c.Sample()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ValidateBenchJSON(data)
+	if err != nil {
+		t.Fatalf("ValidateBenchJSON: %v", err)
+	}
+	if got.Server == nil || got.Server.Memory == nil {
+		t.Fatalf("server.memory lost in round trip: %+v", got.Server)
+	}
+	if got.Server.Memory.Schemes["alpha"].Retired != 3 {
+		t.Fatalf("memory schemes = %+v", got.Server.Memory.Schemes)
+	}
+	if len(got.Server.Memory.Gauges) != 2 {
+		t.Fatalf("memory gauges = %+v", got.Server.Memory.Gauges)
+	}
+
+	withMemory := func(fn func(mem map[string]interface{})) func(doc map[string]interface{}) {
+		return func(doc map[string]interface{}) {
+			var srvDoc map[string]interface{}
+			remarshal(t, rep.Server, &srvDoc)
+			fn(srvDoc["memory"].(map[string]interface{}))
+			doc["server"] = srvDoc
+		}
+	}
+	cases := []struct {
+		name    string
+		mutate  func(doc map[string]interface{})
+		wantErr string
+	}{
+		{
+			name: "memory forbidden below v5",
+			mutate: func(doc map[string]interface{}) {
+				doc["schema_version"] = 4
+				stripPostV3ResultKeys(doc)
+				var srvDoc map[string]interface{}
+				remarshal(t, rep.Server, &srvDoc)
+				doc["server"] = srvDoc
+			},
+			wantErr: "server.memory requires schema_version 5",
+		},
+		{
+			name: "memory missing schemes",
+			mutate: withMemory(func(mem map[string]interface{}) {
+				delete(mem, "schemes")
+			}),
+			wantErr: `server.memory: missing key "schemes"`,
+		},
+		{
+			name: "scheme summary missing floating_hwm",
+			mutate: withMemory(func(mem map[string]interface{}) {
+				alpha := mem["schemes"].(map[string]interface{})["alpha"].(map[string]interface{})
+				delete(alpha, "floating_hwm")
+			}),
+			wantErr: `missing key "floating_hwm"`,
+		},
+		{
+			name: "scheme summary missing lag",
+			mutate: withMemory(func(mem map[string]interface{}) {
+				alpha := mem["schemes"].(map[string]interface{})["alpha"].(map[string]interface{})
+				delete(alpha, "lag")
+			}),
+			wantErr: `missing key "lag"`,
+		},
+		{
+			name: "negative floating gauge",
+			mutate: withMemory(func(mem map[string]interface{}) {
+				alpha := mem["schemes"].(map[string]interface{})["alpha"].(map[string]interface{})
+				alpha["floating"] = -4
+			}),
+			wantErr: "floating: want non-negative number",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := mutateJSON(t, tc.mutate)
+			_, err := ValidateBenchJSON(data)
+			if err == nil {
+				t.Fatalf("validated despite %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestBenchResultFromLifecycle pins the two BenchResultFrom contracts
+// the schema relies on: a nil lifecycle snapshot yields the pre-v5 -1
+// sentinel (so such a result can only be written into a v4 document),
+// and a populated one carries the lag quantiles and clamps floating
+// into unreclaimed_end.
+func TestBenchResultFromLifecycle(t *testing.T) {
+	stats := sampleOpStats()
+	res := BenchResultFrom("e1", "waitfree", 2, 100, 50*time.Millisecond, stats, nil)
+	if res.UnreclaimedEnd != -1 || res.ReclaimLagCount != 0 {
+		t.Fatalf("nil lifecycle: %+v", res)
+	}
+	life := sampleLifecycleSnap(t)
+	res = BenchResultFrom("e1", "waitfree", 2, 100, 50*time.Millisecond, stats, &life)
+	// Quantiles are log2-bucket upper bounds while MaxNS is the exact
+	// observation, so Max may sit below the p50 bound; only the ordering
+	// among the bounds is fixed.
+	if res.ReclaimLagCount != 1 || res.ReclaimLagP50NS == 0 ||
+		res.ReclaimLagMaxNS == 0 || res.ReclaimLagP99NS < res.ReclaimLagP50NS {
+		t.Fatalf("lag fields: %+v", res)
+	}
+	if res.UnreclaimedEnd != 0 || res.FloatingHWM != 1 {
+		t.Fatalf("floating fields: %+v", res)
+	}
+}

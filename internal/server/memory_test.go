@@ -1,0 +1,115 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"wfrc/internal/resp"
+)
+
+// TestServerMemoryTelemetry drives churn through the RESP front-end and
+// checks all three export surfaces of the memory-lifecycle plane: the
+// INFO "# Memory" section, the wfrc_mem_* Prometheus families, and the
+// STATS reply's memory snapshot.  Deleting keys retires their nodes, so
+// after the churn every shard's tracker must have seen retire→reclaim
+// traffic.
+func TestServerMemoryTelemetry(t *testing.T) {
+	srv, addr := startServer(t, Config{Store: respStore()})
+	defer srv.Shutdown(context.Background())
+	c, err := resp.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Enough keys to land on both shards; SET+DEL churns nodes through
+	// retire and reclamation.
+	for round := 0; round < 20; round++ {
+		for k := 0; k < 16; k++ {
+			key := fmt.Sprintf("mem:%d", k)
+			if r, err := c.Do("SET", key, "v"); err != nil || r.IsError() {
+				t.Fatalf("SET %s: %v %+v", key, err, r)
+			}
+			if r, err := c.Do("DEL", key); err != nil || r.IsError() {
+				t.Fatalf("DEL %s: %v %+v", key, err, r)
+			}
+		}
+	}
+
+	// INFO: the "# Memory" section carries per-shard lifecycle keys and
+	// the occupancy gauges.
+	r, err := c.Do("INFO")
+	if err != nil || r.IsError() {
+		t.Fatalf("INFO: %v %+v", err, r)
+	}
+	info := string(r.Str)
+	for _, want := range []string{
+		"# Memory",
+		"waitfree_shard0_retired:",
+		"waitfree_shard0_reclaim_lag_p99_ns:",
+		"waitfree_shard1_floating_hwm:",
+		"wfrc_mem_zct_depth_waitfree_shard0:",
+		"wfrc_mem_pin_fastpaths_waitfree_shard1:",
+		"wfrc_mem_value_blocks_live_values:",
+	} {
+		if !strings.Contains(info, want) {
+			t.Errorf("INFO missing %q:\n%s", want, info)
+		}
+	}
+
+	// Prometheus: the lifecycle families are present and labelled per
+	// shard.
+	var buf bytes.Buffer
+	if err := srv.MemCollector().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	prom := buf.String()
+	for _, want := range []string{
+		`wfrc_mem_retired_total{scheme="waitfree-shard0"}`,
+		`wfrc_mem_reclaimed_total{scheme="waitfree-shard1"}`,
+		`wfrc_mem_floating_hwm{scheme="waitfree-shard0"}`,
+		`wfrc_mem_reclaim_lag_seconds_bucket{scheme="waitfree-shard0",le="+Inf"}`,
+		`wfrc_mem_arena_segments{scheme="waitfree-shard0"}`,
+		`wfrc_mem_value_blocks_live{scheme="values"}`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("prom exposition missing %q:\n%s", want, prom)
+		}
+	}
+
+	// STATS: the memory snapshot rides in the reply, with real traffic
+	// on every shard's tracker.
+	stats := srv.Stats()
+	if stats.Memory == nil {
+		t.Fatal("StatsReply.Memory is nil")
+	}
+	if len(stats.Memory.Schemes) != 2 {
+		t.Fatalf("memory schemes = %v", stats.Memory.SchemeNames())
+	}
+	var retired, reclaimed uint64
+	for name, ls := range stats.Memory.Schemes {
+		if ls.Floating < 0 {
+			t.Errorf("%s floating negative: %+v", name, ls)
+		}
+		if ls.FloatingHWM < ls.Floating {
+			t.Errorf("%s HWM %d below floating %d", name, ls.FloatingHWM, ls.Floating)
+		}
+		retired += ls.Retired
+		reclaimed += ls.Reclaimed
+	}
+	if retired == 0 || reclaimed == 0 {
+		t.Fatalf("churn left no lifecycle traffic: retired=%d reclaimed=%d", retired, reclaimed)
+	}
+	if gotLag := func() uint64 {
+		var n uint64
+		for _, ls := range stats.Memory.Schemes {
+			n += ls.Lag.Count
+		}
+		return n
+	}(); gotLag == 0 {
+		t.Fatal("no reclaim-lag samples despite reclaims")
+	}
+}

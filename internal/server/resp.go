@@ -351,6 +351,10 @@ func (sess *respSession) set(l *slotpool.Lease, key uint64, payload []byte) erro
 // appends the per-scheme counters after them.
 func (s *Server) infoSections() []obs.InfoSection {
 	pool := s.pool.Stats()
+	// Resample the memory lifecycle so an INFO probe never reads a
+	// minutes-old snapshot on a server running without the periodic
+	// sampler (InfoSection renders the last published sample).
+	s.memCollector.Sample()
 	return []obs.InfoSection{
 		{Name: "Server", Fields: []obs.InfoField{
 			obs.Field("wfrc_version", "dev"),
@@ -371,6 +375,7 @@ func (s *Server) infoSections() []obs.InfoSection {
 			obs.Field("leases_batched", pool.LeasesBatched),
 			obs.Field("batched_ops", pool.BatchedOps),
 		}},
+		s.memCollector.InfoSection(),
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"wfrc/internal/core"
+	"wfrc/internal/mm"
 	"wfrc/internal/obs"
 	"wfrc/internal/slotpool"
 )
@@ -66,6 +67,11 @@ type StatsReply struct {
 	// protocol (RESP commands count one each, including multi-key ones).
 	RequestsNative uint64 `json:"requests_native"`
 	RequestsRESP   uint64 `json:"requests_resp"`
+	// Memory is the memory-lifecycle snapshot (schema v5): per-shard
+	// retired/reclaimed/floating counters with reclamation-lag quantiles,
+	// plus occupancy gauges.  wfrc-load folds it into its report so CI
+	// can gate on the floating-garbage high-water mark.
+	Memory *obs.MemSnapshot `json:"memory,omitempty"`
 }
 
 // Server serves the KV protocol over TCP.  One slot lease per
@@ -102,6 +108,12 @@ type Server struct {
 	// collector aggregates per-scheme counters for the INFO command and
 	// for /metrics (wfrc-kv registers it on the obs HTTP server).
 	collector *obs.Collector
+	// memCollector aggregates the memory-lifecycle telemetry: one
+	// mm.LifecycleTracker per shard scheme plus occupancy gauges (ZCT
+	// depth, delta-cache fill, arena segments, live value blocks).  It
+	// backs the INFO "# Memory" section, the /metrics wfrc_mem_* families
+	// and StatsReply.Memory.
+	memCollector *obs.LifecycleCollector
 }
 
 // New builds the store and its slot pool.
@@ -142,6 +154,7 @@ func New(cfg Config) (*Server, error) {
 		conns:     make(map[net.Conn]struct{}),
 		collector: obs.NewCollector(),
 	}
+	s.memCollector = obs.NewLifecycleCollector()
 	for i, cs := range s.cores {
 		if cs == nil {
 			continue
@@ -152,6 +165,50 @@ func New(cfg Config) (*Server, error) {
 		}
 		cs := cs
 		s.collector.AttachGauge("wfrc_ann_scan_violations", scheme, func() uint64 { return cs.AnnScanViolations() })
+
+		// Memory-lifecycle telemetry: the tracker stamps every retire and
+		// times the retire→free lag; the gauges read occupancy the tracker
+		// cannot see.  All wait-free reads — the sampler never blocks the
+		// reclamation hot path.
+		tr := mm.NewLifecycleTracker(cs.Arena().MaxNodes())
+		cs.SetLifecycleSink(tr)
+		s.memCollector.AttachTracker(scheme, tr)
+		s.memCollector.AttachMemGauge("wfrc_mem_zct_depth", scheme, func() int64 {
+			z, _ := cs.DeferredOccupancy()
+			return z
+		})
+		s.memCollector.AttachMemGauge("wfrc_mem_dcache_live", scheme, func() int64 {
+			_, d := cs.DeferredOccupancy()
+			return d
+		})
+		s.memCollector.AttachMemGauge("wfrc_mem_arena_segments", scheme, func() int64 {
+			return int64(cs.Segments())
+		})
+		// Capture the stats pointers once: core's Stats() folds batched
+		// hot-path counters into the struct and must only be called on
+		// the owning goroutine (or, as here, before traffic starts); the
+		// gauge then reads the published field like the collector does.
+		var stats []*mm.OpStats
+		for _, th := range pool.SlotThreads(i) {
+			stats = append(stats, th.Stats())
+		}
+		s.memCollector.AttachMemGauge("wfrc_mem_pin_fastpaths", scheme, func() int64 {
+			var n uint64
+			for _, st := range stats {
+				n += st.PinFastPaths
+			}
+			return int64(n)
+		})
+	}
+	if vs := store.Values(); vs != nil {
+		s.memCollector.AttachMemGauge("wfrc_mem_value_blocks_live", "values", vs.LiveBlocks)
+		s.memCollector.AttachMemGauge("wfrc_mem_value_segments", "values", func() int64 {
+			n := 0
+			for ci := 0; ci < vs.Allocator().Classes(); ci++ {
+				n += vs.Allocator().SegmentsAttached(ci)
+			}
+			return int64(n)
+		})
 	}
 	if cfg.ProfLabels {
 		s.labelBase = context.Background()
@@ -181,6 +238,10 @@ func (s *Server) Pool() *slotpool.Pool { return s.pool }
 // INFO command; wfrc-kv registers it on the obs HTTP server so /metrics
 // and INFO render the same snapshot.
 func (s *Server) Collector() *obs.Collector { return s.collector }
+
+// MemCollector returns the memory-lifecycle collector; wfrc-kv registers
+// its WriteProm on the obs HTTP server and starts its periodic sampler.
+func (s *Server) MemCollector() *obs.LifecycleCollector { return s.memCollector }
 
 // Serve accepts connections on ln until Shutdown closes it.  It may be
 // called for several listeners (e.g. a native port and a conventional
@@ -426,6 +487,7 @@ func (s *Server) Stats() StatsReply {
 
 		RequestsNative: s.reqsNative.Load(),
 		RequestsRESP:   s.reqsRESP.Load(),
+		Memory:         s.memCollector.Sample(),
 	}
 }
 

@@ -28,6 +28,7 @@ package value
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"wfrc/internal/alloc"
 )
@@ -97,6 +98,12 @@ type Store struct {
 	classes []Class
 	a       *alloc.Allocator
 	threads []*alloc.Thread
+	// live counts block-backed payloads currently allocated (inline
+	// words never touch it).  One FAA per block alloc/free keeps it
+	// readable by any observer goroutine — the allocator's per-thread
+	// Stats are owner-read-only, so the memory telemetry reads this
+	// instead.
+	live atomic.Int64
 }
 
 // New builds a Store over a fresh Allocator.
@@ -186,6 +193,7 @@ func (s *Store) Alloc(thread int, payload []byte) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	s.live.Add(1)
 	words := s.a.Words(ref)
 	words[0] = uint64(n)
 	dst := words[1:]
@@ -215,6 +223,7 @@ func (s *Store) Free(thread int, w uint64) {
 	if !IsRef(w) {
 		return
 	}
+	s.live.Add(-1)
 	s.threads[thread].Free(RefOf(w))
 }
 
@@ -265,6 +274,10 @@ func (s *Store) AppendPayload(dst []byte, w uint64) []byte {
 
 // Stats returns the backing allocator's counters.
 func (s *Store) Stats() alloc.Stats { return s.a.Stats() }
+
+// LiveBlocks returns the number of block-backed payloads currently
+// allocated.  Safe from any goroutine at any time.
+func (s *Store) LiveBlocks() int64 { return s.live.Load() }
 
 // Audit checks slot conservation against the set of live value words
 // (as collected from a quiescent walk of the store's nodes).  Inline
